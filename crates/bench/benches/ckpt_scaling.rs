@@ -1,0 +1,47 @@
+//! Ablation A1: distributed checkpoint latency vs rank count. The `full`
+//! SNAPC component is centralized (one global coordinator, FILEM gather to
+//! one stable store), so latency should grow roughly linearly with ranks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cr_core::request::CheckpointOptions;
+use mca::McaParams;
+use netsim::{LinkSpec, Topology};
+use ompi::{mpirun, RunConfig};
+use orte::Runtime;
+use workloads::stencil::StencilApp;
+
+fn bench_runtime(tag: &str, nodes: u32) -> Runtime {
+    let dir = std::env::temp_dir().join(format!("bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Runtime::new(Topology::uniform(nodes, LinkSpec::gigabit_ethernet()), dir).unwrap()
+}
+
+fn ckpt_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckpt_latency_vs_ranks");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &nprocs in &[2u32, 4, 8, 16] {
+        let rt = bench_runtime(&format!("scal{nprocs}"), 4);
+        let app = Arc::new(StencilApp {
+            cells_per_rank: 1024,
+            iters: u64::MAX / 2, // effectively endless; terminated below
+            ..Default::default()
+        });
+        let params = Arc::new(McaParams::new());
+        params.set("plm_map_by", "node");
+        let job = mpirun(&rt, app, RunConfig { nprocs, params }).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        group.bench_with_input(BenchmarkId::from_parameter(nprocs), &nprocs, |b, _| {
+            b.iter(|| job.checkpoint(&CheckpointOptions::tool()).unwrap());
+        });
+        job.request_terminate();
+        job.wait().unwrap();
+        rt.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ckpt_scaling);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation A2: distributed checkpoint latency vs per-rank snapshot size.
+//! The stencil slab is the checkpointed state; cost should be dominated by
+//! context-file writes plus the FILEM gather, both roughly linear in
+//! bytes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cr_core::request::CheckpointOptions;
+use mca::McaParams;
+use netsim::{LinkSpec, Topology};
+use ompi::{mpirun, RunConfig};
+use orte::Runtime;
+use workloads::stencil::StencilApp;
+
+fn bench_runtime(tag: &str, nodes: u32) -> Runtime {
+    let dir = std::env::temp_dir().join(format!("bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Runtime::new(Topology::uniform(nodes, LinkSpec::gigabit_ethernet()), dir).unwrap()
+}
+
+fn ckpt_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckpt_latency_vs_state_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    // cells are f64: 8 bytes each, two ranks.
+    for &cells in &[512usize, 8 << 10, 64 << 10, 256 << 10] {
+        let bytes_per_rank = (cells * 8) as u64;
+        group.throughput(Throughput::Bytes(bytes_per_rank * 2));
+        let rt = bench_runtime(&format!("size{cells}"), 2);
+        let app = Arc::new(StencilApp {
+            cells_per_rank: cells,
+            iters: u64::MAX / 2,
+            ..Default::default()
+        });
+        let job = mpirun(&rt, app, RunConfig {
+            nprocs: 2,
+            params: Arc::new(McaParams::new()),
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bytes_per_rank),
+            &cells,
+            |b, _| {
+                b.iter(|| job.checkpoint(&CheckpointOptions::tool()).unwrap());
+            },
+        );
+        job.request_terminate();
+        job.wait().unwrap();
+        rt.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ckpt_size);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Checkpoint cost attribution: how much of a local checkpoint is spent
+//! encoding the process image (codec + CRC framing) versus moving bytes.
+//! Complements A2 — the slope of `ckpt_size` is the sum of these costs
+//! plus file I/O and gather.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opal::ProcessImage;
+
+fn image_of(bytes: usize) -> ProcessImage {
+    let mut img = ProcessImage::new();
+    img.insert("app", vec![0xA5; bytes]);
+    img.insert("pml", vec![0x5A; 256]);
+    img.insert("ompi", vec![1, 2, 3, 4]);
+    img
+}
+
+fn context_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_image_codec");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for &size in &[4usize << 10, 256 << 10, 4 << 20] {
+        let img = image_of(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode_frame", size), &img, |b, img| {
+            b.iter(|| {
+                let payload = img.to_bytes().unwrap();
+                codec::write_frame(&payload)
+            });
+        });
+        let framed = codec::write_frame(&img.to_bytes().unwrap());
+        group.bench_with_input(
+            BenchmarkId::new("verify_decode", size),
+            &framed,
+            |b, framed| {
+                b.iter(|| {
+                    let payload = codec::read_frame(framed).unwrap();
+                    ProcessImage::from_bytes(payload).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, context_codec);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation A3: CRCP protocol comparison. Failure-free per-message cost
+//! (logger pays a payload copy; coord pays only counting) and
+//! checkpoint-time cost (coord drains channels; logger only exchanges
+//! counts and prunes).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cr_core::request::CheckpointOptions;
+use mca::McaParams;
+use netsim::{LinkSpec, Topology};
+use ompi::{mpirun, RunConfig};
+use orte::Runtime;
+use workloads::netpipe::{FtMode, PingPongPair};
+use workloads::traffic::TrafficApp;
+
+fn failure_free_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crcp_failure_free_per_message");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for mode in FtMode::ALL {
+        let pair = PingPongPair::new(mode);
+        let payload = vec![0u8; 1024];
+        group.bench_function(BenchmarkId::from_parameter(mode.label()), |b| {
+            b.iter_custom(|iters| {
+                let bpml = Arc::clone(&pair.b);
+                let echo = std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        let f = bpml.recv(0, Some(0), Some(1)).unwrap();
+                        bpml.send(0, 0, 2, &f.payload).unwrap();
+                    }
+                });
+                let start = Instant::now();
+                for _ in 0..iters {
+                    pair.a.send(0, 1, 1, &payload).unwrap();
+                    pair.a.recv(0, Some(1), Some(2)).unwrap();
+                }
+                let elapsed = start.elapsed();
+                echo.join().unwrap();
+                pair.a.begin_step();
+                pair.b.begin_step();
+                // Keep the logger's retained log from growing unboundedly
+                // across samples.
+                pair.a.with_state(|st| st.sender_log.clear());
+                pair.b.with_state(|st| st.sender_log.clear());
+                elapsed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn checkpoint_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crcp_checkpoint_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for crcp in ["coord", "logger"] {
+        let dir = std::env::temp_dir().join(format!("bench_crcp_{crcp}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rt = Runtime::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()), dir).unwrap();
+        let params = Arc::new(McaParams::new());
+        params.set("crcp", crcp);
+        let app = Arc::new(TrafficApp {
+            rounds: u64::MAX / 2,
+            seed: 7,
+            max_len: 512,
+        });
+        let job = mpirun(&rt, app, RunConfig { nprocs: 4, params }).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        group.bench_function(BenchmarkId::from_parameter(crcp), |b| {
+            b.iter(|| job.checkpoint(&CheckpointOptions::tool()).unwrap());
+        });
+        job.request_terminate();
+        job.wait().unwrap();
+        rt.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, failure_free_cost, checkpoint_cost);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Experiment E2 (paper §7): NetPIPE bandwidth overhead — the paper
+//! reports 0% bandwidth loss from the interposition. Throughput is
+//! reported in bytes/second by criterion for each mode at streaming
+//! message sizes.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workloads::netpipe::{FtMode, PingPongPair};
+
+fn netpipe_bandwidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netpipe_bandwidth");
+    group.sample_size(15).measurement_time(Duration::from_secs(2));
+    for &size in &[64usize << 10, 256 << 10, 1 << 20] {
+        group.throughput(Throughput::Bytes(size as u64 * 2)); // there and back
+        for mode in FtMode::ALL {
+            let pair = PingPongPair::new(mode);
+            let payload = vec![0u8; size];
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), size),
+                &size,
+                |b, &_size| {
+                    b.iter_custom(|iters| {
+                        let bpml = std::sync::Arc::clone(&pair.b);
+                        let echo = std::thread::spawn(move || {
+                            for _ in 0..iters {
+                                let f = bpml.recv(0, Some(0), Some(1)).unwrap();
+                                bpml.send(0, 0, 2, &f.payload).unwrap();
+                            }
+                        });
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            pair.a.send(0, 1, 1, &payload).unwrap();
+                            pair.a.recv(0, Some(1), Some(2)).unwrap();
+                        }
+                        let elapsed = start.elapsed();
+                        echo.join().unwrap();
+                        pair.a.begin_step();
+                        pair.b.begin_step();
+                        elapsed
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, netpipe_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to checksum checkpoint context files.
+//!
+//! A restarted process image that has been truncated or bit-flipped on disk
+//! must fail loudly at restart time, not resume with corrupt state. Every
+//! context frame written by the CRS components carries a CRC-32 of its
+//! payload (see [`crate::frame`]).
+
+/// Reflected polynomial for CRC-32/IEEE (the one used by zlib, Ethernet).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, computed at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &byte in data {
+            let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
+            crc = (crc >> 8) ^ TABLE[idx];
+        }
+        self.state = crc;
+    }
+
+    /// Finish and return the checksum value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let whole = crc32(&data);
+        let mut h = Crc32::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), whole);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0u8; 512];
+        let base = crc32(&data);
+        data[200] ^= 0x10;
+        assert_ne!(crc32(&data), base);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut h = Crc32::new();
+        h.update(b"snapshot");
+        assert_eq!(h.finalize(), h.finalize());
+    }
+}

@@ -1,0 +1,389 @@
+//! Line-oriented metadata format for `snapshot_meta.data` files.
+//!
+//! Snapshot references (both local and global) carry a small, human
+//! readable metadata file that records which checkpointer produced the
+//! snapshot, the checkpoint interval, process identities, and the runtime
+//! parameters the job was originally launched with. Administrators are
+//! expected to be able to `cat` these files, so the format is plain text:
+//!
+//! ```text
+//! # ompi-cr snapshot metadata
+//! [snapshot]
+//! crs = blcr_sim
+//! interval = 3
+//!
+//! [process]
+//! rank = 0
+//! hostname = node00
+//! ```
+//!
+//! Rules:
+//! * `#` starts a comment line; blank lines are ignored.
+//! * `[name]` opens a section; keys before any section go into the unnamed
+//!   section `""`.
+//! * `key = value` entries; repeated keys are allowed and preserved in
+//!   order (used for per-rank lists in global metadata).
+//! * Values are stored verbatim except for escaped `\n`, `\\`, and `\r`
+//!   so multi-line values (e.g. original command lines) survive.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// An ordered metadata document: a list of sections, each with ordered
+/// `(key, value)` entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetaDoc {
+    sections: Vec<Section>,
+}
+
+/// One `[name]` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    name: String,
+    entries: Vec<(String, String)>,
+}
+
+impl Section {
+    /// Section name (empty string for the leading unnamed section).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered entries.
+    pub fn entries(&self) -> &[(String, String)] {
+        &self.entries
+    }
+}
+
+fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(value: &str, line: usize) -> Result<String> {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                return Err(Error::Meta {
+                    line,
+                    msg: format!("unknown escape sequence \\{other}"),
+                })
+            }
+            None => {
+                return Err(Error::Meta {
+                    line,
+                    msg: "dangling backslash at end of value".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl MetaDoc {
+    /// Create an empty document.
+    pub fn new() -> Self {
+        MetaDoc::default()
+    }
+
+    /// Append `key = value` to `section`, creating the section if needed.
+    ///
+    /// Repeated keys accumulate (they are how per-rank lists are stored).
+    ///
+    /// # Panics
+    /// Panics if `key` contains characters outside `[A-Za-z0-9_.-]` — keys
+    /// are chosen by this codebase, so a bad key is a programming error.
+    pub fn append(&mut self, section: &str, key: &str, value: impl Into<String>) {
+        assert!(valid_key(key), "invalid metadata key: {key:?}");
+        let sec = match self.sections.iter_mut().find(|s| s.name == section) {
+            Some(s) => s,
+            None => {
+                self.sections.push(Section {
+                    name: section.to_string(),
+                    entries: Vec::new(),
+                });
+                self.sections.last_mut().expect("just pushed")
+            }
+        };
+        sec.entries.push((key.to_string(), value.into()));
+    }
+
+    /// Replace all occurrences of `key` in `section` with a single value.
+    pub fn set(&mut self, section: &str, key: &str, value: impl Into<String>) {
+        if let Some(sec) = self.sections.iter_mut().find(|s| s.name == section) {
+            sec.entries.retain(|(k, _)| k != key);
+        }
+        self.append(section, key, value);
+    }
+
+    /// First value of `key` in `section`, if present.
+    pub fn get(&self, section: &str, key: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|s| s.name == section)?
+            .entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `key` in `section`, in insertion order.
+    pub fn get_all(&self, section: &str, key: &str) -> Vec<&str> {
+        self.sections
+            .iter()
+            .filter(|s| s.name == section)
+            .flat_map(|s| s.entries.iter())
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Parse `key`'s first value in `section` as the given type.
+    pub fn get_parsed<T: std::str::FromStr>(&self, section: &str, key: &str) -> Option<T> {
+        self.get(section, key)?.parse().ok()
+    }
+
+    /// Required string accessor with a contextual error.
+    pub fn require(&self, section: &str, key: &str) -> Result<&str> {
+        self.get(section, key).ok_or_else(|| Error::Meta {
+            line: 0,
+            msg: format!("missing required key [{section}] {key}"),
+        })
+    }
+
+    /// All sections in order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Collect a section's entries into a map (last value wins for dups).
+    pub fn section_map(&self, section: &str) -> BTreeMap<String, String> {
+        self.sections
+            .iter()
+            .filter(|s| s.name == section)
+            .flat_map(|s| s.entries.iter().cloned())
+            .collect()
+    }
+
+    /// Parse a metadata document from text.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut doc = MetaDoc::new();
+        let mut current = String::new();
+        let mut seen_any_in_current = false;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest.strip_suffix(']').ok_or_else(|| Error::Meta {
+                    line: lineno,
+                    msg: "section header missing closing ']'".into(),
+                })?;
+                current = name.trim().to_string();
+                // Materialize empty sections so parse/print round-trips.
+                if !doc.sections.iter().any(|s| s.name == current) {
+                    doc.sections.push(Section {
+                        name: current.clone(),
+                        entries: Vec::new(),
+                    });
+                }
+                seen_any_in_current = true;
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| Error::Meta {
+                line: lineno,
+                msg: format!("expected 'key = value', got {line:?}"),
+            })?;
+            let key = key.trim();
+            if !valid_key(key) {
+                return Err(Error::Meta {
+                    line: lineno,
+                    msg: format!("invalid key {key:?}"),
+                });
+            }
+            let value = unescape(value.trim(), lineno)?;
+            doc.append(&current, key, value);
+            let _ = seen_any_in_current;
+        }
+        Ok(doc)
+    }
+
+    /// Render the document to text (inverse of [`MetaDoc::parse`]).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for MetaDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, sec) in self.sections.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            if !sec.name.is_empty() {
+                writeln!(f, "[{}]", sec.name)?;
+            }
+            for (k, v) in &sec.entries {
+                writeln!(f, "{k} = {}", escape(v))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetaDoc {
+        let mut doc = MetaDoc::new();
+        doc.append("snapshot", "crs", "blcr_sim");
+        doc.append("snapshot", "interval", "3");
+        doc.append("process", "rank", "0");
+        doc.append("process", "hostname", "node00");
+        doc
+    }
+
+    #[test]
+    fn get_and_get_all() {
+        let mut doc = sample();
+        doc.append("ranks", "local_ref", "opal_snapshot_0.ckpt");
+        doc.append("ranks", "local_ref", "opal_snapshot_1.ckpt");
+        assert_eq!(doc.get("snapshot", "crs"), Some("blcr_sim"));
+        assert_eq!(doc.get("snapshot", "missing"), None);
+        assert_eq!(doc.get("nope", "crs"), None);
+        assert_eq!(
+            doc.get_all("ranks", "local_ref"),
+            vec!["opal_snapshot_0.ckpt", "opal_snapshot_1.ckpt"]
+        );
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut doc = sample();
+        doc.append("snapshot", "interval", "4");
+        doc.set("snapshot", "interval", "5");
+        assert_eq!(doc.get_all("snapshot", "interval"), vec!["5"]);
+    }
+
+    #[test]
+    fn parse_print_roundtrip() {
+        let doc = sample();
+        let text = doc.render();
+        let back = MetaDoc::parse(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn multiline_value_roundtrip() {
+        let mut doc = MetaDoc::new();
+        doc.append("launch", "cmdline", "mpirun -np 4 \\\n  ./app");
+        doc.append("launch", "note", "back\\slash and\nnewline\r");
+        let back = MetaDoc::parse(&doc.render()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\n\n[s]\n# inner\nk = v\n";
+        let doc = MetaDoc::parse(text).unwrap();
+        assert_eq!(doc.get("s", "k"), Some("v"));
+    }
+
+    #[test]
+    fn unnamed_leading_section() {
+        let text = "top = 1\n[s]\nk = v\n";
+        let doc = MetaDoc::parse(text).unwrap();
+        assert_eq!(doc.get("", "top"), Some("1"));
+    }
+
+    #[test]
+    fn value_may_contain_equals() {
+        let doc = MetaDoc::parse("[s]\nk = a=b=c\n").unwrap();
+        assert_eq!(doc.get("s", "k"), Some("a=b=c"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = MetaDoc::parse("[s]\nnot a kv line\n").unwrap_err();
+        match err {
+            Error::Meta { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = MetaDoc::parse("[unterminated\n").unwrap_err();
+        assert!(matches!(err, Error::Meta { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_escape_rejected() {
+        assert!(MetaDoc::parse("[s]\nk = bad\\q\n").is_err());
+        assert!(MetaDoc::parse("[s]\nk = dangling\\\n").is_err());
+    }
+
+    #[test]
+    fn get_parsed_types() {
+        let doc = sample();
+        assert_eq!(doc.get_parsed::<u64>("snapshot", "interval"), Some(3));
+        assert_eq!(doc.get_parsed::<u64>("snapshot", "crs"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metadata key")]
+    fn invalid_key_panics_on_append() {
+        let mut doc = MetaDoc::new();
+        doc.append("s", "bad key", "v");
+    }
+
+    #[test]
+    fn empty_section_roundtrips() {
+        let doc = MetaDoc::parse("[empty]\n[full]\nk = v\n").unwrap();
+        let back = MetaDoc::parse(&doc.render()).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.sections().len(), 2);
+    }
+
+    #[test]
+    fn section_map_last_wins() {
+        let mut doc = MetaDoc::new();
+        doc.append("s", "k", "1");
+        doc.append("s", "k", "2");
+        let map = doc.section_map("s");
+        assert_eq!(map.get("k").map(String::as_str), Some("2"));
+    }
+
+    #[test]
+    fn require_reports_missing_key() {
+        let doc = sample();
+        assert!(doc.require("snapshot", "crs").is_ok());
+        let err = doc.require("snapshot", "zzz").unwrap_err();
+        assert!(err.to_string().contains("zzz"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Common error type for checkpoint/restart operations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ids::Rank;
+use crate::state::FtEventState;
+
+/// Errors surfaced by checkpoint/restart operations across all layers.
+#[derive(Debug, Clone)]
+pub enum CrError {
+    /// Checkpointing is currently disabled for this process (outside the
+    /// `MPI_Init`..`MPI_Finalize` window, or inside a critical section).
+    CheckpointDisabled {
+        /// Human-readable reason the window is closed.
+        reason: String,
+    },
+    /// One or more processes declared themselves non-checkpointable, so the
+    /// whole request was refused without affecting any process (paper §5.1).
+    NotCheckpointable {
+        /// The ranks that refused.
+        ranks: Vec<Rank>,
+    },
+    /// A subsystem's `ft_event` handler failed.
+    FtEventFailed {
+        /// Which subsystem failed.
+        subsystem: String,
+        /// The state being delivered when it failed.
+        state: FtEventState,
+        /// Failure detail.
+        detail: String,
+    },
+    /// An I/O problem while reading or writing snapshot data.
+    Io {
+        /// Operation context (path or description).
+        context: String,
+        /// OS error string.
+        detail: String,
+    },
+    /// Snapshot data failed to decode (corruption, version skew).
+    Codec(codec::Error),
+    /// A snapshot reference was structurally invalid.
+    BadSnapshot {
+        /// Description of what is wrong with the reference.
+        detail: String,
+    },
+    /// The requested component/protocol cannot satisfy the request.
+    Unsupported {
+        /// Description of the unsupported operation.
+        detail: String,
+    },
+    /// A peer process or daemon died or was unreachable mid-protocol.
+    PeerLost {
+        /// Description of which peer and during what.
+        detail: String,
+    },
+    /// An internal invariant was violated (reported, not panicked, so a
+    /// failed checkpoint never kills a healthy job).
+    Protocol {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl CrError {
+    /// Convenience constructor for I/O errors with a path context.
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        CrError::Io {
+            context: context.into(),
+            detail: err.to_string(),
+        }
+    }
+
+    /// Convenience constructor for protocol violations.
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        CrError::Protocol {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrError::CheckpointDisabled { reason } => {
+                write!(f, "checkpointing is disabled: {reason}")
+            }
+            CrError::NotCheckpointable { ranks } => {
+                let list: Vec<String> = ranks.iter().map(|r| r.to_string()).collect();
+                write!(
+                    f,
+                    "request refused: rank(s) {} are not checkpointable; no process was affected",
+                    list.join(", ")
+                )
+            }
+            CrError::FtEventFailed {
+                subsystem,
+                state,
+                detail,
+            } => write!(f, "{subsystem} ft_event({state}) failed: {detail}"),
+            CrError::Io { context, detail } => write!(f, "I/O error ({context}): {detail}"),
+            CrError::Codec(e) => write!(f, "snapshot decode error: {e}"),
+            CrError::BadSnapshot { detail } => write!(f, "bad snapshot reference: {detail}"),
+            CrError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+            CrError::PeerLost { detail } => write!(f, "peer lost: {detail}"),
+            CrError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CrError {}
+
+impl From<codec::Error> for CrError {
+    fn from(e: codec::Error) -> Self {
+        CrError::Codec(e)
+    }
+}
+
+/// Shared-ownership error wrapper so one failure can be reported to many
+/// waiting parties (e.g. every local coordinator of a failed global request).
+pub type SharedCrError = Arc<CrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_checkpointable_lists_ranks() {
+        let e = CrError::NotCheckpointable {
+            ranks: vec![Rank(1), Rank(3)],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1, 3"));
+        assert!(msg.contains("no process was affected"));
+    }
+
+    #[test]
+    fn io_constructor() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = CrError::io("/snap/meta", &ioe);
+        let msg = e.to_string();
+        assert!(msg.contains("/snap/meta"));
+        assert!(msg.contains("gone"));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let e: CrError = codec::Error::TrailingBytes { remaining: 3 }.into();
+        assert!(e.to_string().contains("decode"));
+    }
+
+    #[test]
+    fn ft_event_failure_names_subsystem_and_state() {
+        let e = CrError::FtEventFailed {
+            subsystem: "pml".into(),
+            state: FtEventState::Checkpoint,
+            detail: "busy".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("pml"));
+        assert!(msg.contains("checkpoint"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Checkpoint request/outcome types shared by the API and the tools.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+/// Who initiated a checkpoint request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointOrigin {
+    /// Asynchronous: a command line tool / scheduler outside the job
+    /// (`ompi-checkpoint`).
+    Tool,
+    /// Synchronous: an application rank called the checkpoint API.
+    Application {
+        /// The requesting rank.
+        rank: u32,
+    },
+}
+
+impl fmt::Display for CheckpointOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointOrigin::Tool => f.write_str("tool"),
+            CheckpointOrigin::Application { rank } => write!(f, "rank {rank}"),
+        }
+    }
+}
+
+/// Options accompanying a checkpoint request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointOptions {
+    /// Terminate the job once the global snapshot is on stable storage
+    /// ("checkpoint and terminate" — used before scheduled maintenance).
+    pub terminate: bool,
+    /// Who asked.
+    pub origin: CheckpointOrigin,
+}
+
+impl Default for CheckpointOptions {
+    fn default() -> Self {
+        CheckpointOptions {
+            terminate: false,
+            origin: CheckpointOrigin::Tool,
+        }
+    }
+}
+
+impl CheckpointOptions {
+    /// Tool-initiated request with default flags.
+    pub fn tool() -> Self {
+        Self::default()
+    }
+
+    /// Application-initiated (synchronous) request from `rank`.
+    pub fn from_rank(rank: u32) -> Self {
+        CheckpointOptions {
+            terminate: false,
+            origin: CheckpointOrigin::Application { rank },
+        }
+    }
+
+    /// Request checkpoint-and-terminate.
+    pub fn and_terminate(mut self) -> Self {
+        self.terminate = true;
+        self
+    }
+}
+
+/// Result of a successful distributed checkpoint: the single name the user
+/// must preserve (paper §4), plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// Path of the global snapshot reference directory on stable storage.
+    pub global_snapshot: PathBuf,
+    /// The checkpoint interval this request produced.
+    pub interval: u64,
+    /// Number of local snapshots aggregated.
+    pub ranks: u32,
+}
+
+impl fmt::Display for CheckpointOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "global snapshot {} (interval {}, {} ranks)",
+            self.global_snapshot.display(),
+            self.interval,
+            self.ranks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_builders() {
+        let o = CheckpointOptions::tool();
+        assert!(!o.terminate);
+        assert_eq!(o.origin, CheckpointOrigin::Tool);
+        let o = CheckpointOptions::from_rank(3).and_terminate();
+        assert!(o.terminate);
+        assert_eq!(o.origin, CheckpointOrigin::Application { rank: 3 });
+        assert_eq!(o.origin.to_string(), "rank 3");
+    }
+
+    #[test]
+    fn outcome_display() {
+        let out = CheckpointOutcome {
+            global_snapshot: PathBuf::from("/stable/ompi_global_snapshot_1.ckpt"),
+            interval: 2,
+            ranks: 8,
+        };
+        let s = out.to_string();
+        assert!(s.contains("interval 2"));
+        assert!(s.contains("8 ranks"));
+    }
+
+    #[test]
+    fn options_serde_roundtrip() {
+        let o = CheckpointOptions::from_rank(1).and_terminate();
+        let bytes = codec::to_bytes(&o).unwrap();
+        let back: CheckpointOptions = codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, o);
+    }
+}

@@ -1,0 +1,544 @@
+//! Local and global snapshot references (paper §4).
+//!
+//! A *snapshot reference* is a single named directory that stands for a
+//! checkpoint. Users preserve the directory; everything else — which
+//! checkpointer produced which files, what the original launch parameters
+//! were, which rank ran where — lives in metadata files inside it. This is
+//! the paper's answer to earlier systems that made users track raw
+//! checkpointer files and re-type the original `mpirun` arguments at
+//! restart time.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! <stable-storage>/ompi_global_snapshot_<jobid>.ckpt/       # global reference
+//!   global_snapshot_meta.data
+//!   <interval>/                                             # one per checkpoint
+//!     opal_snapshot_<rank>.ckpt/                            # local reference
+//!       snapshot_meta.data
+//!       <context file named by the CRS component>
+//! ```
+//!
+//! Interval numbers are monotone per global reference; a restarted job
+//! continues numbering past the interval it was restored from (invariant 5
+//! in DESIGN.md).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use codec::MetaDoc;
+
+use crate::error::CrError;
+use crate::ids::{JobId, Rank};
+
+/// Name of the metadata file inside a local snapshot directory.
+pub const LOCAL_META_FILE: &str = "snapshot_meta.data";
+/// Name of the metadata file inside a global snapshot directory.
+pub const GLOBAL_META_FILE: &str = "global_snapshot_meta.data";
+/// Default context file name used by CRS components.
+pub const DEFAULT_CONTEXT_FILE: &str = "ompi_context.bin";
+
+/// Directory name of a global snapshot reference for `job`.
+pub fn global_dir_name(job: JobId) -> String {
+    format!("ompi_global_snapshot_{}.ckpt", job.0)
+}
+
+/// Directory name of a local snapshot reference for `rank`.
+pub fn local_dir_name(rank: Rank) -> String {
+    format!("opal_snapshot_{}.ckpt", rank.0)
+}
+
+fn read_meta(path: &Path) -> Result<MetaDoc, CrError> {
+    let text = fs::read_to_string(path).map_err(|e| CrError::io(path.display().to_string(), &e))?;
+    MetaDoc::parse(&text).map_err(CrError::from)
+}
+
+fn write_meta(path: &Path, meta: &MetaDoc) -> Result<(), CrError> {
+    fs::write(path, meta.render()).map_err(|e| CrError::io(path.display().to_string(), &e))
+}
+
+// ---------------------------------------------------------------------------
+// Local snapshot reference
+// ---------------------------------------------------------------------------
+
+/// A single-process snapshot: directory + metadata + one context file.
+#[derive(Debug, Clone)]
+pub struct LocalSnapshot {
+    dir: PathBuf,
+    meta: MetaDoc,
+}
+
+impl LocalSnapshot {
+    /// Create a fresh local snapshot directory under `parent`.
+    ///
+    /// `crs_component` is recorded so restart can instantiate the same
+    /// checkpointer, whatever the restart-time selection parameters say.
+    pub fn create(
+        parent: &Path,
+        rank: Rank,
+        crs_component: &str,
+        interval: u64,
+        hostname: &str,
+    ) -> Result<Self, CrError> {
+        let dir = parent.join(local_dir_name(rank));
+        fs::create_dir_all(&dir).map_err(|e| CrError::io(dir.display().to_string(), &e))?;
+        let mut meta = MetaDoc::new();
+        meta.set("snapshot", "crs", crs_component);
+        meta.set("snapshot", "interval", interval.to_string());
+        meta.set("snapshot", "context_file", DEFAULT_CONTEXT_FILE);
+        meta.set("process", "rank", rank.0.to_string());
+        meta.set("process", "hostname", hostname);
+        let snap = LocalSnapshot { dir, meta };
+        snap.save_meta()?;
+        Ok(snap)
+    }
+
+    /// Open an existing local snapshot directory.
+    pub fn open(dir: &Path) -> Result<Self, CrError> {
+        let meta_path = dir.join(LOCAL_META_FILE);
+        if !meta_path.is_file() {
+            return Err(CrError::BadSnapshot {
+                detail: format!(
+                    "{} is not a local snapshot reference (missing {LOCAL_META_FILE})",
+                    dir.display()
+                ),
+            });
+        }
+        let meta = read_meta(&meta_path)?;
+        let snap = LocalSnapshot {
+            dir: dir.to_path_buf(),
+            meta,
+        };
+        // Validate the required keys up front so later accessors are
+        // infallible.
+        snap.meta.require("snapshot", "crs")?;
+        snap.meta.require("process", "rank")?;
+        Ok(snap)
+    }
+
+    /// Directory of this reference.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Which CRS component produced this snapshot.
+    pub fn crs_component(&self) -> &str {
+        self.meta.get("snapshot", "crs").expect("validated on open")
+    }
+
+    /// Rank this snapshot images.
+    pub fn rank(&self) -> Rank {
+        Rank(self
+            .meta
+            .get_parsed("process", "rank")
+            .expect("validated on open"))
+    }
+
+    /// Checkpoint interval this snapshot belongs to.
+    pub fn interval(&self) -> u64 {
+        self.meta.get_parsed("snapshot", "interval").unwrap_or(0)
+    }
+
+    /// Hostname the process ran on when checkpointed.
+    pub fn hostname(&self) -> Option<&str> {
+        self.meta.get("process", "hostname")
+    }
+
+    /// Path of the binary context file.
+    pub fn context_path(&self) -> PathBuf {
+        let name = self
+            .meta
+            .get("snapshot", "context_file")
+            .unwrap_or(DEFAULT_CONTEXT_FILE);
+        self.dir.join(name)
+    }
+
+    /// Write the process image, wrapped in a checksummed frame.
+    pub fn write_context(&self, payload: &[u8]) -> Result<(), CrError> {
+        let path = self.context_path();
+        fs::write(&path, codec::write_frame(payload))
+            .map_err(|e| CrError::io(path.display().to_string(), &e))
+    }
+
+    /// Read and validate the process image.
+    pub fn read_context(&self) -> Result<Vec<u8>, CrError> {
+        let path = self.context_path();
+        let raw = fs::read(&path).map_err(|e| CrError::io(path.display().to_string(), &e))?;
+        Ok(codec::read_frame(&raw)?.to_vec())
+    }
+
+    /// Record an application/checkpointer-specific parameter.
+    pub fn set_param(&mut self, key: &str, value: &str) -> Result<(), CrError> {
+        self.meta.set("params", key, value);
+        self.save_meta()
+    }
+
+    /// Read back a parameter set with [`LocalSnapshot::set_param`].
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.meta.get("params", key)
+    }
+
+    /// Total size of the snapshot on disk (context + metadata), in bytes.
+    pub fn size_bytes(&self) -> Result<u64, CrError> {
+        let mut total = 0;
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| CrError::io(self.dir.display().to_string(), &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CrError::io(self.dir.display().to_string(), &e))?;
+            let md = entry
+                .metadata()
+                .map_err(|e| CrError::io(self.dir.display().to_string(), &e))?;
+            if md.is_file() {
+                total += md.len();
+            }
+        }
+        Ok(total)
+    }
+
+    fn save_meta(&self) -> Result<(), CrError> {
+        write_meta(&self.dir.join(LOCAL_META_FILE), &self.meta)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global snapshot reference
+// ---------------------------------------------------------------------------
+
+/// A job-wide snapshot: a directory aggregating one local snapshot per rank
+/// for each checkpoint interval, plus job-level metadata.
+#[derive(Debug, Clone)]
+pub struct GlobalSnapshot {
+    dir: PathBuf,
+    meta: MetaDoc,
+}
+
+impl GlobalSnapshot {
+    /// Create a fresh global snapshot reference for `job` under `base`.
+    pub fn create(base: &Path, job: JobId, nprocs: u32) -> Result<Self, CrError> {
+        let dir = base.join(global_dir_name(job));
+        fs::create_dir_all(&dir).map_err(|e| CrError::io(dir.display().to_string(), &e))?;
+        let mut meta = MetaDoc::new();
+        meta.set("global", "jobid", job.0.to_string());
+        meta.set("global", "nprocs", nprocs.to_string());
+        let snap = GlobalSnapshot { dir, meta };
+        snap.save_meta()?;
+        Ok(snap)
+    }
+
+    /// Open an existing global snapshot reference.
+    pub fn open(dir: &Path) -> Result<Self, CrError> {
+        let meta_path = dir.join(GLOBAL_META_FILE);
+        if !meta_path.is_file() {
+            return Err(CrError::BadSnapshot {
+                detail: format!(
+                    "{} is not a global snapshot reference (missing {GLOBAL_META_FILE})",
+                    dir.display()
+                ),
+            });
+        }
+        let meta = read_meta(&meta_path)?;
+        let snap = GlobalSnapshot {
+            dir: dir.to_path_buf(),
+            meta,
+        };
+        snap.meta.require("global", "jobid")?;
+        snap.meta.require("global", "nprocs")?;
+        Ok(snap)
+    }
+
+    /// Directory of this reference.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The job this snapshot belongs to.
+    pub fn job(&self) -> JobId {
+        JobId(self
+            .meta
+            .get_parsed("global", "jobid")
+            .expect("validated on open"))
+    }
+
+    /// Number of ranks in the job.
+    pub fn nprocs(&self) -> u32 {
+        self.meta
+            .get_parsed("global", "nprocs")
+            .expect("validated on open")
+    }
+
+    /// Committed intervals, ascending.
+    pub fn intervals(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .meta
+            .get_all("global", "interval")
+            .into_iter()
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Most recent committed interval.
+    pub fn latest_interval(&self) -> Option<u64> {
+        self.intervals().into_iter().max()
+    }
+
+    /// Directory of one interval's local snapshots.
+    pub fn interval_dir(&self, interval: u64) -> PathBuf {
+        self.dir.join(interval.to_string())
+    }
+
+    /// Start a new interval: allocates the next number (monotone past both
+    /// committed intervals and any the job was restored from) and creates
+    /// its directory. The interval is invisible to readers until
+    /// [`GlobalSnapshot::commit_interval`] runs — a crash mid-checkpoint
+    /// must never leave a half-written interval looking restorable.
+    pub fn begin_interval(&mut self) -> Result<(u64, PathBuf), CrError> {
+        let next = self
+            .latest_interval()
+            .map(|n| n + 1)
+            .unwrap_or_else(|| self.resume_floor());
+        let dir = self.interval_dir(next);
+        fs::create_dir_all(&dir).map_err(|e| CrError::io(dir.display().to_string(), &e))?;
+        Ok((next, dir))
+    }
+
+    /// Record that a restarted job resumed from interval `n` of another
+    /// snapshot: future intervals number from `n + 1`.
+    pub fn set_resume_floor(&mut self, resumed_from: u64) -> Result<(), CrError> {
+        self.meta
+            .set("global", "resume_floor", (resumed_from + 1).to_string());
+        self.save_meta()
+    }
+
+    fn resume_floor(&self) -> u64 {
+        self.meta.get_parsed("global", "resume_floor").unwrap_or(0)
+    }
+
+    /// Commit an interval: record each rank's local reference and hostname
+    /// in the metadata and persist it. Only committed intervals are
+    /// restorable.
+    pub fn commit_interval(
+        &mut self,
+        interval: u64,
+        ranks: &[(Rank, String)],
+    ) -> Result<(), CrError> {
+        let section = format!("interval_{interval}");
+        for (rank, hostname) in ranks {
+            self.meta
+                .append(&section, &format!("rank_{}_ref", rank.0), local_dir_name(*rank));
+            self.meta
+                .append(&section, &format!("rank_{}_host", rank.0), hostname.clone());
+        }
+        self.meta.append("global", "interval", interval.to_string());
+        self.save_meta()
+    }
+
+    /// Store the original launch parameters (MCA dump) so restart needs no
+    /// user-supplied configuration.
+    pub fn record_launch_params<'a>(
+        &mut self,
+        params: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<(), CrError> {
+        for (k, v) in params {
+            self.meta.set("launch", k, v);
+        }
+        self.save_meta()
+    }
+
+    /// Launch parameters recorded at checkpoint time.
+    pub fn launch_params(&self) -> Vec<(String, String)> {
+        self.meta
+            .sections()
+            .iter()
+            .filter(|s| s.name() == "launch")
+            .flat_map(|s| s.entries().iter().cloned())
+            .collect()
+    }
+
+    /// Hostname rank `rank` ran on in `interval` (its "last known" home).
+    pub fn rank_hostname(&self, interval: u64, rank: Rank) -> Option<&str> {
+        self.meta
+            .get(&format!("interval_{interval}"), &format!("rank_{}_host", rank.0))
+    }
+
+    /// Open one rank's local snapshot within `interval`.
+    pub fn local_snapshot(&self, interval: u64, rank: Rank) -> Result<LocalSnapshot, CrError> {
+        let section = format!("interval_{interval}");
+        let key = format!("rank_{}_ref", rank.0);
+        let rel = self.meta.get(&section, &key).ok_or(CrError::BadSnapshot {
+            detail: format!("interval {interval} has no local reference for rank {rank}"),
+        })?;
+        LocalSnapshot::open(&self.interval_dir(interval).join(rel))
+    }
+
+    /// Open every rank's local snapshot within `interval`, rank order.
+    pub fn local_snapshots(&self, interval: u64) -> Result<Vec<LocalSnapshot>, CrError> {
+        if !self.intervals().contains(&interval) {
+            return Err(CrError::BadSnapshot {
+                detail: format!("interval {interval} was never committed"),
+            });
+        }
+        (0..self.nprocs())
+            .map(|r| self.local_snapshot(interval, Rank(r)))
+            .collect()
+    }
+
+    /// Total on-disk footprint of one interval, in bytes.
+    pub fn interval_size_bytes(&self, interval: u64) -> Result<u64, CrError> {
+        self.local_snapshots(interval)?
+            .iter()
+            .map(|l| l.size_bytes())
+            .sum()
+    }
+
+    fn save_meta(&self) -> Result<(), CrError> {
+        write_meta(&self.dir.join(GLOBAL_META_FILE), &self.meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cr_core_snap_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn local_snapshot_lifecycle() {
+        let base = tmpdir("local");
+        let mut snap =
+            LocalSnapshot::create(&base, Rank(3), "blcr_sim", 2, "node01").unwrap();
+        snap.write_context(b"image bytes").unwrap();
+        snap.set_param("app_phase", "42").unwrap();
+
+        let reopened = LocalSnapshot::open(snap.dir()).unwrap();
+        assert_eq!(reopened.rank(), Rank(3));
+        assert_eq!(reopened.crs_component(), "blcr_sim");
+        assert_eq!(reopened.interval(), 2);
+        assert_eq!(reopened.hostname(), Some("node01"));
+        assert_eq!(reopened.param("app_phase"), Some("42"));
+        assert_eq!(reopened.read_context().unwrap(), b"image bytes");
+        assert!(reopened.size_bytes().unwrap() > 0);
+    }
+
+    #[test]
+    fn local_open_rejects_non_snapshot_dir() {
+        let base = tmpdir("notasnap");
+        let err = LocalSnapshot::open(&base).unwrap_err();
+        assert!(err.to_string().contains("snapshot_meta.data"));
+    }
+
+    #[test]
+    fn corrupted_context_detected() {
+        let base = tmpdir("corrupt");
+        let snap = LocalSnapshot::create(&base, Rank(0), "self", 0, "node00").unwrap();
+        snap.write_context(b"pristine state").unwrap();
+        // Flip a byte in the stored context file.
+        let path = snap.context_path();
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        fs::write(&path, raw).unwrap();
+        assert!(matches!(
+            snap.read_context(),
+            Err(CrError::Codec(codec::Error::ChecksumMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn global_snapshot_lifecycle() {
+        let base = tmpdir("global");
+        let mut global = GlobalSnapshot::create(&base, JobId(9), 2).unwrap();
+        global
+            .record_launch_params([("crs", "blcr_sim"), ("np", "2")])
+            .unwrap();
+
+        let (interval, dir) = global.begin_interval().unwrap();
+        assert_eq!(interval, 0);
+        for r in 0..2 {
+            let local =
+                LocalSnapshot::create(&dir, Rank(r), "blcr_sim", interval, "node00").unwrap();
+            local.write_context(format!("rank {r}").as_bytes()).unwrap();
+        }
+        global
+            .commit_interval(interval, &[(Rank(0), "node00".into()), (Rank(1), "node00".into())])
+            .unwrap();
+
+        let reopened = GlobalSnapshot::open(global.dir()).unwrap();
+        assert_eq!(reopened.job(), JobId(9));
+        assert_eq!(reopened.nprocs(), 2);
+        assert_eq!(reopened.intervals(), vec![0]);
+        assert_eq!(reopened.latest_interval(), Some(0));
+        let locals = reopened.local_snapshots(0).unwrap();
+        assert_eq!(locals.len(), 2);
+        assert_eq!(locals[1].read_context().unwrap(), b"rank 1");
+        assert_eq!(reopened.rank_hostname(0, Rank(1)), Some("node00"));
+        let params = reopened.launch_params();
+        assert!(params.contains(&("crs".to_string(), "blcr_sim".to_string())));
+        assert!(reopened.interval_size_bytes(0).unwrap() > 0);
+    }
+
+    #[test]
+    fn intervals_are_monotone() {
+        let base = tmpdir("intervals");
+        let mut global = GlobalSnapshot::create(&base, JobId(1), 1).unwrap();
+        for expected in 0..3 {
+            let (interval, dir) = global.begin_interval().unwrap();
+            assert_eq!(interval, expected);
+            LocalSnapshot::create(&dir, Rank(0), "self", interval, "node00").unwrap();
+            global
+                .commit_interval(interval, &[(Rank(0), "node00".into())])
+                .unwrap();
+        }
+        assert_eq!(global.intervals(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uncommitted_interval_is_invisible() {
+        let base = tmpdir("uncommitted");
+        let mut global = GlobalSnapshot::create(&base, JobId(1), 1).unwrap();
+        let (interval, _dir) = global.begin_interval().unwrap();
+        // Crash before commit: reopening must not list the interval.
+        let reopened = GlobalSnapshot::open(global.dir()).unwrap();
+        assert!(reopened.intervals().is_empty());
+        assert!(reopened.local_snapshots(interval).is_err());
+    }
+
+    #[test]
+    fn resume_floor_continues_numbering() {
+        let base = tmpdir("resume");
+        let mut global = GlobalSnapshot::create(&base, JobId(2), 1).unwrap();
+        global.set_resume_floor(4).unwrap();
+        let (interval, _) = global.begin_interval().unwrap();
+        assert_eq!(interval, 5, "restart resumes numbering past interval 4");
+    }
+
+    #[test]
+    fn missing_rank_reference_reported() {
+        let base = tmpdir("missingrank");
+        let mut global = GlobalSnapshot::create(&base, JobId(3), 2).unwrap();
+        let (interval, dir) = global.begin_interval().unwrap();
+        // Only rank 0 written and committed; rank 1 forgotten.
+        LocalSnapshot::create(&dir, Rank(0), "self", interval, "node00").unwrap();
+        global
+            .commit_interval(interval, &[(Rank(0), "node00".into())])
+            .unwrap();
+        let err = global.local_snapshots(interval).unwrap_err();
+        assert!(err.to_string().contains("rank 1"));
+    }
+
+    #[test]
+    fn dir_names_match_open_mpi_convention() {
+        assert_eq!(global_dir_name(JobId(42)), "ompi_global_snapshot_42.ckpt");
+        assert_eq!(local_dir_name(Rank(7)), "opal_snapshot_7.ckpt");
+    }
+}

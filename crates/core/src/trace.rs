@@ -1,0 +1,229 @@
+//! Thread-safe event tracer.
+//!
+//! The paper's Figures 1 and 2 are *orderings*: which coordinator talks to
+//! which, and in what sequence the INC stack fires. Tests reproduce those
+//! figures by recording named events through a [`Tracer`] and asserting on
+//! the sequence; benchmarks use the same records to attribute time to
+//! checkpoint phases.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone sequence number (global across threads for one tracer).
+    pub seq: u64,
+    /// Dot-separated phase name, e.g. `snapc.global.request`.
+    pub phase: String,
+    /// Free-form detail.
+    pub detail: String,
+    /// Nanoseconds since the tracer was created.
+    pub elapsed_ns: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:<4} {:<40} {}", self.seq, self.phase, self.detail)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// Cheap-to-clone shared event recorder.
+///
+/// # Examples
+///
+/// ```
+/// use cr_core::Tracer;
+///
+/// let tracer = Tracer::new();
+/// tracer.record("snapc.global.request", "interval 0");
+/// tracer.record("snapc.local.initiate", "node00");
+/// tracer.assert_order("snapc.global.request", "snapc.local.initiate");
+/// assert_eq!(tracer.count_prefix("snapc."), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Fresh tracer with an empty event list.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                start: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&self, phase: &str, detail: &str) {
+        let mut events = self.inner.events.lock();
+        let seq = events.len() as u64;
+        events.push(TraceEvent {
+            seq,
+            phase: phase.to_string(),
+            detail: detail.to_string(),
+            elapsed_ns: self.inner.start.elapsed().as_nanos() as u64,
+        });
+    }
+
+    /// Snapshot of all events so far, in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Phases only, in order (the common shape for ordering assertions).
+    pub fn phases(&self) -> Vec<String> {
+        self.inner
+            .events
+            .lock()
+            .iter()
+            .map(|e| e.phase.clone())
+            .collect()
+    }
+
+    /// Sequence number of the first event whose phase equals `phase`.
+    pub fn first_index_of(&self, phase: &str) -> Option<u64> {
+        self.inner
+            .events
+            .lock()
+            .iter()
+            .find(|e| e.phase == phase)
+            .map(|e| e.seq)
+    }
+
+    /// Assert that `earlier` occurs (first) before `later` (first).
+    ///
+    /// # Panics
+    /// Panics with a readable message when the ordering does not hold —
+    /// this is a test helper.
+    pub fn assert_order(&self, earlier: &str, later: &str) {
+        let a = self
+            .first_index_of(earlier)
+            .unwrap_or_else(|| panic!("phase {earlier:?} never recorded"));
+        let b = self
+            .first_index_of(later)
+            .unwrap_or_else(|| panic!("phase {later:?} never recorded"));
+        assert!(
+            a < b,
+            "expected {earlier:?} (#{a}) before {later:?} (#{b});\nfull trace:\n{}",
+            self.render()
+        );
+    }
+
+    /// Number of events whose phase starts with `prefix`.
+    pub fn count_prefix(&self, prefix: &str) -> usize {
+        self.inner
+            .events
+            .lock()
+            .iter()
+            .filter(|e| e.phase.starts_with(prefix))
+            .count()
+    }
+
+    /// Discard all recorded events.
+    pub fn clear(&self) {
+        self.inner.events.lock().clear();
+    }
+
+    /// Render the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let events = self.inner.events.lock();
+        let mut out = String::new();
+        for e in events.iter() {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_inspect() {
+        let t = Tracer::new();
+        t.record("a", "1");
+        t.record("b", "2");
+        t.record("a", "3");
+        assert_eq!(t.phases(), vec!["a", "b", "a"]);
+        assert_eq!(t.first_index_of("b"), Some(1));
+        assert_eq!(t.first_index_of("zzz"), None);
+        assert_eq!(t.count_prefix("a"), 2);
+        let events = t.events();
+        assert_eq!(events[2].detail, "3");
+        assert_eq!(events[2].seq, 2);
+    }
+
+    #[test]
+    fn order_assertion_passes_and_fails() {
+        let t = Tracer::new();
+        t.record("first", "");
+        t.record("second", "");
+        t.assert_order("first", "second");
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                t.assert_order("second", "first")
+            }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        t2.record("x", "");
+        assert_eq!(t.phases(), vec!["x"]);
+        t.clear();
+        assert!(t2.events().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let t = Tracer::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        t.record(&format!("thread{i}"), &j.to_string());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.events().len(), 800);
+        // Sequence numbers are unique and dense.
+        let mut seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..800).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn render_contains_phases() {
+        let t = Tracer::new();
+        t.record("snapc.global.request", "ckpt");
+        assert!(t.render().contains("snapc.global.request"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Framework/component registries with Open MPI selection semantics.
+//!
+//! A [`Framework`] is a named registry of component factories for one
+//! internal API (one Rust trait object type). Components carry a *priority*;
+//! the selection parameter — whose key is the framework name, e.g.
+//! `--mca crs blcr_sim` — controls which component is instantiated:
+//!
+//! * absent/empty → highest priority available component wins,
+//! * `name1,name2` → first name in the list that is registered wins,
+//! * `^name1,name2` → exclusion list; highest priority among the rest wins.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::params::McaParams;
+
+/// Factory signature: build a component instance from the parameter store.
+pub type Factory<C> = Arc<dyn Fn(&McaParams) -> Box<C> + Send + Sync>;
+
+/// One registered component.
+pub struct Registration<C: ?Sized> {
+    /// Component name used in selection parameters.
+    pub name: &'static str,
+    /// Selection priority when no explicit choice is made (higher wins).
+    pub priority: i32,
+    /// One-line description shown by `ompi_info`-style listings.
+    pub describe: &'static str,
+    factory: Factory<C>,
+}
+
+impl<C: ?Sized> Clone for Registration<C> {
+    fn clone(&self) -> Self {
+        Registration {
+            name: self.name,
+            priority: self.priority,
+            describe: self.describe,
+            factory: Arc::clone(&self.factory),
+        }
+    }
+}
+
+impl<C: ?Sized> fmt::Debug for Registration<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registration")
+            .field("name", &self.name)
+            .field("priority", &self.priority)
+            .finish()
+    }
+}
+
+/// Component selection failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// The framework has no registered components at all.
+    Empty {
+        /// Framework name.
+        framework: String,
+    },
+    /// An explicitly requested component name is not registered.
+    UnknownComponent {
+        /// Framework name.
+        framework: String,
+        /// The name that was requested.
+        requested: String,
+        /// Names that are registered.
+        available: Vec<&'static str>,
+    },
+    /// An exclusion list removed every component.
+    AllExcluded {
+        /// Framework name.
+        framework: String,
+    },
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::Empty { framework } => {
+                write!(f, "framework {framework:?} has no registered components")
+            }
+            SelectError::UnknownComponent {
+                framework,
+                requested,
+                available,
+            } => write!(
+                f,
+                "framework {framework:?} has no component {requested:?} (available: {})",
+                available.join(", ")
+            ),
+            SelectError::AllExcluded { framework } => write!(
+                f,
+                "exclusion list for framework {framework:?} removed every component"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// A typed component registry for one framework.
+///
+/// # Examples
+///
+/// ```
+/// use mca::{Framework, McaParams};
+///
+/// trait Checkpointer: Send { fn id(&self) -> &'static str; }
+/// struct Fast; impl Checkpointer for Fast { fn id(&self) -> &'static str { "fast" } }
+/// struct Safe; impl Checkpointer for Safe { fn id(&self) -> &'static str { "safe" } }
+///
+/// let mut fw: Framework<dyn Checkpointer> = Framework::new("ckpt");
+/// fw.register("fast", 20, "speed over coverage", |_| Box::new(Fast));
+/// fw.register("safe", 10, "coverage over speed", |_| Box::new(Safe));
+///
+/// let params = McaParams::new();
+/// assert_eq!(fw.select(&params).unwrap().id(), "fast"); // highest priority
+/// params.set("ckpt", "safe");                            // runtime override
+/// assert_eq!(fw.select(&params).unwrap().id(), "safe");
+/// ```
+pub struct Framework<C: ?Sized> {
+    name: &'static str,
+    components: Vec<Registration<C>>,
+}
+
+impl<C: ?Sized> fmt::Debug for Framework<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Framework")
+            .field("name", &self.name)
+            .field("components", &self.components)
+            .finish()
+    }
+}
+
+impl<C: ?Sized> Framework<C> {
+    /// Create an empty framework named `name`. The name doubles as the MCA
+    /// selection parameter key.
+    pub fn new(name: &'static str) -> Self {
+        Framework {
+            name,
+            components: Vec::new(),
+        }
+    }
+
+    /// Framework name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Register a component.
+    ///
+    /// # Panics
+    /// Panics on duplicate component names — component sets are assembled
+    /// at startup by this codebase, so a duplicate is a programming error.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        priority: i32,
+        describe: &'static str,
+        factory: impl Fn(&McaParams) -> Box<C> + Send + Sync + 'static,
+    ) -> &mut Self {
+        assert!(
+            self.components.iter().all(|c| c.name != name),
+            "duplicate component {name:?} in framework {:?}",
+            self.name
+        );
+        self.components.push(Registration {
+            name,
+            priority,
+            describe,
+            factory: Arc::new(factory),
+        });
+        self
+    }
+
+    /// All registered component names, highest priority first.
+    pub fn available(&self) -> Vec<&'static str> {
+        let mut regs: Vec<&Registration<C>> = self.components.iter().collect();
+        regs.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.name.cmp(b.name)));
+        regs.into_iter().map(|r| r.name).collect()
+    }
+
+    /// Registered component metadata (for `ompi_info`-style listings).
+    pub fn registrations(&self) -> &[Registration<C>] {
+        &self.components
+    }
+
+    /// Resolve which component the parameter store selects, without
+    /// instantiating it.
+    pub fn resolve(&self, params: &McaParams) -> Result<&Registration<C>, SelectError> {
+        if self.components.is_empty() {
+            return Err(SelectError::Empty {
+                framework: self.name.to_string(),
+            });
+        }
+        let directive = params.get(self.name).unwrap_or_default();
+        let directive = directive.trim();
+
+        if directive.is_empty() {
+            return Ok(self.highest(self.components.iter()));
+        }
+
+        if let Some(exclusions) = directive.strip_prefix('^') {
+            let excluded: Vec<&str> = exclusions.split(',').map(str::trim).collect();
+            // Unknown names in an exclusion list are diagnosed: excluding a
+            // component that does not exist is almost always a typo.
+            for name in &excluded {
+                if !self.components.iter().any(|c| c.name == *name) {
+                    return Err(SelectError::UnknownComponent {
+                        framework: self.name.to_string(),
+                        requested: (*name).to_string(),
+                        available: self.available(),
+                    });
+                }
+            }
+            let survivors: Vec<&Registration<C>> = self
+                .components
+                .iter()
+                .filter(|c| !excluded.contains(&c.name))
+                .collect();
+            if survivors.is_empty() {
+                return Err(SelectError::AllExcluded {
+                    framework: self.name.to_string(),
+                });
+            }
+            return Ok(self.highest(survivors.into_iter()));
+        }
+
+        // Preference list: first registered name wins.
+        for want in directive.split(',').map(str::trim) {
+            if let Some(reg) = self.components.iter().find(|c| c.name == want) {
+                return Ok(reg);
+            }
+        }
+        Err(SelectError::UnknownComponent {
+            framework: self.name.to_string(),
+            requested: directive.to_string(),
+            available: self.available(),
+        })
+    }
+
+    /// Select and instantiate a component per the parameter store.
+    pub fn select(&self, params: &McaParams) -> Result<Box<C>, SelectError> {
+        let reg = self.resolve(params)?;
+        Ok((reg.factory)(params))
+    }
+
+    /// Instantiate a component by exact name (used by restart paths where
+    /// the snapshot metadata records which component produced the snapshot).
+    pub fn instantiate(&self, name: &str, params: &McaParams) -> Result<Box<C>, SelectError> {
+        let reg = self
+            .components
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| SelectError::UnknownComponent {
+                framework: self.name.to_string(),
+                requested: name.to_string(),
+                available: self.available(),
+            })?;
+        Ok((reg.factory)(params))
+    }
+
+    fn highest<'a>(&self, regs: impl Iterator<Item = &'a Registration<C>>) -> &'a Registration<C>
+    where
+        C: 'a,
+    {
+        regs.max_by(|a, b| {
+            a.priority
+                .cmp(&b.priority)
+                .then_with(|| b.name.cmp(a.name))
+        })
+        .expect("caller guarantees non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Greeter: Send {
+        fn greet(&self) -> String;
+    }
+
+    struct Fixed(&'static str);
+    impl Greeter for Fixed {
+        fn greet(&self) -> String {
+            self.0.to_string()
+        }
+    }
+
+    fn test_framework() -> Framework<dyn Greeter> {
+        let mut fw: Framework<dyn Greeter> = Framework::new("greet");
+        fw.register("alpha", 10, "alpha greeter", |_| Box::new(Fixed("alpha")));
+        fw.register("beta", 20, "beta greeter", |_| Box::new(Fixed("beta")));
+        fw.register("gamma", 20, "gamma greeter", |_| Box::new(Fixed("gamma")));
+        fw
+    }
+
+    #[test]
+    fn default_selection_is_highest_priority() {
+        let fw = test_framework();
+        let params = McaParams::new();
+        // beta and gamma tie at 20; name order breaks the tie (beta < gamma).
+        assert_eq!(fw.select(&params).unwrap().greet(), "beta");
+    }
+
+    #[test]
+    fn explicit_name_wins() {
+        let fw = test_framework();
+        let params = McaParams::new();
+        params.set("greet", "alpha");
+        assert_eq!(fw.select(&params).unwrap().greet(), "alpha");
+    }
+
+    #[test]
+    fn preference_list_takes_first_registered() {
+        let fw = test_framework();
+        let params = McaParams::new();
+        params.set("greet", "zeta, alpha, beta");
+        assert_eq!(fw.select(&params).unwrap().greet(), "alpha");
+    }
+
+    #[test]
+    fn exclusion_list() {
+        let fw = test_framework();
+        let params = McaParams::new();
+        params.set("greet", "^beta,gamma");
+        assert_eq!(fw.select(&params).unwrap().greet(), "alpha");
+    }
+
+    #[test]
+    fn excluding_everything_is_an_error() {
+        let fw = test_framework();
+        let params = McaParams::new();
+        params.set("greet", "^alpha,beta,gamma");
+        assert!(matches!(
+            fw.select(&params),
+            Err(SelectError::AllExcluded { .. })
+        ));
+    }
+
+    #[test]
+    fn excluding_unknown_is_an_error() {
+        let fw = test_framework();
+        let params = McaParams::new();
+        params.set("greet", "^delta");
+        assert!(matches!(
+            fw.select(&params),
+            Err(SelectError::UnknownComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_component_lists_available() {
+        let fw = test_framework();
+        let params = McaParams::new();
+        params.set("greet", "nope");
+        let err = match fw.select(&params) {
+            Err(e) => e,
+            Ok(_) => panic!("selection must fail"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("nope"));
+        assert!(msg.contains("alpha"));
+        assert!(msg.contains("beta"));
+    }
+
+    #[test]
+    fn empty_framework_is_an_error() {
+        let fw: Framework<dyn Greeter> = Framework::new("empty");
+        assert!(matches!(
+            fw.select(&McaParams::new()),
+            Err(SelectError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn instantiate_by_name_for_restart() {
+        let fw = test_framework();
+        let params = McaParams::new();
+        // Selection parameter says beta, but restart metadata says alpha.
+        params.set("greet", "beta");
+        assert_eq!(fw.instantiate("alpha", &params).unwrap().greet(), "alpha");
+        assert!(fw.instantiate("missing", &params).is_err());
+    }
+
+    #[test]
+    fn available_sorted_by_priority() {
+        let fw = test_framework();
+        assert_eq!(fw.available(), vec!["beta", "gamma", "alpha"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component")]
+    fn duplicate_registration_panics() {
+        let mut fw: Framework<dyn Greeter> = Framework::new("greet");
+        fw.register("alpha", 1, "", |_| Box::new(Fixed("a")));
+        fw.register("alpha", 2, "", |_| Box::new(Fixed("b")));
+    }
+
+    #[test]
+    fn factories_see_params() {
+        struct FromParam(String);
+        impl Greeter for FromParam {
+            fn greet(&self) -> String {
+                self.0.clone()
+            }
+        }
+        let mut fw: Framework<dyn Greeter> = Framework::new("greet");
+        fw.register("custom", 1, "", |p: &McaParams| {
+            Box::new(FromParam(p.get("greet_custom_word").unwrap_or_default()))
+        });
+        let params = McaParams::new();
+        params.set("greet_custom_word", "hello");
+        assert_eq!(fw.select(&params).unwrap().greet(), "hello");
+    }
+}

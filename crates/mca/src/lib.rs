@@ -1,0 +1,30 @@
+//! Modular Component Architecture (MCA).
+//!
+//! Open MPI defines internal APIs called *frameworks* (e.g. the process
+//! launch framework, the checkpoint/restart service framework); each
+//! framework has one or more *components* (e.g. the `SLURM` and `RSH`
+//! components of the launch framework) that are **selected at runtime**.
+//! This crate reproduces that machinery:
+//!
+//! * [`McaParams`] — the runtime parameter store (`--mca key value` on the
+//!   command line, config files, programmatic defaults), with provenance
+//!   tracking so later sources override earlier ones predictably.
+//! * [`Framework`] — a typed registry of components for one framework.
+//!   Selection follows Open MPI's rules: an explicit parameter names the
+//!   component(s) to use (comma list = preference order, leading `^` =
+//!   exclusion list); otherwise the highest-priority component wins.
+//!
+//! The checkpoint/restart paper leans on exactly this property: "The
+//! modular design also allows for multiple implementations of a task to be
+//! interchangeable at runtime" — the component-matrix integration test (E5
+//! in DESIGN.md) swaps every CRS × CRCP × SNAPC × FILEM combination through
+//! these registries without recompiling callers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod framework;
+pub mod params;
+
+pub use framework::{Framework, Registration, SelectError};
+pub use params::{McaParams, ParamSource};

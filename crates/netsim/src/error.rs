@@ -1,0 +1,40 @@
+//! Fabric error type.
+
+use std::fmt;
+
+use crate::fabric::EndpointId;
+
+/// Errors surfaced by the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination endpoint was never registered or has been killed.
+    Unreachable {
+        /// Destination that could not be reached.
+        dst: EndpointId,
+    },
+    /// The sending endpoint has been killed (a dead process cannot send).
+    SenderDead {
+        /// The dead source endpoint.
+        src: EndpointId,
+    },
+    /// A blocking receive found the endpoint closed with no queued messages.
+    Disconnected,
+    /// A timed receive expired.
+    Timeout,
+    /// A non-blocking receive found nothing queued.
+    Empty,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable { dst } => write!(f, "endpoint {dst:?} is unreachable"),
+            NetError::SenderDead { src } => write!(f, "sending endpoint {src:?} is dead"),
+            NetError::Disconnected => write!(f, "endpoint closed and queue drained"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Empty => write!(f, "no message queued"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

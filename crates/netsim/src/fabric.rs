@@ -1,0 +1,469 @@
+//! The message fabric: registration, send/receive, failure injection.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+
+use crate::error::NetError;
+use crate::stats::{EndpointStats, FabricStats};
+use crate::time::SimTime;
+use crate::topology::{NodeId, Topology};
+
+/// Identifier of a registered endpoint (one per simulated process, daemon,
+/// or tool connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u64);
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// A message as seen by the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sending endpoint.
+    pub src: EndpointId,
+    /// Application-level tag (namespaced by the layers above).
+    pub tag: u64,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Simulated wire time this message spent in transit.
+    pub wire_time: SimTime,
+}
+
+struct Mailbox {
+    node: NodeId,
+    tx: Sender<Delivery>,
+}
+
+struct FabricInner {
+    topology: Topology,
+    next_id: AtomicU64,
+    mailboxes: RwLock<HashMap<EndpointId, Mailbox>>,
+    stats: RwLock<FabricStats>,
+}
+
+/// Handle to the simulated network. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let boxes = self.inner.mailboxes.read();
+        f.debug_struct("Fabric")
+            .field("nodes", &self.inner.topology.len())
+            .field("endpoints", &boxes.len())
+            .finish()
+    }
+}
+
+impl Fabric {
+    /// Bring up a fabric over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                topology,
+                next_id: AtomicU64::new(1),
+                mailboxes: RwLock::new(HashMap::new()),
+                stats: RwLock::new(FabricStats::default()),
+            }),
+        }
+    }
+
+    /// The topology this fabric runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topology
+    }
+
+    /// Register a new endpoint on `node`, returning its receive handle.
+    ///
+    /// # Panics
+    /// Panics if `node` is not part of the topology.
+    pub fn register(&self, node: NodeId) -> Endpoint {
+        assert!(
+            (node.0 as usize) < self.inner.topology.len(),
+            "{node} is not in the topology"
+        );
+        let id = EndpointId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = channel::unbounded();
+        self.inner
+            .mailboxes
+            .write()
+            .insert(id, Mailbox { node, tx });
+        Endpoint {
+            id,
+            node,
+            fabric: self.clone(),
+            rx,
+        }
+    }
+
+    /// Node an endpoint lives on, if it is alive.
+    pub fn node_of(&self, ep: EndpointId) -> Option<NodeId> {
+        self.inner.mailboxes.read().get(&ep).map(|m| m.node)
+    }
+
+    /// True when `ep` is registered and not killed.
+    pub fn is_alive(&self, ep: EndpointId) -> bool {
+        self.inner.mailboxes.read().contains_key(&ep)
+    }
+
+    /// Send `payload` from `src` to `dst`.
+    ///
+    /// Returns the simulated wire time charged for the transfer. Delivery
+    /// is reliable and per-sender FIFO (TCP-like, matching the transports
+    /// the original implementation ran over).
+    pub fn send(
+        &self,
+        src: EndpointId,
+        dst: EndpointId,
+        tag: u64,
+        payload: Bytes,
+    ) -> Result<SimTime, NetError> {
+        let boxes = self.inner.mailboxes.read();
+        let src_node = boxes
+            .get(&src)
+            .map(|m| m.node)
+            .ok_or(NetError::SenderDead { src })?;
+        let mbox = boxes.get(&dst).ok_or(NetError::Unreachable { dst })?;
+        let wire_time = self.inner.topology.cost(src_node, mbox.node, payload.len());
+        let bytes = payload.len() as u64;
+        let delivery = Delivery {
+            src,
+            tag,
+            payload,
+            wire_time,
+        };
+        mbox.tx
+            .send(delivery)
+            .map_err(|_| NetError::Unreachable { dst })?;
+        drop(boxes);
+
+        let mut stats = self.inner.stats.write();
+        stats.total_msgs += 1;
+        stats.total_bytes += bytes;
+        let s = stats.endpoints.entry(src).or_default();
+        s.msgs_sent += 1;
+        s.bytes_sent += bytes;
+        s.sim_time_sent += wire_time;
+        Ok(wire_time)
+    }
+
+    /// Kill an endpoint: simulates process death. Its queue is torn down;
+    /// subsequent sends to it fail with [`NetError::Unreachable`]; blocked
+    /// receivers on it wake with [`NetError::Disconnected`].
+    pub fn kill(&self, ep: EndpointId) {
+        self.inner.mailboxes.write().remove(&ep);
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> FabricStats {
+        self.inner.stats.read().clone()
+    }
+
+    /// Reset traffic counters (benchmark warm-up hygiene).
+    pub fn reset_stats(&self) {
+        *self.inner.stats.write() = FabricStats::default();
+    }
+
+    fn note_received(&self, ep: EndpointId, delivery: &Delivery) {
+        let mut stats = self.inner.stats.write();
+        let s = stats.endpoints.entry(ep).or_default();
+        s.msgs_received += 1;
+        s.bytes_received += delivery.payload.len() as u64;
+    }
+
+    /// Per-endpoint counters convenience accessor.
+    pub fn endpoint_stats(&self, ep: EndpointId) -> EndpointStats {
+        self.inner.stats.read().endpoint(ep)
+    }
+}
+
+/// Receiving side of a registered endpoint.
+///
+/// The sender side is addressed by [`EndpointId`] through the fabric, which
+/// is how MPI-style any-to-any communication works here: there are no
+/// per-pair connections to set up.
+pub struct Endpoint {
+    id: EndpointId,
+    node: NodeId,
+    fabric: Fabric,
+    rx: Receiver<Delivery>,
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.id)
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's id (its address for senders).
+    pub fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    /// Node this endpoint lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The fabric this endpoint belongs to.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Convenience: send from this endpoint.
+    pub fn send_to(&self, dst: EndpointId, tag: u64, payload: Bytes) -> Result<SimTime, NetError> {
+        self.fabric.send(self.id, dst, tag, payload)
+    }
+
+    /// Blocking receive.
+    ///
+    /// Wakes with [`NetError::Disconnected`] once the endpoint has been
+    /// killed *and* every already-queued message has been drained — killed
+    /// processes may still have in-flight messages that coordination
+    /// protocols need to observe.
+    pub fn recv(&self) -> Result<Delivery, NetError> {
+        match self.rx.recv() {
+            Ok(d) => {
+                self.fabric.note_received(self.id, &d);
+                Ok(d)
+            }
+            Err(_) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Delivery, NetError> {
+        match self.rx.try_recv() {
+            Ok(d) => {
+                self.fabric.note_received(self.id, &d);
+                Ok(d)
+            }
+            Err(TryRecvError::Empty) => Err(NetError::Empty),
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Delivery, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(d) => {
+                self.fabric.note_received(self.id, &d);
+                Ok(d)
+            }
+            Err(channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Number of queued, undelivered messages.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // Dropping the receive handle is process exit: deregister so peers
+        // see Unreachable rather than silently filling a dead queue.
+        self.fabric.kill(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    fn two_node_fabric() -> Fabric {
+        Fabric::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()))
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        let t = a.send_to(b.id(), 7, Bytes::from_static(b"hello")).unwrap();
+        assert!(t > SimTime::ZERO);
+        let d = b.recv().unwrap();
+        assert_eq!(d.src, a.id());
+        assert_eq!(d.tag, 7);
+        assert_eq!(&d.payload[..], b"hello");
+        assert_eq!(d.wire_time, t);
+    }
+
+    #[test]
+    fn per_sender_fifo_order() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        for i in 0..100u64 {
+            a.send_to(b.id(), i, Bytes::new()).unwrap();
+        }
+        for i in 0..100u64 {
+            assert_eq!(b.recv().unwrap().tag, i);
+        }
+    }
+
+    #[test]
+    fn unknown_destination_unreachable() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let ghost = EndpointId(9999);
+        assert_eq!(
+            a.send_to(ghost, 0, Bytes::new()),
+            Err(NetError::Unreachable { dst: ghost })
+        );
+    }
+
+    #[test]
+    fn killed_endpoint_becomes_unreachable_and_sender_dead() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        fabric.kill(b.id());
+        assert!(matches!(
+            a.send_to(b.id(), 0, Bytes::new()),
+            Err(NetError::Unreachable { .. })
+        ));
+        fabric.kill(a.id());
+        assert!(matches!(
+            fabric.send(a.id(), b.id(), 0, Bytes::new()),
+            Err(NetError::SenderDead { .. })
+        ));
+    }
+
+    #[test]
+    fn queued_messages_survive_kill_until_drained() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        a.send_to(b.id(), 1, Bytes::from_static(b"x")).unwrap();
+        a.send_to(b.id(), 2, Bytes::from_static(b"y")).unwrap();
+        fabric.kill(b.id());
+        assert_eq!(b.recv().unwrap().tag, 1);
+        assert_eq!(b.recv().unwrap().tag, 2);
+        assert_eq!(b.recv(), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        assert_eq!(b.try_recv().err(), Some(NetError::Empty));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)).err(),
+            Some(NetError::Timeout)
+        );
+        a.send_to(b.id(), 5, Bytes::new()).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap().tag, 5);
+    }
+
+    #[test]
+    fn drop_deregisters() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b_id = {
+            let b = fabric.register(NodeId(1));
+            assert!(fabric.is_alive(b.id()));
+            b.id()
+        };
+        assert!(!fabric.is_alive(b_id));
+        assert!(matches!(
+            a.send_to(b_id, 0, Bytes::new()),
+            Err(NetError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        a.send_to(b.id(), 0, Bytes::from_static(b"1234")).unwrap();
+        a.send_to(b.id(), 0, Bytes::from_static(b"56")).unwrap();
+        b.recv().unwrap();
+        let stats = fabric.stats();
+        assert_eq!(stats.total_msgs, 2);
+        assert_eq!(stats.total_bytes, 6);
+        let sa = stats.endpoint(a.id());
+        assert_eq!(sa.msgs_sent, 2);
+        assert_eq!(sa.bytes_sent, 6);
+        assert!(sa.sim_time_sent > SimTime::ZERO);
+        let sb = stats.endpoint(b.id());
+        assert_eq!(sb.msgs_received, 1);
+        assert_eq!(sb.bytes_received, 4);
+        fabric.reset_stats();
+        assert_eq!(fabric.stats().total_msgs, 0);
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        let a_id = a.id();
+        let b_id = b.id();
+        let fabric2 = fabric.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000u64 {
+                fabric2
+                    .send(a_id, b_id, i, Bytes::from(vec![0u8; 64]))
+                    .unwrap();
+            }
+        });
+        let mut seen = 0u64;
+        while seen < 1000 {
+            let d = b.recv().unwrap();
+            assert_eq!(d.tag, seen);
+            seen += 1;
+        }
+        producer.join().unwrap();
+        drop(a);
+    }
+
+    #[test]
+    fn node_of_and_is_alive() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(1));
+        assert_eq!(fabric.node_of(a.id()), Some(NodeId(1)));
+        assert!(fabric.is_alive(a.id()));
+        assert_eq!(fabric.node_of(EndpointId(424242)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the topology")]
+    fn registering_on_unknown_node_panics() {
+        let fabric = two_node_fabric();
+        let _ = fabric.register(NodeId(7));
+    }
+
+    #[test]
+    fn loopback_send_is_cheaper() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(0));
+        let c = fabric.register(NodeId(1));
+        let payload = Bytes::from(vec![0u8; 65536]);
+        let local = a.send_to(b.id(), 0, payload.clone()).unwrap();
+        let remote = a.send_to(c.id(), 0, payload).unwrap();
+        assert!(local < remote);
+    }
+}

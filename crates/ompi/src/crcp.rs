@@ -1,0 +1,390 @@
+//! CRCP — the Checkpoint/Restart Coordination Protocol framework.
+//!
+//! A local checkpointer cannot capture the state of communication
+//! channels, so a distributed protocol must bring the channels into a
+//! known state before the per-process images are taken (paper §5.3).
+//! CRCP components are interposed on the PML (the wrapper design of
+//! §6.3) and receive checkpoint notification *before any other MPI
+//! subsystem*.
+//!
+//! Components:
+//!
+//! * **`coord`** — the LAM/MPI-style coordinated protocol the paper
+//!   implements: a **bookmark exchange**. At checkpoint time every pair of
+//!   processes exchanges per-peer sent-message counts; each receiver then
+//!   drains its channels until its received counts match the senders'
+//!   bookmarks, buffering drained-but-unmatched messages into the process
+//!   image. Operates on whole messages (the paper's refinement over
+//!   LAM/MPI's byte counts).
+//! * **`logger`** — pessimistic sender-based message logging (the paper's
+//!   future-work extension): every outgoing payload is retained by the
+//!   sender; nothing is drained at checkpoint time (cheap checkpoints),
+//!   and at restart the peers exchange received-counts and senders resend
+//!   whatever was in flight. Sequence numbers make resends idempotent.
+//!   Checkpoints double as garbage-collection points for the log.
+//! * **`none`** — passthrough. With this component installed the full
+//!   interposition machinery runs but does nothing: the configuration the
+//!   paper benchmarks against the infrastructure-disabled build (§7).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mca::Framework;
+
+use cr_core::{CrError, FtEvent, FtEventState, Tracer};
+
+use crate::frame::{AppFrame, CrcpMsg};
+use crate::pml::{PmlShared, PmlState};
+
+/// How long coordination waits for peers before declaring them lost.
+const COORD_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A checkpoint/restart coordination protocol.
+pub trait CrcpComponent: Send + Sync {
+    /// Component name.
+    fn name(&self) -> &'static str;
+
+    /// Interposition hook: called (with the PML state locked) before each
+    /// application message is sent.
+    #[allow(clippy::too_many_arguments)] // mirrors the PML send signature
+    fn on_send(
+        &self,
+        _st: &mut PmlState,
+        _me: u32,
+        _dst: u32,
+        _ctx: u32,
+        _tag: u32,
+        _seq: u64,
+        _payload: &[u8],
+    ) {
+    }
+
+    /// Interposition hook: called (with the PML state locked) when a
+    /// receive operation consumes a message.
+    fn on_recv(&self, _st: &mut PmlState, _frame: &AppFrame) {}
+
+    /// Bring the channels into a checkpointable state. Runs on the
+    /// checkpoint notification thread with the application thread parked;
+    /// every rank runs this concurrently.
+    fn coordinate(&self, pml: &PmlShared) -> Result<(), CrError>;
+
+    /// React to the post-checkpoint state (continue in place, restarted
+    /// image, or failed checkpoint).
+    fn resume(&self, pml: &PmlShared, state: FtEventState) -> Result<(), CrError>;
+}
+
+/// Collect one `Bookmark`/`Have` control message from every peer while
+/// pumping the wire, returning the per-peer values.
+fn collect_counts(
+    pml: &PmlShared,
+    accept_bookmark: bool,
+) -> Result<HashMap<u32, u64>, CrError> {
+    let me = pml.me();
+    let n = pml.nprocs();
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    let deadline = Instant::now() + COORD_TIMEOUT;
+    while counts.len() < (n - 1) as usize {
+        pml.with_state(|st| {
+            while let Some(msg) = st.crcp_inbox.pop_front() {
+                match msg {
+                    CrcpMsg::Bookmark { from, sent } if accept_bookmark => {
+                        counts.insert(from, sent);
+                    }
+                    CrcpMsg::Have { from, have } if !accept_bookmark => {
+                        counts.insert(from, have);
+                    }
+                    other => {
+                        // A message for the other protocol phase would be a
+                        // protocol bug; requeue nothing, fail loudly below.
+                        st.crcp_inbox.push_front(other);
+                    }
+                }
+            }
+            // Avoid an infinite loop when an unexpected message type sits
+            // at the head of the inbox.
+            if let Some(front) = st.crcp_inbox.front() {
+                let wrong_kind = matches!(
+                    (front, accept_bookmark),
+                    (CrcpMsg::Bookmark { .. }, false) | (CrcpMsg::Have { .. }, true)
+                );
+                if wrong_kind {
+                    return Err(CrError::protocol(format!(
+                        "unexpected CRCP message during collection: {front:?}"
+                    )));
+                }
+            }
+            Ok(())
+        })?;
+        if counts.len() == (n - 1) as usize {
+            break;
+        }
+        if Instant::now() > deadline {
+            let missing: Vec<u32> = (0..n)
+                .filter(|q| *q != me && !counts.contains_key(q))
+                .collect();
+            return Err(CrError::PeerLost {
+                detail: format!("no CRCP counts from ranks {missing:?}"),
+            });
+        }
+        pml.poll_wire_once(Duration::from_millis(1))
+            .map_err(|e| CrError::protocol(e.to_string()))?;
+    }
+    Ok(counts)
+}
+
+// ---------------------------------------------------------------------------
+// coord
+// ---------------------------------------------------------------------------
+
+/// Coordinated bookmark-exchange protocol.
+pub struct CoordCrcp {
+    tracer: Tracer,
+}
+
+impl CoordCrcp {
+    /// Build with a tracer for phase events.
+    pub fn new(tracer: Tracer) -> Self {
+        CoordCrcp { tracer }
+    }
+}
+
+impl CrcpComponent for CoordCrcp {
+    fn name(&self) -> &'static str {
+        "coord"
+    }
+
+    fn coordinate(&self, pml: &PmlShared) -> Result<(), CrError> {
+        let me = pml.me();
+        let n = pml.nprocs();
+        self.tracer
+            .record("ompi.crcp.coordinate", &format!("rank {me} bookmark exchange"));
+
+        // Exchange bookmarks.
+        for q in 0..n {
+            if q == me {
+                continue;
+            }
+            let sent = pml.with_state(|st| st.sent_counts[q as usize]);
+            pml.send_crcp(q, &CrcpMsg::Bookmark { from: me, sent })
+                .map_err(|e| CrError::protocol(e.to_string()))?;
+        }
+        let bookmarks = collect_counts(pml, true)?;
+
+        // Drain until every peer's sends have been received into the PML.
+        let deadline = Instant::now() + COORD_TIMEOUT;
+        loop {
+            let drained = pml.with_state(|st| {
+                bookmarks
+                    .iter()
+                    .all(|(q, sent)| st.recv_counts[*q as usize] >= *sent)
+            });
+            if drained {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(CrError::PeerLost {
+                    detail: "channel drain did not converge".into(),
+                });
+            }
+            pml.poll_wire_once(Duration::from_millis(1))
+                .map_err(|e| CrError::protocol(e.to_string()))?;
+        }
+
+        // The channels are now quiesced: received exactly what was sent.
+        pml.with_state(|st| {
+            for (q, sent) in &bookmarks {
+                let got = st.recv_counts[*q as usize];
+                if got != *sent {
+                    return Err(CrError::protocol(format!(
+                        "bookmark overrun from rank {q}: sent {sent}, received {got}"
+                    )));
+                }
+            }
+            Ok(())
+        })?;
+        self.tracer
+            .record("ompi.crcp.quiesced", &format!("rank {me}"));
+        Ok(())
+    }
+
+    fn resume(&self, pml: &PmlShared, state: FtEventState) -> Result<(), CrError> {
+        self.tracer
+            .record("ompi.crcp.resume", &format!("rank {} {state}", pml.me()));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// logger
+// ---------------------------------------------------------------------------
+
+/// Pessimistic sender-based message logging.
+pub struct LoggerCrcp {
+    tracer: Tracer,
+}
+
+impl LoggerCrcp {
+    /// Build with a tracer for phase events.
+    pub fn new(tracer: Tracer) -> Self {
+        LoggerCrcp { tracer }
+    }
+
+    /// Exchange received-counts with every peer.
+    fn exchange_have(&self, pml: &PmlShared) -> Result<HashMap<u32, u64>, CrError> {
+        let me = pml.me();
+        let n = pml.nprocs();
+        for q in 0..n {
+            if q == me {
+                continue;
+            }
+            let have = pml.with_state(|st| st.recv_counts[q as usize]);
+            pml.send_crcp(q, &CrcpMsg::Have { from: me, have })
+                .map_err(|e| CrError::protocol(e.to_string()))?;
+        }
+        collect_counts(pml, false)
+    }
+}
+
+impl CrcpComponent for LoggerCrcp {
+    fn name(&self) -> &'static str {
+        "logger"
+    }
+
+    fn on_send(
+        &self,
+        st: &mut PmlState,
+        _me: u32,
+        dst: u32,
+        ctx: u32,
+        tag: u32,
+        seq: u64,
+        payload: &[u8],
+    ) {
+        // The failure-free tax of pessimistic logging: retain the payload.
+        st.sender_log.push(crate::pml::LoggedSend {
+            dst,
+            ctx,
+            tag,
+            seq,
+            payload: payload.to_vec(),
+        });
+    }
+
+    fn coordinate(&self, pml: &PmlShared) -> Result<(), CrError> {
+        // No channel drain. Checkpoints double as garbage collection: learn
+        // what peers have received and prune the log below those counts.
+        self.tracer.record(
+            "ompi.crcp.logger.gc",
+            &format!("rank {}", pml.me()),
+        );
+        let have = self.exchange_have(pml)?;
+        pml.with_state(|st| {
+            st.sender_log
+                .retain(|entry| entry.seq >= *have.get(&entry.dst).unwrap_or(&0));
+        });
+        Ok(())
+    }
+
+    fn resume(&self, pml: &PmlShared, state: FtEventState) -> Result<(), CrError> {
+        if state != FtEventState::Restart {
+            return Ok(());
+        }
+        // In-flight messages died with the old incarnation: learn what each
+        // peer actually received and resend the tail of the log. Sequence
+        // numbers de-duplicate anything that did arrive.
+        self.tracer.record(
+            "ompi.crcp.logger.replay",
+            &format!("rank {}", pml.me()),
+        );
+        let have = self.exchange_have(pml)?;
+        let to_resend: Vec<crate::pml::LoggedSend> = pml.with_state(|st| {
+            st.sender_log
+                .iter()
+                .filter(|entry| entry.seq >= *have.get(&entry.dst).unwrap_or(&0))
+                .cloned()
+                .collect()
+        });
+        for entry in &to_resend {
+            pml.resend_logged(entry)
+                .map_err(|e| CrError::protocol(e.to_string()))?;
+        }
+        self.tracer.record(
+            "ompi.crcp.logger.resent",
+            &format!("rank {}: {} messages", pml.me(), to_resend.len()),
+        );
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// none
+// ---------------------------------------------------------------------------
+
+/// Passthrough protocol: full interposition, no behaviour. Used to measure
+/// the wrapper overhead (experiments E1/E2).
+pub struct NoneCrcp;
+
+impl CrcpComponent for NoneCrcp {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn coordinate(&self, _pml: &PmlShared) -> Result<(), CrError> {
+        // No coordination: with this component a checkpoint captures
+        // process images without quiescing channels. Restartable only if
+        // nothing was in flight; intended for overhead measurement.
+        Ok(())
+    }
+
+    fn resume(&self, _pml: &PmlShared, _state: FtEventState) -> Result<(), CrError> {
+        Ok(())
+    }
+}
+
+/// Assemble the CRCP framework (`coord` is the default, as in the paper's
+/// first implementation).
+pub fn crcp_framework(tracer: Tracer) -> Framework<dyn CrcpComponent> {
+    let mut fw: Framework<dyn CrcpComponent> = Framework::new("crcp");
+    let t = tracer.clone();
+    fw.register("coord", 20, "coordinated bookmark-exchange protocol", move |_| {
+        Box::new(CoordCrcp::new(t.clone()))
+    });
+    let t = tracer.clone();
+    fw.register(
+        "logger",
+        10,
+        "pessimistic sender-based message logging",
+        move |_| Box::new(LoggerCrcp::new(t.clone())),
+    );
+    fw.register("none", 0, "passthrough (overhead measurement)", |_| {
+        Box::new(NoneCrcp)
+    });
+    fw
+}
+
+/// The CRCP's INC subsystem handle. Attached to the OMPI layer INC
+/// *before* the PML so coordination runs before any MPI subsystem reacts
+/// (paper §5.3).
+pub struct CrcpFtHandle {
+    pml: Arc<PmlShared>,
+}
+
+impl CrcpFtHandle {
+    /// Wrap a PML for INC registration.
+    pub fn new(pml: Arc<PmlShared>) -> Self {
+        CrcpFtHandle { pml }
+    }
+}
+
+impl FtEvent for CrcpFtHandle {
+    fn ft_event(&mut self, state: FtEventState) -> Result<(), CrError> {
+        let Some(component) = self.pml.crcp() else {
+            return Ok(()); // infrastructure disabled
+        };
+        match state {
+            FtEventState::Checkpoint => component.coordinate(&self.pml),
+            other => component.resume(&self.pml, other),
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! MPI-layer error type.
+
+use std::fmt;
+
+use cr_core::CrError;
+
+/// Errors surfaced to MPI applications.
+#[derive(Debug, Clone)]
+pub enum MpiError {
+    /// A peer process or its channel is gone.
+    PeerLost {
+        /// Description of the failure.
+        detail: String,
+    },
+    /// A payload failed to encode/decode.
+    Codec(codec::Error),
+    /// Invalid arguments (rank out of range, tag out of range, ...).
+    Invalid {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A checkpoint/restart operation failed.
+    Cr(CrError),
+    /// Replay after restart diverged from the recorded execution — the
+    /// application's step function is not deterministic.
+    ReplayDiverged {
+        /// Human-readable divergence description.
+        detail: String,
+    },
+    /// Operation on an unknown or already-completed request handle.
+    BadRequest {
+        /// The offending request id.
+        request: u64,
+    },
+    /// The job is terminating: a blocked operation was cooperatively
+    /// unwound. Not an application error — the run loop converts it into
+    /// a terminated outcome.
+    Terminating,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::PeerLost { detail } => write!(f, "peer lost: {detail}"),
+            MpiError::Codec(e) => write!(f, "payload codec error: {e}"),
+            MpiError::Invalid { detail } => write!(f, "invalid argument: {detail}"),
+            MpiError::Cr(e) => write!(f, "checkpoint/restart error: {e}"),
+            MpiError::ReplayDiverged { detail } => write!(
+                f,
+                "replay diverged (application step is not deterministic): {detail}"
+            ),
+            MpiError::BadRequest { request } => write!(f, "bad request handle {request}"),
+            MpiError::Terminating => write!(f, "job is terminating"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl From<codec::Error> for MpiError {
+    fn from(e: codec::Error) -> Self {
+        MpiError::Codec(e)
+    }
+}
+
+impl From<CrError> for MpiError {
+    fn from(e: CrError) -> Self {
+        MpiError::Cr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MpiError = codec::Error::TrailingBytes { remaining: 1 }.into();
+        assert!(e.to_string().contains("codec"));
+        let e: MpiError = CrError::protocol("x").into();
+        assert!(e.to_string().contains("checkpoint/restart"));
+        let e = MpiError::ReplayDiverged {
+            detail: "expected send".into(),
+        };
+        assert!(e.to_string().contains("deterministic"));
+    }
+}

@@ -1,0 +1,502 @@
+//! `MPI_Init`/`MPI_Finalize` equivalents, the `mpirun`-style launcher, and
+//! restart from a global snapshot reference.
+//!
+//! Per-process startup (the simulated `MPI_Init`):
+//!
+//! 1. select and install the CRS component (OPAL),
+//! 2. register a fabric endpoint and rendezvous with the peers through
+//!    the modex,
+//! 3. build the PML, restore its state when this is a restart,
+//! 4. select the CRCP component and interpose it on the PML,
+//! 5. register the capture sections (`app`, `pml`, `ompi`),
+//! 6. install the three-layer INC stack (OPAL → ORTE → OMPI),
+//! 7. on restart: deliver [`FtEventState::Restart`] through the chain
+//!    (message-logging resends happen here) and fire the SELF restart
+//!    callback,
+//! 8. enter the application step loop; checkpointing is enabled once the
+//!    first boundary image exists and disabled again at finalize.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use mca::McaParams;
+use netsim::EndpointId;
+use parking_lot::Mutex;
+
+use cr_core::inc::LayerInc;
+use cr_core::request::{CheckpointOptions, CheckpointOutcome};
+use cr_core::snapshot::GlobalSnapshot;
+use cr_core::{CrError, FtEvent, FtEventState, Tracer};
+use opal::crs::{crs_framework, SelfCallbacks};
+use opal::ProgressEngine;
+use orte::job::{launch, JobSpec, LaunchCtx, ProcMain};
+use orte::{JobHandle, Runtime};
+
+use crate::app::{run_app, BoundaryCell, MpiApp, RunEnd};
+use crate::crcp::{crcp_framework, CrcpFtHandle};
+use crate::error::MpiError;
+use crate::mpi::Mpi;
+use crate::pml::{PmlFtHandle, PmlShared};
+
+/// Launch configuration.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Number of ranks.
+    pub nprocs: u32,
+    /// MCA parameters (component selection, tunables).
+    pub params: Arc<McaParams>,
+}
+
+impl RunConfig {
+    /// `nprocs` ranks with default parameters.
+    pub fn new(nprocs: u32) -> Self {
+        RunConfig {
+            nprocs,
+            params: Arc::new(McaParams::new()),
+        }
+    }
+
+    /// Set one MCA parameter (builder style).
+    pub fn with_param(self, key: &str, value: &str) -> Self {
+        self.params.set(key, value);
+        self
+    }
+}
+
+type RankResult<S> = Option<Result<(S, RunEnd), String>>;
+
+/// A running (or finished) MPI job.
+pub struct MpiJob<S> {
+    handle: Arc<JobHandle>,
+    results: Arc<Mutex<Vec<RankResult<S>>>>,
+    sync_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<S: Send + 'static> MpiJob<S> {
+    /// The underlying ORTE job handle.
+    pub fn handle(&self) -> &Arc<JobHandle> {
+        &self.handle
+    }
+
+    /// Request a distributed checkpoint (asynchronous/tool path).
+    pub fn checkpoint(&self, options: &CheckpointOptions) -> Result<CheckpointOutcome, CrError> {
+        self.handle.checkpoint(options)
+    }
+
+    /// Ask the job to terminate cooperatively.
+    pub fn request_terminate(&self) {
+        self.handle.request_terminate();
+    }
+
+    /// Ranks that have already reported a failure (the job may still be
+    /// running). Used by the recovery supervisor's watchdog.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.results
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| matches!(slot, Some(Err(_))))
+            .map(|(rank, _)| rank)
+            .collect()
+    }
+
+    /// True once every rank has produced a result (success or failure).
+    pub fn is_settled(&self) -> bool {
+        self.results.lock().iter().all(|slot| slot.is_some())
+    }
+
+    /// Wait for completion and collect every rank's final state.
+    pub fn wait(self) -> Result<Vec<(S, RunEnd)>, CrError> {
+        self.handle.join()?;
+        if let Some(t) = self.sync_thread.lock().take() {
+            let _ = t.join();
+        }
+        let mut results = self.results.lock();
+        let mut out = Vec::with_capacity(results.len());
+        let mut failures = Vec::new();
+        for (rank, slot) in results.drain(..).enumerate() {
+            match slot {
+                Some(Ok(pair)) => out.push(pair),
+                Some(Err(e)) => failures.push(format!("rank {rank}: {e}")),
+                None => failures.push(format!("rank {rank}: produced no result")),
+            }
+        }
+        if failures.is_empty() {
+            Ok(out)
+        } else {
+            Err(CrError::protocol(failures.join("; ")))
+        }
+    }
+}
+
+/// The ORTE-layer INC subsystem: quiesces out-of-band runtime services
+/// around a checkpoint (here that is bookkeeping plus tracing — the
+/// daemons are external to the process).
+struct OrteOobFt {
+    tracer: Tracer,
+}
+
+impl FtEvent for OrteOobFt {
+    fn ft_event(&mut self, state: FtEventState) -> Result<(), CrError> {
+        self.tracer.record("orte.oob.ft_event", &state.to_string());
+        Ok(())
+    }
+}
+
+/// De-duplicating wrapper: `LayerInc` delivers the entering state on the
+/// way down and the resulting state on the way up; for Restart both are
+/// the same state and protocols must not run twice.
+struct OnceFt<T: FtEvent + Send> {
+    inner: T,
+    last: Option<FtEventState>,
+}
+
+impl<T: FtEvent + Send> OnceFt<T> {
+    fn new(inner: T) -> Self {
+        OnceFt { inner, last: None }
+    }
+}
+
+impl<T: FtEvent + Send> FtEvent for OnceFt<T> {
+    fn ft_event(&mut self, state: FtEventState) -> Result<(), CrError> {
+        if self.last == Some(state) {
+            return Ok(());
+        }
+        self.last = Some(state);
+        self.inner.ft_event(state)
+    }
+}
+
+/// Per-process MPI bring-up and run (steps 1–8 of the module docs).
+fn proc_body<A: MpiApp>(
+    app: &A,
+    ctx: &LaunchCtx,
+    sync_tx: Sender<CheckpointOptions>,
+) -> Result<(A::State, RunEnd), MpiError> {
+    let runtime = &ctx.runtime;
+    let tracer = runtime.tracer().clone();
+    let params = &ctx.params;
+    let me = ctx.name.rank.0;
+    let nprocs = ctx.nprocs;
+    let job = ctx.name.job;
+
+    // 1. CRS.
+    let self_cbs = SelfCallbacks::new();
+    let crs_fw = crs_framework(Arc::clone(&self_cbs));
+    let crs = crs_fw.select(params).map_err(|e| {
+        MpiError::Cr(CrError::Unsupported {
+            detail: e.to_string(),
+        })
+    })?;
+    ctx.container.set_crs(Arc::from(crs));
+
+    // 2. Endpoint + modex rendezvous.
+    let endpoint = runtime.fabric().register(ctx.node);
+    runtime.modex().publish(
+        job,
+        &format!("pml.{me}"),
+        endpoint.id().0.to_le_bytes().to_vec(),
+    );
+    let mut peers = Vec::with_capacity(nprocs as usize);
+    for r in 0..nprocs {
+        let raw = runtime
+            .modex()
+            .wait(job, &format!("pml.{r}"), Duration::from_secs(60))
+            .map_err(MpiError::Cr)?;
+        let bytes: [u8; 8] = raw.as_slice().try_into().map_err(|_| MpiError::Cr(
+            CrError::protocol("malformed modex endpoint entry"),
+        ))?;
+        peers.push(EndpointId(u64::from_le_bytes(bytes)));
+    }
+
+    // 3. PML (+ state restore on restart).
+    let pml = PmlShared::new(
+        me,
+        nprocs,
+        endpoint,
+        peers,
+        Arc::clone(ctx.container.gate()),
+        tracer.clone(),
+    );
+    pml.set_terminate_flag(Arc::clone(&ctx.terminate));
+    let next_ctx = Arc::new(AtomicU32::new(2));
+    let mut restored_app: Option<Vec<u8>> = None;
+    if let Some(image) = &ctx.restored {
+        pml.restore(image.require_section("pml").map_err(MpiError::Cr)?)
+            .map_err(MpiError::Cr)?;
+        Mpi::restore_section(&next_ctx, image.require_section("ompi").map_err(MpiError::Cr)?)
+            .map_err(MpiError::Cr)?;
+        restored_app = Some(image.require_section("app").map_err(MpiError::Cr)?.to_vec());
+    }
+
+    // 4. CRCP interposition (the wrapper PML). `ft_cr_enabled false`
+    //    removes the interposition entirely — the baseline configuration
+    //    of the paper's overhead experiment.
+    let ft_enabled = params.get_bool_or("ft_cr_enabled", true).map_err(|e| {
+        MpiError::Invalid {
+            detail: e.to_string(),
+        }
+    })?;
+    if ft_enabled {
+        let crcp_fw = crcp_framework(tracer.clone());
+        let component = crcp_fw.select(params).map_err(|e| {
+            MpiError::Cr(CrError::Unsupported {
+                detail: e.to_string(),
+            })
+        })?;
+        pml.set_crcp(Some(Arc::from(component)));
+    }
+
+    // 5. Capture sections.
+    let boundary = BoundaryCell::new();
+    let b = boundary.clone();
+    ctx.container
+        .register_capture("app", Arc::new(move || Ok(b.get())));
+    let p = Arc::clone(&pml);
+    ctx.container
+        .register_capture("pml", Arc::new(move || p.capture()));
+    let nc = Arc::clone(&next_ctx);
+    ctx.container.register_capture(
+        "ompi",
+        Arc::new(move || Ok(codec::to_bytes(&nc.load(Ordering::SeqCst))?)),
+    );
+
+    // 6. INC stack: OPAL (bottom, runs the CRS), ORTE, OMPI (top).
+    let mut opal_layer = LayerInc::new("opal", tracer.clone());
+    if params.get_bool_or("opal_progress", false).unwrap_or(false) {
+        opal_layer = opal_layer.subsystem(
+            "progress",
+            Arc::new(Mutex::new(ProgressEngine::start(Duration::from_millis(2)))),
+        );
+    }
+    ctx.container.install_opal_inc(opal_layer);
+
+    let orte_layer = LayerInc::new("orte", tracer.clone()).subsystem(
+        "oob",
+        Arc::new(Mutex::new(OnceFt::new(OrteOobFt {
+            tracer: tracer.clone(),
+        }))),
+    );
+    ctx.container
+        .inc()
+        .register(move |prev| orte_layer.build(prev, None));
+
+    let ompi_layer = LayerInc::new("ompi", tracer.clone())
+        .subsystem(
+            "crcp",
+            Arc::new(Mutex::new(OnceFt::new(CrcpFtHandle::new(Arc::clone(&pml))))),
+        )
+        .subsystem(
+            "pml",
+            Arc::new(Mutex::new(OnceFt::new(PmlFtHandle::new(Arc::clone(&pml))))),
+        );
+    ctx.container
+        .inc()
+        .register(move |prev| ompi_layer.build(prev, None));
+
+    // The application-facing handle.
+    let mpi = Mpi::new(
+        Arc::clone(&pml),
+        next_ctx,
+        Arc::clone(&ctx.container),
+        Arc::clone(&self_cbs),
+        Arc::clone(&ctx.terminate),
+        Some(sync_tx),
+        tracer.clone(),
+    );
+
+    // 7. Restart notification through the whole chain.
+    if ctx.restored.is_some() {
+        tracer.record("ompi.init.restart", &format!("rank {me}"));
+        ctx.container
+            .inc()
+            .deliver(FtEventState::Restart)
+            .map_err(MpiError::Cr)?;
+        if let Some(crs) = ctx.container.crs() {
+            crs.post_event(FtEventState::Restart).map_err(MpiError::Cr)?;
+        }
+    }
+
+    // 8. Run.
+    let result = run_app(app, &mpi, &boundary, restored_app);
+
+    // Finalize: close the checkpoint window before tearing anything down.
+    ctx.container.disable_checkpointing("MPI_Finalize");
+    result
+}
+
+fn make_proc_main<A: MpiApp>(
+    app: Arc<A>,
+    results: Arc<Mutex<Vec<RankResult<A::State>>>>,
+    sync_tx: Sender<CheckpointOptions>,
+) -> ProcMain {
+    Arc::new(move |ctx: LaunchCtx| {
+        let rank = ctx.name.rank.index();
+        let outcome = proc_body(app.as_ref(), &ctx, sync_tx.clone());
+        results.lock()[rank] = Some(outcome.map_err(|e| e.to_string()));
+        // The application thread is done with the checkpoint window.
+        ctx.container.gate().retire();
+    })
+}
+
+fn spawn_job<A: MpiApp>(
+    runtime: &Runtime,
+    app: Arc<A>,
+    config: RunConfig,
+    restored: Option<Vec<opal::ProcessImage>>,
+    resume_floor: Option<u64>,
+) -> Result<MpiJob<A::State>, CrError> {
+    let results: Arc<Mutex<Vec<RankResult<A::State>>>> =
+        Arc::new(Mutex::new((0..config.nprocs).map(|_| None).collect()));
+    let (sync_tx, sync_rx) = crossbeam::channel::unbounded::<CheckpointOptions>();
+    let spec = JobSpec {
+        nprocs: config.nprocs,
+        params: Arc::clone(&config.params),
+        proc_main: make_proc_main(app, Arc::clone(&results), sync_tx),
+        restored,
+        resume_floor,
+    };
+    let handle = Arc::new(launch(runtime, spec)?);
+
+    // Synchronous-request service: application ranks queue checkpoint
+    // requests; this thread plays the global coordinator for them.
+    let service_handle = Arc::clone(&handle);
+    let tracer = runtime.tracer().clone();
+    let sync_thread = std::thread::Builder::new()
+        .name("ompi-sync-ckpt".into())
+        .spawn(move || {
+            while let Ok(options) = sync_rx.recv() {
+                match service_handle.checkpoint(&options) {
+                    Ok(outcome) => tracer.record(
+                        "ompi.sync_ckpt.done",
+                        &outcome.global_snapshot.display().to_string(),
+                    ),
+                    Err(e) => tracer.record("ompi.sync_ckpt.failed", &e.to_string()),
+                }
+            }
+        })
+        .map_err(|e| CrError::Io {
+            context: "spawning sync checkpoint service".into(),
+            detail: e.to_string(),
+        })?;
+
+    Ok(MpiJob {
+        handle,
+        results,
+        sync_thread: Mutex::new(Some(sync_thread)),
+    })
+}
+
+/// Launch `app` on `config.nprocs` ranks (the `mpirun` equivalent).
+pub fn mpirun<A: MpiApp>(
+    runtime: &Runtime,
+    app: Arc<A>,
+    config: RunConfig,
+) -> Result<MpiJob<A::State>, CrError> {
+    spawn_job(runtime, app, config, None, None)
+}
+
+/// Restart a job from a global snapshot reference (the `ompi-restart`
+/// equivalent). Only the directory is needed: the original launch
+/// parameters are read from the snapshot metadata (paper §4). `interval`
+/// of `None` restores the most recent committed interval.
+pub fn restart_from<A: MpiApp>(
+    runtime: &Runtime,
+    app: Arc<A>,
+    global_ref: &Path,
+    interval: Option<u64>,
+) -> Result<MpiJob<A::State>, CrError> {
+    let global = GlobalSnapshot::open(global_ref)?;
+    let interval = match interval {
+        Some(i) => i,
+        None => global.latest_interval().ok_or(CrError::BadSnapshot {
+            detail: "global snapshot has no committed intervals".into(),
+        })?,
+    };
+    let launch_params = global.launch_params();
+    let params = Arc::new(McaParams::from_dump(
+        launch_params.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+    ));
+
+    // FILEM broadcast: preload each rank's local snapshot from stable
+    // storage onto the node the rank will restart on (paper §5.2 — the
+    // broadcast operation exists precisely for process recovery). The
+    // placement is predicted with the same deterministic PLM mapping the
+    // launch will use.
+    let plm = orte::plm::plm_framework()
+        .select(&params)
+        .map_err(|e| CrError::Unsupported {
+            detail: e.to_string(),
+        })?;
+    let placement = plm.map_job(global.nprocs(), runtime.topology(), &params)?;
+    let filem = orte::filem::filem_framework()
+        .select(&params)
+        .map_err(|e| CrError::Unsupported {
+            detail: e.to_string(),
+        })?;
+    let locals_on_stable = global.local_snapshots(interval)?;
+    let mut preload_batch = Vec::with_capacity(locals_on_stable.len());
+    let mut preloaded_dirs = Vec::with_capacity(locals_on_stable.len());
+    for local in &locals_on_stable {
+        let rank = local.rank();
+        let node = placement.node_of[rank.index()];
+        let dest = runtime
+            .node_dir(node)
+            .join("restart")
+            .join(format!("{}", global.job()))
+            .join(format!("interval_{interval}"))
+            .join(cr_core::snapshot::local_dir_name(rank));
+        preload_batch.push(orte::filem::CopyRequest {
+            src: local.dir().to_path_buf(),
+            src_node: netsim::NodeId(0), // stable storage is served by the head node
+            dest: dest.clone(),
+            dest_node: node,
+        });
+        preloaded_dirs.push(dest);
+    }
+    let report = filem.copy_all(runtime.topology(), &preload_batch)?;
+    runtime.tracer().record(
+        "filem.preload",
+        &format!(
+            "{} files, {} bytes, sim {}",
+            report.files, report.bytes, report.sim_cost
+        ),
+    );
+
+    // Rebuild every rank's process image — from its preloaded node-local
+    // copy — with the CRS component named in its local snapshot metadata
+    // (which may differ from the restart-time selection parameters).
+    let crs_fw = crs_framework(SelfCallbacks::new());
+    let mut images = Vec::with_capacity(preloaded_dirs.len());
+    for dir in &preloaded_dirs {
+        let local = cr_core::LocalSnapshot::open(dir)?;
+        let crs = crs_fw
+            .instantiate(local.crs_component(), &params)
+            .map_err(|e| CrError::Unsupported {
+                detail: e.to_string(),
+            })?;
+        images.push(crs.restart(&local)?);
+    }
+    // The preloaded scratch copies served their purpose (FILEM remove).
+    for dir in &preloaded_dirs {
+        filem.remove_tree(dir)?;
+    }
+    runtime.tracer().record(
+        "ompi.restart",
+        &format!(
+            "{} ranks from {} interval {interval}",
+            images.len(),
+            global_ref.display()
+        ),
+    );
+
+    let config = RunConfig {
+        nprocs: global.nprocs(),
+        params,
+    };
+    spawn_job(runtime, app, config, Some(images), Some(interval))
+}

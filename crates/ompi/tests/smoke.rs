@@ -1,0 +1,246 @@
+//! End-to-end smoke tests: launch, communicate, checkpoint, restart.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cr_core::request::CheckpointOptions;
+use mca::McaParams;
+use netsim::{LinkSpec, Topology};
+use ompi::app::{MpiApp, RunEnd, StepOutcome};
+use ompi::{mpirun, restart_from, Mpi, MpiError, RunConfig};
+use orte::Runtime;
+use serde::{Deserialize, Serialize};
+
+fn runtime(tag: &str, nodes: u32) -> Runtime {
+    let dir = std::env::temp_dir().join(format!(
+        "ompi_smoke_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Runtime::new(Topology::uniform(nodes, LinkSpec::gigabit_ethernet()), dir).unwrap()
+}
+
+/// Token ring: each step passes an accumulating token around the ring.
+struct RingApp {
+    rounds: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RingState {
+    round: u64,
+    token_sum: u64,
+}
+
+impl MpiApp for RingApp {
+    type State = RingState;
+
+    fn name(&self) -> &str {
+        "ring"
+    }
+
+    fn init_state(&self, _mpi: &Mpi) -> Result<RingState, MpiError> {
+        Ok(RingState {
+            round: 0,
+            token_sum: 0,
+        })
+    }
+
+    fn step(&self, mpi: &Mpi, state: &mut RingState) -> Result<StepOutcome, MpiError> {
+        let comm = mpi.world().clone();
+        let me = comm.rank();
+        let n = comm.size();
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        if me == 0 {
+            mpi.send(&comm, next, 7, &(state.round * 1000))?;
+            let (token, _): (u64, _) = mpi.recv(&comm, Some(prev), Some(7))?;
+            state.token_sum += token;
+        } else {
+            let (token, _): (u64, _) = mpi.recv(&comm, Some(prev), Some(7))?;
+            let forwarded = token + u64::from(me);
+            mpi.send(&comm, next, 7, &forwarded)?;
+            state.token_sum += forwarded;
+        }
+        state.round += 1;
+        Ok(if state.round >= self.rounds {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Continue
+        })
+    }
+}
+
+fn expected_ring_sums(nprocs: u64, rounds: u64) -> Vec<u64> {
+    // Rank 0 receives round*1000 + sum(1..n); rank r accumulates
+    // round*1000 + sum(1..=r) per round.
+    (0..nprocs)
+        .map(|r| {
+            (0..rounds)
+                .map(|round| {
+                    let base = round * 1000;
+                    if r == 0 {
+                        base + (1..nprocs).sum::<u64>()
+                    } else {
+                        base + (1..=r).sum::<u64>()
+                    }
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[test]
+fn ring_runs_to_completion() {
+    let rt = runtime("ring", 2);
+    let job = mpirun(&rt, Arc::new(RingApp { rounds: 10 }), RunConfig::new(4)).unwrap();
+    let results = job.wait().unwrap();
+    assert_eq!(results.len(), 4);
+    let expected = expected_ring_sums(4, 10);
+    for (r, (state, end)) in results.iter().enumerate() {
+        assert_eq!(*end, RunEnd::Completed);
+        assert_eq!(state.round, 10);
+        assert_eq!(state.token_sum, expected[r], "rank {r}");
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn checkpoint_then_restart_reproduces_the_answer() {
+    let rt = runtime("cr", 2);
+    let app = Arc::new(RingApp { rounds: 2000 });
+    let job = mpirun(&rt, Arc::clone(&app), RunConfig::new(4)).unwrap();
+
+    // Let it get going, checkpoint mid-flight, then kill the job.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let outcome = job
+        .checkpoint(&CheckpointOptions::tool().and_terminate())
+        .unwrap();
+    let terminated = job.wait().unwrap();
+    assert!(terminated
+        .iter()
+        .any(|(_, end)| *end == RunEnd::Terminated || *end == RunEnd::Completed));
+
+    // Fault-free reference run.
+    let rt2 = runtime("cr_ref", 2);
+    let reference = mpirun(&rt2, Arc::clone(&app), RunConfig::new(4))
+        .unwrap()
+        .wait()
+        .unwrap();
+    rt2.shutdown();
+
+    // Restart from the snapshot in a fresh runtime and compare.
+    let rt3 = runtime("cr_restart", 3);
+    let job = restart_from(&rt3, Arc::clone(&app), &outcome.global_snapshot, None).unwrap();
+    let restarted = job.wait().unwrap();
+    assert_eq!(restarted.len(), 4);
+    for (r, (state, end)) in restarted.iter().enumerate() {
+        assert_eq!(*end, RunEnd::Completed, "rank {r}");
+        assert_eq!(state.round, reference[r].0.round, "rank {r} rounds");
+        assert_eq!(state.token_sum, reference[r].0.token_sum, "rank {r} sum");
+    }
+    rt.shutdown();
+    rt3.shutdown();
+}
+
+#[test]
+fn collectives_work() {
+    struct CollApp;
+
+    #[derive(Serialize, Deserialize)]
+    struct CollState {
+        phase: u32,
+        sum: u64,
+        gathered: Vec<u32>,
+    }
+
+    impl MpiApp for CollApp {
+        type State = CollState;
+
+        fn init_state(&self, _mpi: &Mpi) -> Result<CollState, MpiError> {
+            Ok(CollState {
+                phase: 0,
+                sum: 0,
+                gathered: Vec::new(),
+            })
+        }
+
+        fn step(&self, mpi: &Mpi, state: &mut CollState) -> Result<StepOutcome, MpiError> {
+            let comm = mpi.world().clone();
+            let me = comm.rank();
+            mpi.barrier(&comm)?;
+            state.sum = mpi.allreduce(&comm, u64::from(me) + 1, |a, b| a + b)?;
+            state.gathered = mpi.allgather(&comm, &me)?;
+            let brd = mpi.bcast(&comm, 1, if me == 1 { 42u32 } else { 0 })?;
+            assert_eq!(brd, 42);
+            let reduced = mpi.reduce(&comm, 0, u64::from(me), |a, b| a.max(b))?;
+            if me == 0 {
+                assert_eq!(reduced, Some(u64::from(comm.size() - 1)));
+            } else {
+                assert_eq!(reduced, None);
+            }
+            let part: u32 = mpi.scatter(
+                &comm,
+                0,
+                if me == 0 {
+                    Some((0..comm.size()).map(|i| i * 10).collect())
+                } else {
+                    None
+                },
+            )?;
+            assert_eq!(part, me * 10);
+            let exchanged =
+                mpi.alltoall(&comm, (0..comm.size()).map(|q| me * 100 + q).collect())?;
+            for (q, v) in exchanged.iter().enumerate() {
+                assert_eq!(*v, (q as u32) * 100 + me);
+            }
+            state.phase += 1;
+            Ok(if state.phase >= 3 {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue
+            })
+        }
+    }
+
+    let rt = runtime("coll", 3);
+    let results = mpirun(&rt, Arc::new(CollApp), RunConfig::new(5))
+        .unwrap()
+        .wait()
+        .unwrap();
+    for (state, _) in &results {
+        assert_eq!(state.sum, (1..=5).sum::<u64>());
+        assert_eq!(state.gathered, vec![0, 1, 2, 3, 4]);
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn params_select_components() {
+    let rt = runtime("params", 1);
+    let params = Arc::new(McaParams::new());
+    params.set("crs", "self");
+    params.set("crcp", "logger");
+    params.set("snapc", "direct");
+    let config = RunConfig {
+        nprocs: 2,
+        params,
+    };
+    let job = mpirun(&rt, Arc::new(RingApp { rounds: 3000 }), config).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let outcome = job.checkpoint(&CheckpointOptions::tool()).unwrap();
+    assert!(outcome.global_snapshot.exists());
+    job.request_terminate();
+    let _ = job.wait().unwrap();
+
+    // The local snapshots record the self CRS.
+    let global = cr_core::GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+    for local in global.local_snapshots(outcome.interval).unwrap() {
+        assert_eq!(local.crs_component(), "self");
+    }
+    rt.shutdown();
+}
+
+fn _type_assertions(p: PathBuf) -> PathBuf {
+    p
+}

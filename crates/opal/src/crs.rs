@@ -1,0 +1,499 @@
+//! OPAL CRS — the Checkpoint/Restart Service framework (paper §6.4).
+//!
+//! A CRS component provides exactly two operations: checkpoint a process
+//! into a local snapshot reference, and restart a process image from one.
+//! Components also implement enable/disable so non-checkpointable code
+//! sections are protected, and may refuse service entirely (the `none`
+//! component), which marks the process non-checkpointable — the snapshot
+//! coordinator must then refuse whole-job requests without affecting any
+//! process.
+//!
+//! Components:
+//!
+//! * **`blcr_sim`** — models BLCR, a *system-level* checkpointer: it images
+//!   the process without any application cooperation (no callbacks). An
+//!   MCA parameter can inject deterministic failures for fault testing.
+//! * **`self`** — models the SELF component: the application registers
+//!   checkpoint / continue / restart callbacks that run around the image
+//!   capture, supporting application-level checkpointing.
+//! * **`none`** — no checkpointer available; the process declares itself
+//!   non-checkpointable.
+
+use std::sync::Arc;
+
+use mca::{Framework, McaParams};
+use parking_lot::Mutex;
+
+use cr_core::snapshot::LocalSnapshot;
+use cr_core::{CrError, FtEventState};
+
+use crate::image::ProcessImage;
+
+/// Callback the application may register through the SELF component.
+pub type SelfCallback = Box<dyn FnMut() -> Result<(), CrError> + Send>;
+
+/// Registry of SELF-component application callbacks for one process.
+#[derive(Default)]
+pub struct SelfCallbacks {
+    /// Invoked just before the process image is captured.
+    pub on_checkpoint: Mutex<Option<SelfCallback>>,
+    /// Invoked when the process continues after a checkpoint.
+    pub on_continue: Mutex<Option<SelfCallback>>,
+    /// Invoked when the process has been restarted from a snapshot.
+    pub on_restart: Mutex<Option<SelfCallback>>,
+}
+
+impl SelfCallbacks {
+    /// Empty registry (no callbacks installed).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn fire(slot: &Mutex<Option<SelfCallback>>) -> Result<(), CrError> {
+        if let Some(cb) = slot.lock().as_mut() {
+            cb()?;
+        }
+        Ok(())
+    }
+}
+
+/// A single-process checkpoint/restart system.
+pub trait CrsComponent: Send + Sync {
+    /// Component name as used in MCA selection and snapshot metadata.
+    fn name(&self) -> &'static str;
+
+    /// True when this component can actually take checkpoints. The snapshot
+    /// coordinator consults this before initiating any process checkpoint.
+    fn can_checkpoint(&self) -> bool {
+        true
+    }
+
+    /// Persist `image` into `snapshot` (write the context file and any
+    /// component-specific metadata).
+    fn checkpoint(
+        &self,
+        image: &ProcessImage,
+        snapshot: &mut LocalSnapshot,
+    ) -> Result<(), CrError>;
+
+    /// Reconstruct a process image from `snapshot`.
+    fn restart(&self, snapshot: &LocalSnapshot) -> Result<ProcessImage, CrError>;
+
+    /// Notification delivered after the checkpoint operation resolves
+    /// (continue in place, restarted image, or error). The SELF component
+    /// uses this to fire application callbacks.
+    fn post_event(&self, _state: FtEventState) -> Result<(), CrError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// blcr_sim
+// ---------------------------------------------------------------------------
+
+/// Simulated BLCR: transparent system-level checkpointing.
+pub struct BlcrSim {
+    /// Fail every Nth checkpoint (0 = never); deterministic fault injection
+    /// via the `crs_blcr_sim_fail_every` MCA parameter.
+    fail_every: u64,
+    attempts: Mutex<u64>,
+    /// Memory-exclusion hints (paper §5.4, citing Plank's memory
+    /// exclusion): image sections named in the comma-separated
+    /// `crs_blcr_sim_exclude` parameter are omitted from the context file.
+    /// Excluded state must be reconstructible by its owner at restart —
+    /// the classic use is scratch buffers the application can recompute.
+    exclude: Vec<String>,
+}
+
+impl BlcrSim {
+    /// Build from MCA parameters.
+    pub fn from_params(params: &McaParams) -> Self {
+        let exclude = params
+            .get("crs_blcr_sim_exclude")
+            .map(|raw| {
+                raw.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        BlcrSim {
+            fail_every: params
+                .get_parsed_or("crs_blcr_sim_fail_every", 0u64)
+                .unwrap_or(0),
+            attempts: Mutex::new(0),
+            exclude,
+        }
+    }
+}
+
+impl CrsComponent for BlcrSim {
+    fn name(&self) -> &'static str {
+        "blcr_sim"
+    }
+
+    fn checkpoint(
+        &self,
+        image: &ProcessImage,
+        snapshot: &mut LocalSnapshot,
+    ) -> Result<(), CrError> {
+        {
+            let mut attempts = self.attempts.lock();
+            *attempts += 1;
+            if self.fail_every != 0 && (*attempts).is_multiple_of(self.fail_every) {
+                return Err(CrError::FtEventFailed {
+                    subsystem: "crs/blcr_sim".into(),
+                    state: FtEventState::Checkpoint,
+                    detail: format!("injected failure (attempt {})", *attempts),
+                });
+            }
+        }
+        let image = if self.exclude.is_empty() {
+            image.clone()
+        } else {
+            let mut pruned = ProcessImage::new();
+            for name in image.names() {
+                if !self.exclude.iter().any(|e| e == name) {
+                    pruned.insert(
+                        name,
+                        image.section(name).expect("listed section").to_vec(),
+                    );
+                }
+            }
+            pruned
+        };
+        snapshot.write_context(&image.to_bytes()?)?;
+        snapshot.set_param("sections", &image.names().join(","))?;
+        if !self.exclude.is_empty() {
+            snapshot.set_param("excluded", &self.exclude.join(","))?;
+        }
+        Ok(())
+    }
+
+    fn restart(&self, snapshot: &LocalSnapshot) -> Result<ProcessImage, CrError> {
+        ProcessImage::from_bytes(&snapshot.read_context()?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// self
+// ---------------------------------------------------------------------------
+
+/// The SELF component: application-level checkpointing callbacks around a
+/// capture that otherwise matches `blcr_sim`'s on-disk format.
+pub struct SelfCrs {
+    callbacks: Arc<SelfCallbacks>,
+}
+
+impl SelfCrs {
+    /// Build over a process's callback registry.
+    pub fn new(callbacks: Arc<SelfCallbacks>) -> Self {
+        SelfCrs { callbacks }
+    }
+}
+
+impl CrsComponent for SelfCrs {
+    fn name(&self) -> &'static str {
+        "self"
+    }
+
+    fn checkpoint(
+        &self,
+        image: &ProcessImage,
+        snapshot: &mut LocalSnapshot,
+    ) -> Result<(), CrError> {
+        SelfCallbacks::fire(&self.callbacks.on_checkpoint)?;
+        snapshot.write_context(&image.to_bytes()?)?;
+        snapshot.set_param("sections", &image.names().join(","))?;
+        Ok(())
+    }
+
+    fn restart(&self, snapshot: &LocalSnapshot) -> Result<ProcessImage, CrError> {
+        ProcessImage::from_bytes(&snapshot.read_context()?)
+    }
+
+    fn post_event(&self, state: FtEventState) -> Result<(), CrError> {
+        match state {
+            FtEventState::Continue => SelfCallbacks::fire(&self.callbacks.on_continue),
+            FtEventState::Restart => SelfCallbacks::fire(&self.callbacks.on_restart),
+            _ => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// none
+// ---------------------------------------------------------------------------
+
+/// No checkpointer available: the process is non-checkpointable.
+pub struct NoneCrs;
+
+impl CrsComponent for NoneCrs {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn can_checkpoint(&self) -> bool {
+        false
+    }
+
+    fn checkpoint(
+        &self,
+        _image: &ProcessImage,
+        _snapshot: &mut LocalSnapshot,
+    ) -> Result<(), CrError> {
+        Err(CrError::Unsupported {
+            detail: "the none CRS component cannot take checkpoints".into(),
+        })
+    }
+
+    fn restart(&self, _snapshot: &LocalSnapshot) -> Result<ProcessImage, CrError> {
+        Err(CrError::Unsupported {
+            detail: "the none CRS component cannot restart processes".into(),
+        })
+    }
+}
+
+/// Assemble the CRS framework for one process.
+///
+/// `blcr_sim` has the highest default priority (mirrors real deployments
+/// where a system-level checkpointer is preferred when present), then
+/// `self`, then `none`.
+pub fn crs_framework(callbacks: Arc<SelfCallbacks>) -> Framework<dyn CrsComponent> {
+    let mut fw: Framework<dyn CrsComponent> = Framework::new("crs");
+    fw.register(
+        "blcr_sim",
+        20,
+        "simulated system-level checkpointer (BLCR-like)",
+        |params| Box::new(BlcrSim::from_params(params)),
+    );
+    let cbs = Arc::clone(&callbacks);
+    fw.register(
+        "self",
+        10,
+        "application-level checkpointing callbacks",
+        move |_params| Box::new(SelfCrs::new(Arc::clone(&cbs))),
+    );
+    fw.register("none", -1, "no checkpoint support", |_params| {
+        Box::new(NoneCrs)
+    });
+    fw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    use cr_core::Rank;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "opal_crs_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_image() -> ProcessImage {
+        let mut img = ProcessImage::new();
+        img.insert("app", vec![7u8; 256]);
+        img.insert("pml", b"counters".to_vec());
+        img
+    }
+
+    #[test]
+    fn blcr_sim_checkpoint_restart_roundtrip() {
+        let dir = tmpdir("blcr");
+        let crs = BlcrSim::from_params(&McaParams::new());
+        let mut snap = LocalSnapshot::create(&dir, Rank(0), crs.name(), 0, "node00").unwrap();
+        let img = sample_image();
+        crs.checkpoint(&img, &mut snap).unwrap();
+        let restored = crs.restart(&snap).unwrap();
+        assert_eq!(restored, img);
+        assert_eq!(snap.param("sections"), Some("app,pml"));
+    }
+
+    #[test]
+    fn blcr_sim_fault_injection_is_deterministic() {
+        let dir = tmpdir("blcrfail");
+        let params = McaParams::new();
+        params.set("crs_blcr_sim_fail_every", "3");
+        let crs = BlcrSim::from_params(&params);
+        let mut snap = LocalSnapshot::create(&dir, Rank(0), crs.name(), 0, "node00").unwrap();
+        let img = sample_image();
+        assert!(crs.checkpoint(&img, &mut snap).is_ok()); // 1
+        assert!(crs.checkpoint(&img, &mut snap).is_ok()); // 2
+        assert!(crs.checkpoint(&img, &mut snap).is_err()); // 3 fails
+        assert!(crs.checkpoint(&img, &mut snap).is_ok()); // 4
+    }
+
+    #[test]
+    fn self_component_fires_callbacks_in_order() {
+        let dir = tmpdir("selfcb");
+        let callbacks = SelfCallbacks::new();
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+
+        let o = Arc::clone(&order);
+        *callbacks.on_checkpoint.lock() = Some(Box::new(move || {
+            o.lock().push("checkpoint");
+            Ok(())
+        }));
+        let o = Arc::clone(&order);
+        *callbacks.on_continue.lock() = Some(Box::new(move || {
+            o.lock().push("continue");
+            Ok(())
+        }));
+        let o = Arc::clone(&order);
+        *callbacks.on_restart.lock() = Some(Box::new(move || {
+            o.lock().push("restart");
+            Ok(())
+        }));
+
+        let crs = SelfCrs::new(Arc::clone(&callbacks));
+        let mut snap = LocalSnapshot::create(&dir, Rank(1), crs.name(), 0, "node00").unwrap();
+        crs.checkpoint(&sample_image(), &mut snap).unwrap();
+        crs.post_event(FtEventState::Continue).unwrap();
+        crs.post_event(FtEventState::Restart).unwrap();
+        crs.post_event(FtEventState::Error).unwrap();
+        assert_eq!(*order.lock(), vec!["checkpoint", "continue", "restart"]);
+    }
+
+    #[test]
+    fn self_callback_failure_aborts_checkpoint() {
+        let dir = tmpdir("selffail");
+        let callbacks = SelfCallbacks::new();
+        *callbacks.on_checkpoint.lock() = Some(Box::new(|| {
+            Err(CrError::Unsupported {
+                detail: "app refuses".into(),
+            })
+        }));
+        let crs = SelfCrs::new(callbacks);
+        let mut snap = LocalSnapshot::create(&dir, Rank(0), crs.name(), 0, "node00").unwrap();
+        assert!(crs.checkpoint(&sample_image(), &mut snap).is_err());
+        // No context file must have been written.
+        assert!(!snap.context_path().exists());
+    }
+
+    #[test]
+    fn none_component_refuses_everything() {
+        let dir = tmpdir("none");
+        let crs = NoneCrs;
+        assert!(!crs.can_checkpoint());
+        let mut snap = LocalSnapshot::create(&dir, Rank(0), crs.name(), 0, "node00").unwrap();
+        assert!(crs.checkpoint(&sample_image(), &mut snap).is_err());
+        assert!(crs.restart(&snap).is_err());
+    }
+
+    #[test]
+    fn framework_selection_and_restart_by_name() {
+        let fw = crs_framework(SelfCallbacks::new());
+        let params = McaParams::new();
+        // Default: highest priority wins.
+        assert_eq!(fw.select(&params).unwrap().name(), "blcr_sim");
+        params.set("crs", "self");
+        assert_eq!(fw.select(&params).unwrap().name(), "self");
+        // Restart path instantiates by metadata name regardless of params.
+        assert_eq!(fw.instantiate("none", &params).unwrap().name(), "none");
+        assert!(fw.instantiate("condor", &params).is_err());
+    }
+
+    #[test]
+    fn components_restart_each_others_files() {
+        // blcr_sim and self share the context format, so a snapshot taken by
+        // one can be inspected by the other (heterogeneous support, §4).
+        let dir = tmpdir("hetero");
+        let blcr = BlcrSim::from_params(&McaParams::new());
+        let selfcrs = SelfCrs::new(SelfCallbacks::new());
+        let mut snap = LocalSnapshot::create(&dir, Rank(0), blcr.name(), 0, "node00").unwrap();
+        let img = sample_image();
+        blcr.checkpoint(&img, &mut snap).unwrap();
+        assert_eq!(selfcrs.restart(&snap).unwrap(), img);
+    }
+
+    #[test]
+    fn callbacks_can_mutate_app_state() {
+        let callbacks = SelfCallbacks::new();
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&counter);
+        *callbacks.on_continue.lock() = Some(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }));
+        let crs = SelfCrs::new(callbacks);
+        crs.post_event(FtEventState::Continue).unwrap();
+        crs.post_event(FtEventState::Continue).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+}
+
+#[cfg(test)]
+mod exclusion_tests {
+    use super::*;
+    use cr_core::Rank;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "opal_crs_excl_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn memory_exclusion_hints_shrink_the_image() {
+        let dir = tmpdir("shrink");
+        let mut image = ProcessImage::new();
+        image.insert("app", vec![1u8; 64]);
+        image.insert("scratch", vec![0u8; 1 << 16]); // recomputable buffer
+        image.insert("pml", vec![2u8; 32]);
+
+        let params = McaParams::new();
+        let full = BlcrSim::from_params(&params);
+        let mut full_snap = LocalSnapshot::create(&dir, Rank(0), "blcr_sim", 0, "n0").unwrap();
+        full.checkpoint(&image, &mut full_snap).unwrap();
+
+        params.set("crs_blcr_sim_exclude", "scratch");
+        let pruned = BlcrSim::from_params(&params);
+        let dir2 = tmpdir("shrink2");
+        let mut small_snap = LocalSnapshot::create(&dir2, Rank(0), "blcr_sim", 0, "n0").unwrap();
+        pruned.checkpoint(&image, &mut small_snap).unwrap();
+
+        let full_size = full_snap.size_bytes().unwrap();
+        let small_size = small_snap.size_bytes().unwrap();
+        assert!(
+            small_size + (1 << 15) < full_size,
+            "exclusion must drop the scratch section ({small_size} vs {full_size})"
+        );
+        assert_eq!(small_snap.param("excluded"), Some("scratch"));
+
+        // Restart sees the kept sections only.
+        let restored = pruned.restart(&small_snap).unwrap();
+        assert!(restored.section("app").is_some());
+        assert!(restored.section("pml").is_some());
+        assert!(restored.section("scratch").is_none());
+    }
+
+    #[test]
+    fn empty_and_unknown_exclusions_are_harmless() {
+        let params = McaParams::new();
+        params.set("crs_blcr_sim_exclude", " , nonexistent ,");
+        let crs = BlcrSim::from_params(&params);
+        let mut image = ProcessImage::new();
+        image.insert("app", vec![5u8; 16]);
+        let dir = tmpdir("harmless");
+        let mut snap = LocalSnapshot::create(&dir, Rank(0), "blcr_sim", 0, "n0").unwrap();
+        crs.checkpoint(&image, &mut snap).unwrap();
+        let restored = crs.restart(&snap).unwrap();
+        assert_eq!(restored.section("app"), Some(&[5u8; 16][..]));
+    }
+}

@@ -1,0 +1,163 @@
+//! The captured state of one process.
+//!
+//! BLCR dumps a process's address space wholesale. Our simulated processes
+//! instead *register sections*: each subsystem that owns restart-relevant
+//! state (the application's state object, the point-to-point layer's
+//! queues and counters, the collective module, ...) contributes one named
+//! byte section. The union of sections is the process image that a CRS
+//! component persists into the local snapshot's context file.
+
+use serde::{Deserialize, Serialize};
+
+use cr_core::CrError;
+
+/// One named section of a process image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Section {
+    /// Section name (e.g. `"app"`, `"pml"`).
+    pub name: String,
+    /// Serialized subsystem state.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete captured process state: ordered named sections.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProcessImage {
+    sections: Vec<Section>,
+}
+
+impl ProcessImage {
+    /// Empty image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add or replace a section.
+    pub fn insert(&mut self, name: impl Into<String>, bytes: Vec<u8>) {
+        let name = name.into();
+        if let Some(existing) = self.sections.iter_mut().find(|s| s.name == name) {
+            existing.bytes = bytes;
+        } else {
+            self.sections.push(Section { name, bytes });
+        }
+    }
+
+    /// Bytes of `name`'s section, if present.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.bytes.as_slice())
+    }
+
+    /// Bytes of `name`'s section, or a structured error naming what exists.
+    pub fn require_section(&self, name: &str) -> Result<&[u8], CrError> {
+        self.section(name).ok_or_else(|| CrError::BadSnapshot {
+            detail: format!(
+                "process image has no {name:?} section (has: {})",
+                self.names().join(", ")
+            ),
+        })
+    }
+
+    /// Decode `name`'s section as a typed value.
+    pub fn decode_section<T: serde::de::DeserializeOwned>(&self, name: &str) -> Result<T, CrError> {
+        Ok(codec::from_bytes(self.require_section(name)?)?)
+    }
+
+    /// Encode `value` and store it as section `name`.
+    pub fn encode_section<T: Serialize>(&mut self, name: &str, value: &T) -> Result<(), CrError> {
+        self.insert(name, codec::to_bytes(value)?);
+        Ok(())
+    }
+
+    /// Section names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when no sections have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Total payload bytes across sections.
+    pub fn total_bytes(&self) -> usize {
+        self.sections.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// Serialize the whole image to context-file payload bytes.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CrError> {
+        Ok(codec::to_bytes(self)?)
+    }
+
+    /// Parse an image from context-file payload bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CrError> {
+        Ok(codec::from_bytes(bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_replace() {
+        let mut img = ProcessImage::new();
+        assert!(img.is_empty());
+        img.insert("app", vec![1, 2, 3]);
+        img.insert("pml", vec![4]);
+        img.insert("app", vec![9]);
+        assert_eq!(img.len(), 2);
+        assert_eq!(img.section("app"), Some(&[9u8][..]));
+        assert_eq!(img.section("pml"), Some(&[4u8][..]));
+        assert_eq!(img.section("missing"), None);
+        assert_eq!(img.names(), vec!["app", "pml"]);
+        assert_eq!(img.total_bytes(), 2);
+    }
+
+    #[test]
+    fn require_section_error_lists_names() {
+        let mut img = ProcessImage::new();
+        img.insert("app", vec![]);
+        let err = img.require_section("pml").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("pml"));
+        assert!(msg.contains("app"));
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let mut img = ProcessImage::new();
+        img.insert("app", vec![0u8; 1024]);
+        img.insert("pml", b"queue state".to_vec());
+        let bytes = img.to_bytes().unwrap();
+        let back = ProcessImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn typed_sections() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct AppState {
+            iteration: u64,
+            sum: f64,
+        }
+        let mut img = ProcessImage::new();
+        img.encode_section("app", &AppState { iteration: 7, sum: 1.5 })
+            .unwrap();
+        let back: AppState = img.decode_section("app").unwrap();
+        assert_eq!(back, AppState { iteration: 7, sum: 1.5 });
+        assert!(img.decode_section::<AppState>("nope").is_err());
+    }
+
+    #[test]
+    fn corrupt_image_bytes_error() {
+        assert!(ProcessImage::from_bytes(&[0xFF, 0x00, 0x13]).is_err());
+    }
+}

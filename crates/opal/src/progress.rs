@@ -1,0 +1,170 @@
+//! The OPAL progress engine: a real subsystem that must pause around
+//! checkpoints.
+//!
+//! Open MPI's OPAL layer runs a libevent-based event loop that drives
+//! asynchronous progress (timers, socket readiness). An event loop captured
+//! mid-dispatch cannot be restored, so OPAL's INC quiesces it before the
+//! CRS runs and resumes it afterwards. This module provides the simulated
+//! equivalent: a ticker thread dispatching registered periodic callbacks,
+//! with `ft_event` pausing and resuming dispatch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use cr_core::{CrError, FtEvent, FtEventState};
+
+type TickCallback = Box<dyn FnMut() + Send>;
+
+struct Shared {
+    paused: AtomicBool,
+    shutdown: AtomicBool,
+    ticks: AtomicU64,
+    callbacks: Mutex<Vec<TickCallback>>,
+}
+
+/// A ticker thread dispatching registered callbacks every `period`, unless
+/// paused by a checkpoint.
+pub struct ProgressEngine {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ProgressEngine {
+    /// Start the engine with the given tick period.
+    pub fn start(period: Duration) -> Self {
+        let shared = Arc::new(Shared {
+            paused: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            ticks: AtomicU64::new(0),
+            callbacks: Mutex::new(Vec::new()),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("opal-progress".into())
+            .spawn(move || loop {
+                if thread_shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if !thread_shared.paused.load(Ordering::Acquire) {
+                    thread_shared.ticks.fetch_add(1, Ordering::Relaxed);
+                    let mut cbs = thread_shared.callbacks.lock();
+                    for cb in cbs.iter_mut() {
+                        cb();
+                    }
+                }
+                std::thread::sleep(period);
+            })
+            .expect("spawn progress engine");
+        ProgressEngine {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Register a callback dispatched on every tick.
+    pub fn register(&self, cb: impl FnMut() + Send + 'static) {
+        self.shared.callbacks.lock().push(Box::new(cb));
+    }
+
+    /// Ticks dispatched so far.
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks.load(Ordering::Relaxed)
+    }
+
+    /// True while dispatch is paused (quiesced for a checkpoint).
+    pub fn is_paused(&self) -> bool {
+        self.shared.paused.load(Ordering::Acquire)
+    }
+
+    /// Stop the ticker thread and wait for it.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProgressEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl FtEvent for ProgressEngine {
+    fn ft_event(&mut self, state: FtEventState) -> Result<(), CrError> {
+        match state {
+            FtEventState::Checkpoint => {
+                self.shared.paused.store(true, Ordering::Release);
+            }
+            FtEventState::Continue | FtEventState::Restart | FtEventState::Error => {
+                self.shared.paused.store(false, Ordering::Release);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+        for _ in 0..500 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn ticks_advance_and_callbacks_fire() {
+        let engine = ProgressEngine::start(Duration::from_millis(1));
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        engine.register(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        wait_for(|| count.load(Ordering::Relaxed) >= 3, "callbacks");
+        assert!(engine.ticks() >= 3);
+    }
+
+    #[test]
+    fn checkpoint_pauses_continue_resumes() {
+        let mut engine = ProgressEngine::start(Duration::from_millis(1));
+        wait_for(|| engine.ticks() > 0, "first tick");
+        engine.ft_event(FtEventState::Checkpoint).unwrap();
+        assert!(engine.is_paused());
+        // Allow the tick thread to observe the pause, then assert quiet.
+        std::thread::sleep(Duration::from_millis(10));
+        let frozen = engine.ticks();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(engine.ticks(), frozen, "no ticks while paused");
+        engine.ft_event(FtEventState::Continue).unwrap();
+        wait_for(|| engine.ticks() > frozen, "resume");
+    }
+
+    #[test]
+    fn restart_and_error_also_resume() {
+        let mut engine = ProgressEngine::start(Duration::from_millis(1));
+        engine.ft_event(FtEventState::Checkpoint).unwrap();
+        engine.ft_event(FtEventState::Restart).unwrap();
+        assert!(!engine.is_paused());
+        engine.ft_event(FtEventState::Checkpoint).unwrap();
+        engine.ft_event(FtEventState::Error).unwrap();
+        assert!(!engine.is_paused());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut engine = ProgressEngine::start(Duration::from_millis(1));
+        engine.shutdown();
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,351 @@
+//! FILEM — the remote file management framework (paper §5.2/§6.2).
+//!
+//! FILEM moves checkpoint files between node-local disks and stable
+//! storage: *gather* pulls every rank's local snapshot into the global
+//! snapshot directory, *broadcast* preloads files onto nodes before a
+//! restart, and *remove* cleans up scratch copies. The framework interface
+//! accepts batches so components can schedule transfers to avoid
+//! congesting the network.
+//!
+//! Components:
+//!
+//! * **`rsh_sim`** — models `scp -r`: one session per *file*, so the
+//!   simulated cost carries a per-file overhead on top of the wire time.
+//! * **`oob_stream`** — models streaming a whole tree through one
+//!   connection (tar-over-ssh style): one session per *tree*.
+//!
+//! Both components physically copy files on the host filesystem (the trees
+//! are real); only the *cost* is simulated, via the topology's link model.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mca::{Framework, McaParams};
+use netsim::{NodeId, SimTime, Topology};
+
+use cr_core::CrError;
+
+/// Outcome of one FILEM operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilemReport {
+    /// Files moved.
+    pub files: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Simulated transfer time.
+    pub sim_cost: SimTime,
+}
+
+impl FilemReport {
+    /// Accumulate another report.
+    pub fn merge(&mut self, other: FilemReport) {
+        self.files += other.files;
+        self.bytes += other.bytes;
+        self.sim_cost += other.sim_cost;
+    }
+}
+
+/// One file movement request (a batch of these forms an operation).
+#[derive(Debug, Clone)]
+pub struct CopyRequest {
+    /// Source tree (file or directory).
+    pub src: PathBuf,
+    /// Node the source lives on.
+    pub src_node: NodeId,
+    /// Destination path (created/overwritten).
+    pub dest: PathBuf,
+    /// Node the destination lives on.
+    pub dest_node: NodeId,
+}
+
+/// A file management component.
+pub trait FilemComponent: Send + Sync {
+    /// Component name.
+    fn name(&self) -> &'static str;
+
+    /// Copy a batch of trees. The default walks the batch sequentially;
+    /// components may reorder or group to optimize.
+    fn copy_all(&self, topology: &Topology, batch: &[CopyRequest]) -> Result<FilemReport, CrError> {
+        let mut total = FilemReport::default();
+        for req in batch {
+            total.merge(self.copy_tree(topology, req)?);
+        }
+        Ok(total)
+    }
+
+    /// Copy one tree.
+    fn copy_tree(&self, topology: &Topology, req: &CopyRequest) -> Result<FilemReport, CrError>;
+
+    /// Remove a tree (cleanup of preloaded/scratch data).
+    fn remove_tree(&self, path: &Path) -> Result<(), CrError> {
+        if path.exists() {
+            fs::remove_dir_all(path).map_err(|e| CrError::io(path.display().to_string(), &e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Recursively copy `src` to `dest`, returning per-file sizes.
+fn copy_tree_files(src: &Path, dest: &Path) -> Result<Vec<u64>, CrError> {
+    let mut sizes = Vec::new();
+    let meta = fs::metadata(src).map_err(|e| CrError::io(src.display().to_string(), &e))?;
+    if meta.is_file() {
+        if let Some(parent) = dest.parent() {
+            fs::create_dir_all(parent).map_err(|e| CrError::io(parent.display().to_string(), &e))?;
+        }
+        fs::copy(src, dest).map_err(|e| CrError::io(src.display().to_string(), &e))?;
+        sizes.push(meta.len());
+        return Ok(sizes);
+    }
+    fs::create_dir_all(dest).map_err(|e| CrError::io(dest.display().to_string(), &e))?;
+    let entries = fs::read_dir(src).map_err(|e| CrError::io(src.display().to_string(), &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| CrError::io(src.display().to_string(), &e))?;
+        let name = entry.file_name();
+        sizes.extend(copy_tree_files(&entry.path(), &dest.join(name))?);
+    }
+    Ok(sizes)
+}
+
+/// `scp`-style copier: one session per file.
+pub struct RshSimFilem {
+    session: SimTime,
+}
+
+impl RshSimFilem {
+    /// Build from MCA parameters (`filem_rsh_sim_session_ms`).
+    pub fn from_params(params: &McaParams) -> Self {
+        let ms = params.get_parsed_or("filem_rsh_sim_session_ms", 120u64).unwrap_or(120);
+        RshSimFilem {
+            session: SimTime::from_millis(ms),
+        }
+    }
+}
+
+impl FilemComponent for RshSimFilem {
+    fn name(&self) -> &'static str {
+        "rsh_sim"
+    }
+
+    fn copy_tree(&self, topology: &Topology, req: &CopyRequest) -> Result<FilemReport, CrError> {
+        let sizes = copy_tree_files(&req.src, &req.dest)?;
+        let mut cost = SimTime::ZERO;
+        let mut bytes = 0u64;
+        for size in &sizes {
+            cost += self.session + topology.cost(req.src_node, req.dest_node, *size as usize);
+            bytes += size;
+        }
+        Ok(FilemReport {
+            files: sizes.len() as u64,
+            bytes,
+            sim_cost: cost,
+        })
+    }
+}
+
+/// Streaming copier: one session per tree.
+pub struct OobStreamFilem {
+    session: SimTime,
+}
+
+impl OobStreamFilem {
+    /// Build from MCA parameters (`filem_oob_stream_session_ms`).
+    pub fn from_params(params: &McaParams) -> Self {
+        let ms = params.get_parsed_or("filem_oob_stream_session_ms", 20u64).unwrap_or(20);
+        OobStreamFilem {
+            session: SimTime::from_millis(ms),
+        }
+    }
+}
+
+impl FilemComponent for OobStreamFilem {
+    fn name(&self) -> &'static str {
+        "oob_stream"
+    }
+
+    fn copy_tree(&self, topology: &Topology, req: &CopyRequest) -> Result<FilemReport, CrError> {
+        let sizes = copy_tree_files(&req.src, &req.dest)?;
+        let bytes: u64 = sizes.iter().sum();
+        let cost = self.session + topology.cost(req.src_node, req.dest_node, bytes as usize);
+        Ok(FilemReport {
+            files: sizes.len() as u64,
+            bytes,
+            sim_cost: cost,
+        })
+    }
+}
+
+/// Assemble the FILEM framework (`rsh_sim` default, matching the paper's
+/// first component).
+pub fn filem_framework() -> Framework<dyn FilemComponent> {
+    let mut fw: Framework<dyn FilemComponent> = Framework::new("filem");
+    fw.register("rsh_sim", 20, "RSH/SCP remote copy, one session per file", |p| {
+        Box::new(RshSimFilem::from_params(p))
+    });
+    fw.register(
+        "oob_stream",
+        10,
+        "streamed tree copy over one connection",
+        |p| Box::new(OobStreamFilem::from_params(p)),
+    );
+    fw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::LinkSpec;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "orte_filem_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn topo() -> Topology {
+        Topology::uniform(3, LinkSpec::gigabit_ethernet())
+    }
+
+    fn make_tree(base: &Path) -> u64 {
+        fs::create_dir_all(base.join("sub")).unwrap();
+        fs::write(base.join("meta.data"), b"crs = blcr_sim\n").unwrap();
+        fs::write(base.join("context.bin"), vec![0u8; 4096]).unwrap();
+        fs::write(base.join("sub").join("extra"), vec![1u8; 100]).unwrap();
+        15 + 4096 + 100
+    }
+
+    #[test]
+    fn rsh_copies_tree_exactly() {
+        let base = tmpdir("rsh");
+        let src = base.join("src");
+        let expected_bytes = make_tree(&src);
+        let dest = base.join("dest");
+        let filem = RshSimFilem::from_params(&McaParams::new());
+        let report = filem
+            .copy_tree(
+                &topo(),
+                &CopyRequest {
+                    src: src.clone(),
+                    src_node: NodeId(1),
+                    dest: dest.clone(),
+                    dest_node: NodeId(0),
+                },
+            )
+            .unwrap();
+        assert_eq!(report.files, 3);
+        assert_eq!(report.bytes, expected_bytes);
+        assert!(report.sim_cost > SimTime::ZERO);
+        assert_eq!(fs::read(dest.join("context.bin")).unwrap(), vec![0u8; 4096]);
+        assert_eq!(
+            fs::read(dest.join("sub").join("extra")).unwrap(),
+            vec![1u8; 100]
+        );
+        assert!(dest.join("meta.data").is_file());
+    }
+
+    #[test]
+    fn single_file_copy() {
+        let base = tmpdir("single");
+        let src = base.join("one.bin");
+        fs::write(&src, vec![7u8; 64]).unwrap();
+        let dest = base.join("out").join("one.bin");
+        let filem = OobStreamFilem::from_params(&McaParams::new());
+        let report = filem
+            .copy_tree(
+                &topo(),
+                &CopyRequest {
+                    src,
+                    src_node: NodeId(0),
+                    dest: dest.clone(),
+                    dest_node: NodeId(0),
+                },
+            )
+            .unwrap();
+        assert_eq!(report.files, 1);
+        assert_eq!(report.bytes, 64);
+        assert!(dest.is_file());
+    }
+
+    #[test]
+    fn missing_source_is_io_error() {
+        let base = tmpdir("missing");
+        let filem = RshSimFilem::from_params(&McaParams::new());
+        let err = filem
+            .copy_tree(
+                &topo(),
+                &CopyRequest {
+                    src: base.join("nope"),
+                    src_node: NodeId(0),
+                    dest: base.join("out"),
+                    dest_node: NodeId(0),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CrError::Io { .. }));
+    }
+
+    #[test]
+    fn per_file_overhead_vs_streaming() {
+        // Many small files: rsh (per-file sessions) must cost more than
+        // oob_stream (one session) — the A5 ablation's core effect.
+        let base = tmpdir("overhead");
+        let src = base.join("src");
+        fs::create_dir_all(&src).unwrap();
+        for i in 0..50 {
+            fs::write(src.join(format!("f{i}")), vec![0u8; 128]).unwrap();
+        }
+        let params = McaParams::new();
+        let rsh = RshSimFilem::from_params(&params);
+        let stream = OobStreamFilem::from_params(&params);
+        let req = |dest: &str| CopyRequest {
+            src: src.clone(),
+            src_node: NodeId(1),
+            dest: base.join(dest),
+            dest_node: NodeId(0),
+        };
+        let rsh_report = rsh.copy_tree(&topo(), &req("rsh_out")).unwrap();
+        let stream_report = stream.copy_tree(&topo(), &req("stream_out")).unwrap();
+        assert_eq!(rsh_report.bytes, stream_report.bytes);
+        assert!(rsh_report.sim_cost > stream_report.sim_cost * 5);
+    }
+
+    #[test]
+    fn batch_copy_and_remove() {
+        let base = tmpdir("batch");
+        let mut batch = Vec::new();
+        for i in 0..3 {
+            let src = base.join(format!("src{i}"));
+            make_tree(&src);
+            batch.push(CopyRequest {
+                src,
+                src_node: NodeId(i),
+                dest: base.join(format!("dest{i}")),
+                dest_node: NodeId(0),
+            });
+        }
+        let filem = RshSimFilem::from_params(&McaParams::new());
+        let report = filem.copy_all(&topo(), &batch).unwrap();
+        assert_eq!(report.files, 9);
+        for i in 0..3 {
+            assert!(base.join(format!("dest{i}")).join("context.bin").is_file());
+        }
+        filem.remove_tree(&base.join("dest0")).unwrap();
+        assert!(!base.join("dest0").exists());
+        // Removing twice is fine.
+        filem.remove_tree(&base.join("dest0")).unwrap();
+    }
+
+    #[test]
+    fn framework_selection() {
+        let fw = filem_framework();
+        let params = McaParams::new();
+        assert_eq!(fw.select(&params).unwrap().name(), "rsh_sim");
+        params.set("filem", "oob_stream");
+        assert_eq!(fw.select(&params).unwrap().name(), "oob_stream");
+    }
+}

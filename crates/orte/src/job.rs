@@ -1,0 +1,447 @@
+//! Job specification, launch, and the job handle.
+//!
+//! A job is a set of ranks mapped onto nodes, each rank being one
+//! simulated process: an application thread (running the closure the OMPI
+//! layer provides), a checkpoint notification thread, and a
+//! [`ProcessContainer`] control plane, all registered with the node's
+//! daemon. The [`JobHandle`] is what `mpirun` holds: it joins the job,
+//! requests checkpoints through the selected SNAPC component, and carries
+//! the job's global snapshot reference across checkpoint intervals.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::Sender;
+use mca::McaParams;
+use netsim::NodeId;
+use parking_lot::Mutex;
+
+use cr_core::request::{CheckpointOptions, CheckpointOutcome};
+use cr_core::snapshot::GlobalSnapshot;
+use cr_core::{CrError, JobId, ProcessName, Rank};
+use opal::container::OpalCtrl;
+use opal::{ProcessContainer, ProcessImage};
+
+use crate::plm::{plm_framework, Placement};
+use crate::runtime::Runtime;
+use crate::snapc::snapc_framework;
+
+/// Everything a process's application thread receives at startup.
+pub struct LaunchCtx {
+    /// The runtime environment.
+    pub runtime: Runtime,
+    /// Launch parameters (MCA store snapshot shared by the job).
+    pub params: Arc<McaParams>,
+    /// This process's name.
+    pub name: ProcessName,
+    /// Total ranks in the job.
+    pub nprocs: u32,
+    /// Node this process runs on.
+    pub node: NodeId,
+    /// The process control plane.
+    pub container: Arc<ProcessContainer>,
+    /// Restored process image when this is a restart, `None` on a fresh
+    /// launch.
+    pub restored: Option<ProcessImage>,
+    /// Set when the job was asked to terminate (checkpoint-and-terminate);
+    /// application loops must exit at their next safe point.
+    pub terminate: Arc<AtomicBool>,
+}
+
+/// The per-process entry function supplied by the layer above (OMPI).
+pub type ProcMain = Arc<dyn Fn(LaunchCtx) + Send + Sync>;
+
+/// Description of a job to launch.
+pub struct JobSpec {
+    /// Number of ranks.
+    pub nprocs: u32,
+    /// Launch parameters.
+    pub params: Arc<McaParams>,
+    /// Application entry, run on each rank's thread.
+    pub proc_main: ProcMain,
+    /// Restored images (rank order) when restarting from a snapshot.
+    pub restored: Option<Vec<ProcessImage>>,
+    /// When restarting: the interval the images came from, so new
+    /// checkpoint intervals continue numbering past it.
+    pub resume_floor: Option<u64>,
+}
+
+impl JobSpec {
+    /// Fresh launch of `nprocs` ranks.
+    pub fn new(nprocs: u32, params: Arc<McaParams>, proc_main: ProcMain) -> Self {
+        JobSpec {
+            nprocs,
+            params,
+            proc_main,
+            restored: None,
+            resume_floor: None,
+        }
+    }
+}
+
+struct ProcEntry {
+    container: Arc<ProcessContainer>,
+    ctrl: Sender<OpalCtrl>,
+    app: Mutex<Option<JoinHandle<()>>>,
+    notify: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Handle to a launched job (what `mpirun` holds).
+pub struct JobHandle {
+    runtime: Runtime,
+    job: JobId,
+    nprocs: u32,
+    params: Arc<McaParams>,
+    placement: Placement,
+    procs: Vec<ProcEntry>,
+    terminate: Arc<AtomicBool>,
+    global_snapshot: Mutex<Option<GlobalSnapshot>>,
+    resume_floor: Option<u64>,
+    /// Serializes distributed checkpoint requests: overlapping requests
+    /// would interleave at the daemons in inconsistent orders across
+    /// nodes, so the global coordinator admits one at a time (as the
+    /// original implementation does).
+    checkpoint_serial: Mutex<()>,
+}
+
+impl JobHandle {
+    /// Job id.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// Number of ranks.
+    pub fn nprocs(&self) -> u32 {
+        self.nprocs
+    }
+
+    /// Launch parameters.
+    pub fn params(&self) -> &Arc<McaParams> {
+        &self.params
+    }
+
+    /// The runtime this job runs in.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// The job's placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Node of `rank`.
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        self.placement.node_of[rank.index()]
+    }
+
+    /// Control plane of `rank`.
+    pub fn container(&self, rank: Rank) -> &Arc<ProcessContainer> {
+        &self.procs[rank.index()].container
+    }
+
+    /// Notification channel of `rank` (used by the `direct` SNAPC
+    /// component and by tests).
+    pub fn ctrl(&self, rank: Rank) -> &Sender<OpalCtrl> {
+        &self.procs[rank.index()].ctrl
+    }
+
+    /// The cooperative termination flag.
+    pub fn terminate_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.terminate)
+    }
+
+    /// Ask every rank to exit at its next safe point.
+    pub fn request_terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+    }
+
+    /// The job's global snapshot reference, created on first use.
+    pub fn global_snapshot(&self) -> Result<parking_lot::MappedMutexGuard<'_, GlobalSnapshot>, CrError> {
+        let mut guard = self.global_snapshot.lock();
+        if guard.is_none() {
+            let mut snap =
+                GlobalSnapshot::create(&self.runtime.stable_dir(), self.job, self.nprocs)?;
+            if let Some(floor) = self.resume_floor {
+                snap.set_resume_floor(floor)?;
+            }
+            let mut dump = self.params.dump();
+            // Intrinsic launch facts are always recorded, even when every
+            // MCA parameter was defaulted: a restart must never depend on
+            // the user re-supplying anything (paper §4).
+            dump.push(("np".to_string(), self.nprocs.to_string()));
+            snap.record_launch_params(dump.iter().map(|(k, v)| (k.as_str(), v.as_str())))?;
+            *guard = Some(snap);
+        }
+        Ok(parking_lot::MutexGuard::map(guard, |g| {
+            g.as_mut().expect("just initialized")
+        }))
+    }
+
+    /// Request a distributed checkpoint through the selected SNAPC
+    /// component. Returns the global snapshot reference (paper Fig. 1-A).
+    pub fn checkpoint(&self, options: &CheckpointOptions) -> Result<CheckpointOutcome, CrError> {
+        let _serial = self.checkpoint_serial.lock();
+        let fw = snapc_framework();
+        let snapc = fw.select(&self.params).map_err(|e| CrError::Unsupported {
+            detail: e.to_string(),
+        })?;
+        self.runtime
+            .tracer()
+            .record("snapc.global.request", &format!("{} by {}", self.job, options.origin));
+        let outcome = snapc.checkpoint_job(self, options)?;
+        self.runtime.tracer().record(
+            "snapc.global.reference_returned",
+            &outcome.global_snapshot.display().to_string(),
+        );
+        if options.terminate {
+            self.request_terminate();
+        }
+        Ok(outcome)
+    }
+
+    /// Path the job's global snapshot reference will live at.
+    pub fn global_snapshot_path(&self) -> PathBuf {
+        self.runtime
+            .stable_dir()
+            .join(cr_core::snapshot::global_dir_name(self.job))
+    }
+
+    /// Wait for every rank to finish, then tear the job down (notification
+    /// threads, daemon registrations, modex entries). Idempotent.
+    pub fn join(&self) -> Result<(), CrError> {
+        let mut panicked = Vec::new();
+        for (rank, proc_entry) in self.procs.iter().enumerate() {
+            if let Some(handle) = proc_entry.app.lock().take() {
+                if handle.join().is_err() {
+                    panicked.push(rank);
+                }
+            }
+        }
+        for proc_entry in &self.procs {
+            let _ = proc_entry.ctrl.send(OpalCtrl::Shutdown);
+        }
+        for proc_entry in &self.procs {
+            if let Some(handle) = proc_entry.notify.lock().take() {
+                let _ = handle.join();
+            }
+        }
+        for node in self.placement.nodes() {
+            self.runtime.ensure_daemon(node).deregister_job(self.job);
+        }
+        self.runtime.modex().clear_job(self.job);
+        if panicked.is_empty() {
+            Ok(())
+        } else {
+            Err(CrError::protocol(format!(
+                "rank(s) {panicked:?} panicked"
+            )))
+        }
+    }
+}
+
+/// Launch a job into `runtime` per `spec`.
+pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
+    if let Some(images) = &spec.restored {
+        if images.len() != spec.nprocs as usize {
+            return Err(CrError::BadSnapshot {
+                detail: format!(
+                    "restart has {} images for {} ranks",
+                    images.len(),
+                    spec.nprocs
+                ),
+            });
+        }
+    }
+
+    let job = runtime.alloc_job();
+    let plm = plm_framework()
+        .select(&spec.params)
+        .map_err(|e| CrError::Unsupported {
+            detail: e.to_string(),
+        })?;
+    let placement = plm.map_job(spec.nprocs, runtime.topology(), &spec.params)?;
+    runtime.tracer().record(
+        "plm.launch",
+        &format!("{job} nprocs {} cost {}", spec.nprocs, placement.launch_cost),
+    );
+
+    let terminate = Arc::new(AtomicBool::new(false));
+    let mut restored_images = spec.restored;
+    let mut procs = Vec::with_capacity(spec.nprocs as usize);
+
+    for r in 0..spec.nprocs {
+        let rank = Rank(r);
+        let node = placement.node_of[rank.index()];
+        let hostname = runtime.topology().hostname(node).to_string();
+        let name = ProcessName::new(job, rank);
+        let container = ProcessContainer::new(name, hostname, runtime.tracer().clone());
+
+        let daemon = runtime.ensure_daemon(node);
+        let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded();
+        daemon.register_proc(job, rank, Arc::clone(&container), ctrl_tx.clone());
+        let notify = container.spawn_notification_thread(ctrl_rx);
+
+        let ctx = LaunchCtx {
+            runtime: runtime.clone(),
+            params: Arc::clone(&spec.params),
+            name,
+            nprocs: spec.nprocs,
+            node,
+            container: Arc::clone(&container),
+            restored: restored_images.as_mut().map(|v| std::mem::take(&mut v[rank.index()])),
+            terminate: Arc::clone(&terminate),
+        };
+        let main = Arc::clone(&spec.proc_main);
+        let app = std::thread::Builder::new()
+            .name(format!("app-{name}"))
+            .spawn(move || main(ctx))
+            .map_err(|e| CrError::Io {
+                context: "spawning application thread".into(),
+                detail: e.to_string(),
+            })?;
+
+        procs.push(ProcEntry {
+            container,
+            ctrl: ctrl_tx,
+            app: Mutex::new(Some(app)),
+            notify: Mutex::new(Some(notify)),
+        });
+    }
+
+    Ok(JobHandle {
+        runtime: runtime.clone(),
+        job,
+        nprocs: spec.nprocs,
+        params: spec.params,
+        placement,
+        procs,
+        terminate,
+        global_snapshot: Mutex::new(None),
+        resume_floor: spec.resume_floor,
+        checkpoint_serial: Mutex::new(()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkSpec, Topology};
+
+    fn runtime(tag: &str, nodes: u32) -> Runtime {
+        let dir = std::env::temp_dir().join(format!(
+            "orte_job_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Runtime::new(Topology::uniform(nodes, LinkSpec::gigabit_ethernet()), dir).unwrap()
+    }
+
+    #[test]
+    fn launch_runs_every_rank() {
+        let rt = runtime("launch", 2);
+        let done = Arc::new(Mutex::new(Vec::new()));
+        let done2 = Arc::clone(&done);
+        let spec = JobSpec::new(
+            4,
+            Arc::new(McaParams::new()),
+            Arc::new(move |ctx: LaunchCtx| {
+                done2.lock().push((ctx.name.rank, ctx.node));
+                ctx.container.gate().retire();
+            }),
+        );
+        let handle = launch(&rt, spec).unwrap();
+        assert_eq!(handle.nprocs(), 4);
+        handle.join().unwrap();
+        let mut results = done.lock().clone();
+        results.sort_by_key(|(r, _)| *r);
+        assert_eq!(results.len(), 4);
+        // Round-robin placement across two nodes.
+        assert_eq!(results[0].1, NodeId(0));
+        assert_eq!(results[1].1, NodeId(1));
+        assert_eq!(results[2].1, NodeId(0));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn join_reports_panicked_ranks() {
+        let rt = runtime("panic", 1);
+        let spec = JobSpec::new(
+            2,
+            Arc::new(McaParams::new()),
+            Arc::new(|ctx: LaunchCtx| {
+                ctx.container.gate().retire();
+                if ctx.name.rank == Rank(1) {
+                    panic!("rank 1 blows up");
+                }
+            }),
+        );
+        let handle = launch(&rt, spec).unwrap();
+        let err = handle.join().unwrap_err();
+        assert!(err.to_string().contains("[1]"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn restored_image_count_validated() {
+        let rt = runtime("badrestore", 1);
+        let spec = JobSpec {
+            nprocs: 3,
+            params: Arc::new(McaParams::new()),
+            proc_main: Arc::new(|_| {}),
+            restored: Some(vec![ProcessImage::new()]),
+            resume_floor: Some(0),
+        };
+        assert!(matches!(
+            launch(&rt, spec),
+            Err(CrError::BadSnapshot { .. })
+        ));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn terminate_flag_reaches_ranks() {
+        let rt = runtime("term", 1);
+        let spec = JobSpec::new(
+            2,
+            Arc::new(McaParams::new()),
+            Arc::new(|ctx: LaunchCtx| {
+                while !ctx.terminate.load(Ordering::SeqCst) {
+                    ctx.container.gate().checkpoint_point();
+                    std::thread::yield_now();
+                }
+                ctx.container.gate().retire();
+            }),
+        );
+        let handle = launch(&rt, spec).unwrap();
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn global_snapshot_lazily_created_with_launch_params() {
+        let rt = runtime("globalsnap", 1);
+        let params = Arc::new(McaParams::new());
+        params.set("crs", "blcr_sim");
+        let spec = JobSpec::new(
+            1,
+            params,
+            Arc::new(|ctx: LaunchCtx| ctx.container.gate().retire()),
+        );
+        let handle = launch(&rt, spec).unwrap();
+        {
+            let snap = handle.global_snapshot().unwrap();
+            assert_eq!(snap.nprocs(), 1);
+            assert!(snap
+                .launch_params()
+                .contains(&("crs".to_string(), "blcr_sim".to_string())));
+        }
+        assert!(handle.global_snapshot_path().exists());
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+}

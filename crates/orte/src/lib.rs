@@ -1,0 +1,45 @@
+//! ORTE — Open Run-Time Environment (simulated).
+//!
+//! ORTE provides the uniform parallel runtime under the MPI layer: process
+//! launch, per-node daemons (`orted`), out-of-band (OOB) messaging, and the
+//! head-node process (`mpirun`, the HNP). For checkpoint/restart it hosts
+//! two of the paper's five frameworks:
+//!
+//! * **SNAPC** ([`snapc`]) — snapshot coordination: launching, monitoring
+//!   and aggregating distributed checkpoint requests. The `full` component
+//!   reproduces the paper's centralized design — a *global coordinator* in
+//!   `mpirun`, a *local coordinator* in each `orted`, and an *application
+//!   coordinator* in each process (Figure 1).
+//! * **FILEM** ([`filem`]) — remote file management: gathering local
+//!   snapshots to stable storage, preloading files at restart, and cleanup
+//!   (broadcast / gather / remove).
+//!
+//! Plus the substrate they need:
+//!
+//! * [`runtime::Runtime`] — the simulated universe: the netsim fabric, the
+//!   per-node scratch directories, the shared stable-storage directory,
+//!   job-id allocation, and the daemon registry.
+//! * [`daemon::Orted`] — the per-node daemon thread servicing OOB requests
+//!   and driving local process checkpoints.
+//! * [`oob`] — typed OOB messages serialized with `codec` over the fabric.
+//! * [`modex`] — the rendezvous key-value store processes use to exchange
+//!   endpoint addresses at `MPI_Init` and after restart.
+//! * [`plm`] — the process launch framework (`rsh_sim`, `slurm_sim`
+//!   components) computing placements and simulated launch costs.
+//! * [`job`] — job specification, launch, and the job handle the OMPI
+//!   layer and the tools operate on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod filem;
+pub mod job;
+pub mod modex;
+pub mod oob;
+pub mod plm;
+pub mod runtime;
+pub mod snapc;
+
+pub use job::{JobHandle, JobSpec, LaunchCtx};
+pub use runtime::Runtime;

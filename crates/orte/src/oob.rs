@@ -1,0 +1,207 @@
+//! Out-of-band (OOB) messaging between the HNP and the per-node daemons.
+//!
+//! Runtime control traffic (checkpoint coordination, cleanup, shutdown)
+//! travels over the same simulated fabric as application messages but on
+//! dedicated daemon endpoints, serialized with the `codec` binary format.
+
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use netsim::{Endpoint, EndpointId, Fabric, NetError};
+use serde::{Deserialize, Serialize};
+
+use cr_core::{CrError, JobId};
+
+/// Tag used for all OOB traffic (tags are per-endpoint, so one suffices).
+pub const TAG_OOB: u64 = 0x4000_0000_0000_0001;
+
+/// A subtree of daemons for hierarchical coordination: the daemon at
+/// `endpoint` checkpoints its own ranks and forwards to its `children`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeSpec {
+    /// The subtree root daemon's raw endpoint id.
+    pub endpoint: u64,
+    /// Its node id (diagnostics).
+    pub node: u32,
+    /// Subtrees below it.
+    pub children: Vec<TreeSpec>,
+}
+
+/// Requests the global coordinator (HNP) sends to a daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DaemonMsg {
+    /// Report which local ranks of `job` are checkpointable.
+    QueryCheckpointable {
+        /// Job being queried.
+        job: JobId,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
+    /// Initiate local checkpoints of every local rank of `job`.
+    ///
+    /// The daemon must notify *all* local processes before collecting any
+    /// reply: the coordination protocol requires every rank to enter the
+    /// checkpoint concurrently.
+    CheckpointLocal {
+        /// Job to checkpoint.
+        job: JobId,
+        /// Interval number assigned by the global coordinator.
+        interval: u64,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
+    /// Hierarchical checkpoint (the `tree` SNAPC component): checkpoint
+    /// local ranks of `job`, concurrently forward the request into the
+    /// daemon subtrees, and reply with the aggregated results of the whole
+    /// subtree.
+    CheckpointTree {
+        /// Job to checkpoint.
+        job: JobId,
+        /// Interval number assigned by the global coordinator.
+        interval: u64,
+        /// Subtrees rooted at child daemons.
+        children: Vec<TreeSpec>,
+        /// Raw endpoint id to reply to (parent daemon or the HNP).
+        reply_to: u64,
+    },
+    /// Remove the node-local files of `interval` (post-gather cleanup).
+    Cleanup {
+        /// Job whose scratch files should be removed.
+        job: JobId,
+        /// Interval to remove.
+        interval: u64,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
+    /// Stop the daemon thread.
+    Shutdown,
+}
+
+/// Replies daemons send back to the global coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DaemonReply {
+    /// Answer to [`DaemonMsg::QueryCheckpointable`].
+    Checkpointable {
+        /// Daemon's node id.
+        node: u32,
+        /// `(rank, checkpointable)` for every local rank.
+        ranks: Vec<(u32, bool)>,
+    },
+    /// A whole daemon subtree completed its checkpoints (reply to
+    /// [`DaemonMsg::CheckpointTree`]).
+    TreeDone {
+        /// Subtree root's node id.
+        node: u32,
+        /// `(rank, local snapshot dir, bytes)` for every rank in the
+        /// subtree, paired with the node that produced it.
+        results: Vec<(u32, u32, PathBuf, u64)>,
+    },
+    /// All local checkpoints of one node completed.
+    LocalDone {
+        /// Daemon's node id.
+        node: u32,
+        /// `(rank, local snapshot dir, bytes)` per local rank.
+        results: Vec<(u32, PathBuf, u64)>,
+    },
+    /// The daemon could not complete the request.
+    Error {
+        /// Daemon's node id.
+        node: u32,
+        /// What failed.
+        detail: String,
+    },
+    /// Cleanup finished.
+    CleanupAck {
+        /// Daemon's node id.
+        node: u32,
+    },
+}
+
+/// Serialize and send an OOB value to `dst`.
+pub fn send_oob<T: Serialize>(
+    fabric: &Fabric,
+    src: EndpointId,
+    dst: EndpointId,
+    value: &T,
+) -> Result<(), CrError> {
+    let bytes = codec::to_bytes(value)?;
+    fabric
+        .send(src, dst, TAG_OOB, Bytes::from(bytes))
+        .map_err(|e| CrError::PeerLost {
+            detail: format!("OOB send to {dst}: {e}"),
+        })?;
+    Ok(())
+}
+
+/// Blocking receive of one OOB value on `endpoint`.
+pub fn recv_oob<T: serde::de::DeserializeOwned>(endpoint: &Endpoint) -> Result<T, CrError> {
+    let delivery = endpoint.recv().map_err(|e| CrError::PeerLost {
+        detail: format!("OOB recv: {e}"),
+    })?;
+    Ok(codec::from_bytes(&delivery.payload)?)
+}
+
+/// Receive with a wall-clock timeout.
+pub fn recv_oob_timeout<T: serde::de::DeserializeOwned>(
+    endpoint: &Endpoint,
+    timeout: std::time::Duration,
+) -> Result<T, CrError> {
+    let delivery = endpoint.recv_timeout(timeout).map_err(|e| match e {
+        NetError::Timeout => CrError::PeerLost {
+            detail: "OOB reply timed out".into(),
+        },
+        other => CrError::PeerLost {
+            detail: format!("OOB recv: {other}"),
+        },
+    })?;
+    Ok(codec::from_bytes(&delivery.payload)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkSpec, NodeId, Topology};
+
+    #[test]
+    fn oob_roundtrip_over_fabric() {
+        let fabric = Fabric::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()));
+        let hnp = fabric.register(NodeId(0));
+        let daemon = fabric.register(NodeId(1));
+        let msg = DaemonMsg::CheckpointLocal {
+            job: JobId(4),
+            interval: 2,
+            reply_to: hnp.id().0,
+        };
+        send_oob(&fabric, hnp.id(), daemon.id(), &msg).unwrap();
+        let received: DaemonMsg = recv_oob(&daemon).unwrap();
+        assert_eq!(received, msg);
+
+        let reply = DaemonReply::LocalDone {
+            node: 1,
+            results: vec![(0, PathBuf::from("/tmp/snap"), 1024)],
+        };
+        send_oob(&fabric, daemon.id(), hnp.id(), &reply).unwrap();
+        let received: DaemonReply = recv_oob(&hnp).unwrap();
+        assert_eq!(received, reply);
+    }
+
+    #[test]
+    fn recv_timeout_reports_peer_lost() {
+        let fabric = Fabric::new(Topology::uniform(1, LinkSpec::gigabit_ethernet()));
+        let ep = fabric.register(NodeId(0));
+        let err =
+            recv_oob_timeout::<DaemonReply>(&ep, std::time::Duration::from_millis(10)).unwrap_err();
+        assert!(err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn send_to_dead_daemon_fails() {
+        let fabric = Fabric::new(Topology::uniform(1, LinkSpec::gigabit_ethernet()));
+        let hnp = fabric.register(NodeId(0));
+        let daemon = fabric.register(NodeId(0));
+        let dead = daemon.id();
+        drop(daemon);
+        let err = send_oob(&fabric, hnp.id(), dead, &DaemonMsg::Shutdown).unwrap_err();
+        assert!(matches!(err, CrError::PeerLost { .. }));
+    }
+}

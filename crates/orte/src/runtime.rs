@@ -1,0 +1,212 @@
+//! The simulated universe: fabric + filesystems + daemons + naming.
+//!
+//! A [`Runtime`] is what a physical cluster plus its shared filesystem is
+//! to real Open MPI: the environment jobs are launched into. It owns
+//!
+//! * the netsim [`Fabric`] all traffic runs over,
+//! * a **base directory** on the host filesystem, carved into per-node
+//!   scratch directories (`nodes/node00/...` — "local disk") and a shared
+//!   `stable/` directory (the RAID/NFS stable storage of paper §5.2),
+//! * the per-node daemons, created on demand, and
+//! * the [`Modex`] rendezvous store and job-id allocation.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use netsim::{Fabric, NodeId, Topology};
+use parking_lot::Mutex;
+
+use cr_core::{CrError, JobId, Tracer};
+
+use crate::daemon::Orted;
+use crate::modex::Modex;
+
+struct RtInner {
+    fabric: Fabric,
+    base_dir: PathBuf,
+    modex: Modex,
+    tracer: Tracer,
+    next_job: AtomicU32,
+    daemons: Mutex<HashMap<NodeId, Arc<Orted>>>,
+}
+
+/// Cheap-to-clone handle to the simulated cluster environment.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RtInner>,
+}
+
+impl Runtime {
+    /// Bring up a runtime over `topology`, rooted at `base_dir` on the
+    /// host filesystem.
+    pub fn new(topology: Topology, base_dir: impl Into<PathBuf>) -> Result<Self, CrError> {
+        let base_dir = base_dir.into();
+        let stable = base_dir.join("stable");
+        std::fs::create_dir_all(&stable)
+            .map_err(|e| CrError::io(stable.display().to_string(), &e))?;
+        let fabric = Fabric::new(topology);
+        for node in fabric.topology().nodes() {
+            let dir = base_dir.join("nodes").join(node.to_string());
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| CrError::io(dir.display().to_string(), &e))?;
+        }
+        Ok(Runtime {
+            inner: Arc::new(RtInner {
+                fabric,
+                base_dir,
+                modex: Modex::new(),
+                tracer: Tracer::new(),
+                next_job: AtomicU32::new(1),
+                daemons: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The message fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        self.inner.fabric.topology()
+    }
+
+    /// The rendezvous store.
+    pub fn modex(&self) -> &Modex {
+        &self.inner.modex
+    }
+
+    /// The shared event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Stable storage directory (survives node failures by assumption).
+    pub fn stable_dir(&self) -> PathBuf {
+        self.inner.base_dir.join("stable")
+    }
+
+    /// Node-local scratch directory of `node`.
+    pub fn node_dir(&self, node: NodeId) -> PathBuf {
+        self.inner.base_dir.join("nodes").join(node.to_string())
+    }
+
+    /// Base directory of the whole runtime.
+    pub fn base_dir(&self) -> &Path {
+        &self.inner.base_dir
+    }
+
+    /// Allocate a fresh job id.
+    pub fn alloc_job(&self) -> JobId {
+        JobId(self.inner.next_job.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The daemon of `node`, starting it if necessary.
+    pub fn ensure_daemon(&self, node: NodeId) -> Arc<Orted> {
+        let mut daemons = self.inner.daemons.lock();
+        Arc::clone(daemons.entry(node).or_insert_with(|| {
+            self.inner.tracer.record("orte.daemon.spawn", &node.to_string());
+            Orted::spawn(
+                self.inner.fabric.clone(),
+                node,
+                self.node_dir(node),
+                self.inner.tracer.clone(),
+            )
+        }))
+    }
+
+    /// Daemons currently running, node order.
+    pub fn daemons(&self) -> Vec<Arc<Orted>> {
+        let map = self.inner.daemons.lock();
+        let mut v: Vec<(NodeId, Arc<Orted>)> =
+            map.iter().map(|(n, d)| (*n, Arc::clone(d))).collect();
+        v.sort_by_key(|(n, _)| *n);
+        v.into_iter().map(|(_, d)| d).collect()
+    }
+
+    /// Stop all daemons (idempotent; also invoked by tests for hygiene).
+    pub fn shutdown(&self) {
+        let daemons: Vec<Arc<Orted>> = {
+            let mut map = self.inner.daemons.lock();
+            map.drain().map(|(_, d)| d).collect()
+        };
+        for daemon in daemons {
+            daemon.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::LinkSpec;
+
+    fn tmpbase(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "orte_rt_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn directories_created() {
+        let rt = Runtime::new(
+            Topology::uniform(3, LinkSpec::gigabit_ethernet()),
+            tmpbase("dirs"),
+        )
+        .unwrap();
+        assert!(rt.stable_dir().is_dir());
+        for node in rt.topology().nodes() {
+            assert!(rt.node_dir(node).is_dir());
+        }
+    }
+
+    #[test]
+    fn job_ids_are_unique() {
+        let rt = Runtime::new(
+            Topology::uniform(1, LinkSpec::gigabit_ethernet()),
+            tmpbase("jobs"),
+        )
+        .unwrap();
+        let a = rt.alloc_job();
+        let b = rt.alloc_job();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn daemons_created_once_per_node() {
+        let rt = Runtime::new(
+            Topology::uniform(2, LinkSpec::gigabit_ethernet()),
+            tmpbase("daemons"),
+        )
+        .unwrap();
+        let d1 = rt.ensure_daemon(NodeId(1));
+        let d1b = rt.ensure_daemon(NodeId(1));
+        assert_eq!(d1.endpoint(), d1b.endpoint());
+        assert_eq!(rt.daemons().len(), 1);
+        rt.ensure_daemon(NodeId(0));
+        assert_eq!(rt.daemons().len(), 2);
+        rt.shutdown();
+        assert!(rt.daemons().is_empty());
+    }
+
+    #[test]
+    fn clones_share_everything() {
+        let rt = Runtime::new(
+            Topology::uniform(1, LinkSpec::gigabit_ethernet()),
+            tmpbase("clone"),
+        )
+        .unwrap();
+        let rt2 = rt.clone();
+        let job = rt.alloc_job();
+        rt2.modex().publish(job, "k", vec![1]);
+        assert_eq!(rt.modex().get(job, "k"), Some(vec![1]));
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,788 @@
+//! SNAPC — the snapshot coordination framework (paper §5.1/§6.1).
+//!
+//! A SNAPC component owns the distributed checkpoint lifecycle: accept the
+//! request, verify every process is willing, initiate per-process local
+//! checkpoints, monitor progress, aggregate local snapshots into the
+//! global snapshot on stable storage, and hand the user back the single
+//! global snapshot reference.
+//!
+//! Components:
+//!
+//! * **`full`** — the paper's centralized design (Figure 1): the *global
+//!   coordinator* (here: the thread invoking the checkpoint, playing
+//!   `mpirun`) drives *local coordinators* (the per-node daemons) over
+//!   OOB; each daemon drives its local processes' *application
+//!   coordinators* (the notification threads); local snapshots land on
+//!   node-local disk and are gathered to stable storage by FILEM, then the
+//!   scratch copies are removed.
+//! * **`tree`** — hierarchical coordination: the request fans out through
+//!   a binomial tree of daemons and results aggregate back up it, so the
+//!   global coordinator handles O(1) messages — the "hierarchal tree
+//!   structure" technique §5.1 names as a motivating alternative.
+//! * **`direct`** — a contrast component: no daemons, no gather; each
+//!   process checkpoints straight into the global snapshot directory on
+//!   shared storage. Fewer moving parts, but every rank hammers stable
+//!   storage at once — the trade-off the A5 ablation measures.
+
+use std::collections::BTreeMap;
+
+use mca::Framework;
+use netsim::NodeId;
+
+use cr_core::request::{CheckpointOptions, CheckpointOutcome};
+use cr_core::{CrError, Rank};
+use opal::container::OpalCtrl;
+
+use crate::filem::{filem_framework, CopyRequest};
+use crate::job::JobHandle;
+use crate::oob::{recv_oob_timeout, send_oob, DaemonMsg, DaemonReply};
+
+/// How long the global coordinator waits for daemon replies.
+const OOB_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(120);
+
+/// A snapshot coordination component (global coordinator side).
+pub trait SnapcComponent: Send + Sync {
+    /// Component name.
+    fn name(&self) -> &'static str;
+
+    /// Run a full distributed checkpoint of `job`.
+    fn checkpoint_job(
+        &self,
+        job: &JobHandle,
+        options: &CheckpointOptions,
+    ) -> Result<CheckpointOutcome, CrError>;
+}
+
+/// Assemble the SNAPC framework.
+pub fn snapc_framework() -> Framework<dyn SnapcComponent> {
+    let mut fw: Framework<dyn SnapcComponent> = Framework::new("snapc");
+    fw.register("full", 20, "centralized global/local/app coordinators", |_| {
+        Box::new(FullSnapc)
+    });
+    fw.register(
+        "tree",
+        15,
+        "hierarchical coordination over a binomial daemon tree",
+        |_| Box::new(TreeSnapc),
+    );
+    fw.register("direct", 10, "checkpoint directly to stable storage", |_| {
+        Box::new(DirectSnapc)
+    });
+    fw
+}
+
+// ---------------------------------------------------------------------------
+// full
+// ---------------------------------------------------------------------------
+
+/// The paper's centralized coordinator.
+pub struct FullSnapc;
+
+impl FullSnapc {
+    /// Verify every rank is checkpointable; error listing refusers
+    /// otherwise (all-or-nothing, paper §5.1).
+    fn verify_checkpointable(&self, job: &JobHandle) -> Result<(), CrError> {
+        let runtime = job.runtime();
+        let fabric = runtime.fabric();
+        let hnp = fabric.register(NodeId(0));
+        let nodes = job.placement().nodes();
+        for node in &nodes {
+            let daemon = runtime.ensure_daemon(*node);
+            send_oob(
+                fabric,
+                hnp.id(),
+                daemon.endpoint(),
+                &DaemonMsg::QueryCheckpointable {
+                    job: job.job(),
+                    reply_to: hnp.id().0,
+                },
+            )?;
+        }
+        let mut refusing = Vec::new();
+        for _ in &nodes {
+            let reply: DaemonReply = recv_oob_timeout(&hnp, OOB_TIMEOUT)?;
+            match reply {
+                DaemonReply::Checkpointable { ranks, .. } => {
+                    refusing.extend(
+                        ranks
+                            .into_iter()
+                            .filter(|(_, ok)| !ok)
+                            .map(|(r, _)| Rank(r)),
+                    );
+                }
+                other => {
+                    return Err(CrError::protocol(format!(
+                        "unexpected daemon reply during query: {other:?}"
+                    )))
+                }
+            }
+        }
+        if refusing.is_empty() {
+            Ok(())
+        } else {
+            refusing.sort_unstable();
+            Err(CrError::NotCheckpointable { ranks: refusing })
+        }
+    }
+}
+
+impl SnapcComponent for FullSnapc {
+    fn name(&self) -> &'static str {
+        "full"
+    }
+
+    fn checkpoint_job(
+        &self,
+        job: &JobHandle,
+        _options: &CheckpointOptions,
+    ) -> Result<CheckpointOutcome, CrError> {
+        let runtime = job.runtime();
+        let tracer = runtime.tracer();
+        let fabric = runtime.fabric();
+
+        // All-or-nothing: refuse before any process is disturbed.
+        self.verify_checkpointable(job)?;
+
+        // Begin the interval on stable storage (uncommitted until the end).
+        let (interval, interval_dir) = {
+            let mut global = job.global_snapshot()?;
+            global.begin_interval()?
+        };
+        tracer.record("snapc.global.initiate", &format!("interval {interval}"));
+
+        // Fan the request out to every local coordinator *before* waiting
+        // on any reply: all ranks must enter coordination concurrently.
+        let hnp = fabric.register(NodeId(0));
+        let nodes = job.placement().nodes();
+        for node in &nodes {
+            let daemon = runtime.ensure_daemon(*node);
+            send_oob(
+                fabric,
+                hnp.id(),
+                daemon.endpoint(),
+                &DaemonMsg::CheckpointLocal {
+                    job: job.job(),
+                    interval,
+                    reply_to: hnp.id().0,
+                },
+            )?;
+        }
+
+        // Monitor progress: collect one LocalDone per node.
+        let mut per_node: BTreeMap<u32, Vec<(u32, std::path::PathBuf, u64)>> = BTreeMap::new();
+        let mut failures = Vec::new();
+        for _ in &nodes {
+            match recv_oob_timeout::<DaemonReply>(&hnp, OOB_TIMEOUT)? {
+                DaemonReply::LocalDone { node, results } => {
+                    tracer.record("snapc.global.local_done", &format!("node {node}"));
+                    per_node.insert(node, results);
+                }
+                DaemonReply::Error { node, detail } => {
+                    failures.push(format!("node {node}: {detail}"));
+                }
+                other => failures.push(format!("unexpected reply: {other:?}")),
+            }
+        }
+        if !failures.is_empty() {
+            // Leave the interval uncommitted (invisible) and report.
+            let _ = std::fs::remove_dir_all(&interval_dir);
+            return Err(CrError::protocol(format!(
+                "checkpoint failed: {}",
+                failures.join("; ")
+            )));
+        }
+
+        // Aggregate: FILEM-gather every local snapshot to stable storage
+        // (Figure 1-F), processes already resumed.
+        let filem = filem_framework()
+            .select(job.params())
+            .map_err(|e| CrError::Unsupported {
+                detail: e.to_string(),
+            })?;
+        let mut batch = Vec::new();
+        for (node, results) in &per_node {
+            for (rank, local_dir, _size) in results {
+                let dest = interval_dir.join(cr_core::snapshot::local_dir_name(Rank(*rank)));
+                batch.push(CopyRequest {
+                    src: local_dir.clone(),
+                    src_node: NodeId(*node),
+                    dest,
+                    dest_node: NodeId(0),
+                });
+            }
+        }
+        let report = filem.copy_all(runtime.topology(), &batch)?;
+        tracer.record(
+            "filem.gather",
+            &format!(
+                "{} files, {} bytes, sim {}",
+                report.files, report.bytes, report.sim_cost
+            ),
+        );
+
+        // Commit the interval: from here the snapshot is restorable.
+        let ranks_info: Vec<(Rank, String)> = (0..job.nprocs())
+            .map(|r| {
+                let rank = Rank(r);
+                let node = job.node_of(rank);
+                (rank, runtime.topology().hostname(node).to_string())
+            })
+            .collect();
+        {
+            let mut global = job.global_snapshot()?;
+            global.commit_interval(interval, &ranks_info)?;
+        }
+
+        // Cleanup node-local scratch snapshots.
+        for node in &nodes {
+            let daemon = runtime.ensure_daemon(*node);
+            send_oob(
+                fabric,
+                hnp.id(),
+                daemon.endpoint(),
+                &DaemonMsg::Cleanup {
+                    job: job.job(),
+                    interval,
+                    reply_to: hnp.id().0,
+                },
+            )?;
+        }
+        for _ in &nodes {
+            let _: DaemonReply = recv_oob_timeout(&hnp, OOB_TIMEOUT)?;
+        }
+
+        Ok(CheckpointOutcome {
+            global_snapshot: job.global_snapshot_path(),
+            interval,
+            ranks: job.nprocs(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tree
+// ---------------------------------------------------------------------------
+
+/// Hierarchical coordinator: the request fans out through a binomial tree
+/// of daemons instead of the global coordinator contacting every node
+/// itself — the "hierarchal tree structure" flexibility the paper's SNAPC
+/// framework is designed to admit (§5.1). Results aggregate back up the
+/// same tree, so the HNP handles O(1) messages regardless of node count.
+pub struct TreeSnapc;
+
+/// Build a binomial tree over `nodes`; returns the children of the root.
+fn binomial_tree(nodes: &[netsim::NodeId], endpoints: &[u64]) -> Vec<crate::oob::TreeSpec> {
+    // Standard binomial layout over indices: node i's children are
+    // i + 2^k for each k with i + 2^k < n and 2^k > (i's low set bits).
+    fn children_of(i: usize, n: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut mask = 1usize;
+        // Children are attached at increasing powers of two until a set
+        // bit of i is reached.
+        while i & mask == 0 {
+            let child = i + mask;
+            if child >= n {
+                break;
+            }
+            out.push(child);
+            mask <<= 1;
+        }
+        out
+    }
+    fn build(
+        i: usize,
+        nodes: &[netsim::NodeId],
+        endpoints: &[u64],
+    ) -> crate::oob::TreeSpec {
+        crate::oob::TreeSpec {
+            endpoint: endpoints[i],
+            node: nodes[i].0,
+            children: children_of(i, nodes.len())
+                .into_iter()
+                .map(|c| build(c, nodes, endpoints))
+                .collect(),
+        }
+    }
+    children_of(0, nodes.len())
+        .into_iter()
+        .map(|c| build(c, nodes, endpoints))
+        .collect()
+}
+
+impl SnapcComponent for TreeSnapc {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn checkpoint_job(
+        &self,
+        job: &JobHandle,
+        _options: &CheckpointOptions,
+    ) -> Result<CheckpointOutcome, CrError> {
+        let runtime = job.runtime();
+        let tracer = runtime.tracer();
+        let fabric = runtime.fabric();
+
+        FullSnapc.verify_checkpointable(job)?;
+
+        let (interval, interval_dir) = {
+            let mut global = job.global_snapshot()?;
+            global.begin_interval()?
+        };
+        tracer.record(
+            "snapc.global.initiate",
+            &format!("interval {interval} (tree)"),
+        );
+
+        // One message to the tree root; the daemons do the fan-out.
+        let nodes = job.placement().nodes();
+        let endpoints: Vec<u64> = nodes
+            .iter()
+            .map(|n| runtime.ensure_daemon(*n).endpoint().0)
+            .collect();
+        let hnp = fabric.register(NodeId(0));
+        let root_children = binomial_tree(&nodes, &endpoints);
+        send_oob(
+            fabric,
+            hnp.id(),
+            netsim::EndpointId(endpoints[0]),
+            &DaemonMsg::CheckpointTree {
+                job: job.job(),
+                interval,
+                children: root_children,
+                reply_to: hnp.id().0,
+            },
+        )?;
+
+        // One aggregated reply.
+        let all_results: Vec<(u32, u32, std::path::PathBuf, u64)> =
+            match recv_oob_timeout::<DaemonReply>(&hnp, OOB_TIMEOUT)? {
+                DaemonReply::TreeDone { results, .. } => results,
+                DaemonReply::Error { node, detail } => {
+                    let _ = std::fs::remove_dir_all(&interval_dir);
+                    return Err(CrError::protocol(format!(
+                        "tree checkpoint failed at node {node}: {detail}"
+                    )));
+                }
+                other => {
+                    let _ = std::fs::remove_dir_all(&interval_dir);
+                    return Err(CrError::protocol(format!(
+                        "unexpected tree reply: {other:?}"
+                    )));
+                }
+            };
+        if all_results.len() != job.nprocs() as usize {
+            let _ = std::fs::remove_dir_all(&interval_dir);
+            return Err(CrError::protocol(format!(
+                "tree checkpoint returned {} results for {} ranks",
+                all_results.len(),
+                job.nprocs()
+            )));
+        }
+
+        // Gather and commit exactly as the full component does.
+        let filem = filem_framework()
+            .select(job.params())
+            .map_err(|e| CrError::Unsupported {
+                detail: e.to_string(),
+            })?;
+        let batch: Vec<CopyRequest> = all_results
+            .iter()
+            .map(|(node, rank, local_dir, _)| CopyRequest {
+                src: local_dir.clone(),
+                src_node: NodeId(*node),
+                dest: interval_dir.join(cr_core::snapshot::local_dir_name(Rank(*rank))),
+                dest_node: NodeId(0),
+            })
+            .collect();
+        let report = filem.copy_all(runtime.topology(), &batch)?;
+        tracer.record(
+            "filem.gather",
+            &format!(
+                "{} files, {} bytes, sim {} (tree)",
+                report.files, report.bytes, report.sim_cost
+            ),
+        );
+        let ranks_info: Vec<(Rank, String)> = (0..job.nprocs())
+            .map(|r| {
+                let rank = Rank(r);
+                (rank, runtime.topology().hostname(job.node_of(rank)).to_string())
+            })
+            .collect();
+        {
+            let mut global = job.global_snapshot()?;
+            global.commit_interval(interval, &ranks_info)?;
+        }
+        for node in &nodes {
+            let daemon = runtime.ensure_daemon(*node);
+            send_oob(
+                fabric,
+                hnp.id(),
+                daemon.endpoint(),
+                &DaemonMsg::Cleanup {
+                    job: job.job(),
+                    interval,
+                    reply_to: hnp.id().0,
+                },
+            )?;
+        }
+        for _ in &nodes {
+            let _: DaemonReply = recv_oob_timeout(&hnp, OOB_TIMEOUT)?;
+        }
+
+        Ok(CheckpointOutcome {
+            global_snapshot: job.global_snapshot_path(),
+            interval,
+            ranks: job.nprocs(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// direct
+// ---------------------------------------------------------------------------
+
+/// Daemon-less coordinator writing local snapshots straight to stable
+/// storage.
+pub struct DirectSnapc;
+
+impl SnapcComponent for DirectSnapc {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn checkpoint_job(
+        &self,
+        job: &JobHandle,
+        _options: &CheckpointOptions,
+    ) -> Result<CheckpointOutcome, CrError> {
+        // All-or-nothing check straight off the containers.
+        let refusing: Vec<Rank> = (0..job.nprocs())
+            .map(Rank)
+            .filter(|r| !job.container(*r).is_checkpointable())
+            .collect();
+        if !refusing.is_empty() {
+            return Err(CrError::NotCheckpointable { ranks: refusing });
+        }
+
+        let (interval, interval_dir) = {
+            let mut global = job.global_snapshot()?;
+            global.begin_interval()?
+        };
+        job.runtime()
+            .tracer()
+            .record("snapc.global.initiate", &format!("interval {interval} (direct)"));
+
+        // Notify everyone first, then collect.
+        let mut waits = Vec::new();
+        for r in 0..job.nprocs() {
+            let rank = Rank(r);
+            let (rtx, rrx) = crossbeam::channel::bounded(1);
+            job.ctrl(rank)
+                .send(OpalCtrl::Checkpoint {
+                    snapshot_parent: interval_dir.clone(),
+                    interval,
+                    options: CheckpointOptions::tool(),
+                    reply: rtx,
+                })
+                .map_err(|_| CrError::PeerLost {
+                    detail: format!("rank {rank} notification channel closed"),
+                })?;
+            waits.push((rank, rrx));
+        }
+        let mut failures = Vec::new();
+        for (rank, rrx) in waits {
+            match rrx.recv() {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => failures.push(format!("rank {rank}: {e}")),
+                Err(_) => failures.push(format!("rank {rank}: notification thread died")),
+            }
+        }
+        if !failures.is_empty() {
+            let _ = std::fs::remove_dir_all(&interval_dir);
+            return Err(CrError::protocol(format!(
+                "checkpoint failed: {}",
+                failures.join("; ")
+            )));
+        }
+
+        let ranks_info: Vec<(Rank, String)> = (0..job.nprocs())
+            .map(|r| {
+                let rank = Rank(r);
+                let node = job.node_of(rank);
+                (rank, job.runtime().topology().hostname(node).to_string())
+            })
+            .collect();
+        {
+            let mut global = job.global_snapshot()?;
+            global.commit_interval(interval, &ranks_info)?;
+        }
+        Ok(CheckpointOutcome {
+            global_snapshot: job.global_snapshot_path(),
+            interval,
+            ranks: job.nprocs(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{launch, JobSpec, LaunchCtx};
+    use crate::runtime::Runtime;
+    use cr_core::inc::LayerInc;
+    use cr_core::snapshot::GlobalSnapshot;
+    use mca::McaParams;
+    use netsim::{LinkSpec, Topology};
+    use opal::crs::{crs_framework, SelfCallbacks};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    pub(crate) fn runtime(tag: &str, nodes: u32) -> Runtime {
+        let dir = std::env::temp_dir().join(format!(
+            "orte_snapc_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Runtime::new(Topology::uniform(nodes, LinkSpec::gigabit_ethernet()), dir).unwrap()
+    }
+
+    /// Checkpointable spinning app: sets up CRS + OPAL INC, spins on the
+    /// gate until terminated.
+    fn spinning_app() -> crate::job::ProcMain {
+        Arc::new(|ctx: LaunchCtx| {
+            let fw = crs_framework(SelfCallbacks::new());
+            ctx.container
+                .set_crs(Arc::from(fw.select(&ctx.params).unwrap()));
+            let rank = ctx.name.rank;
+            ctx.container.register_capture(
+                "app",
+                Arc::new(move || Ok(codec::to_bytes(&format!("state of rank {rank}"))?)),
+            );
+            ctx.container
+                .install_opal_inc(LayerInc::new("opal", ctx.runtime.tracer().clone()));
+            ctx.container.enable_checkpointing();
+            while !ctx.terminate.load(Ordering::SeqCst) {
+                ctx.container.gate().checkpoint_point();
+                std::thread::yield_now();
+            }
+            ctx.container.gate().retire();
+        })
+    }
+
+    pub(crate) fn launch_spinning(rt: &Runtime, nprocs: u32, params: Arc<McaParams>) -> crate::job::JobHandle {
+        let handle = launch(rt, JobSpec::new(nprocs, params, spinning_app())).unwrap();
+        // Give ranks a moment to install their CRS.
+        for r in 0..nprocs {
+            while handle.container(Rank(r)).crs().is_none() {
+                std::thread::yield_now();
+            }
+        }
+        handle
+    }
+
+    #[test]
+    fn full_checkpoint_produces_restorable_global_snapshot() {
+        let rt = runtime("full", 2);
+        let params = Arc::new(McaParams::new());
+        let handle = launch_spinning(&rt, 4, params);
+        let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        assert_eq!(outcome.ranks, 4);
+        assert_eq!(outcome.interval, 0);
+
+        let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+        assert_eq!(global.intervals(), vec![0]);
+        let locals = global.local_snapshots(0).unwrap();
+        assert_eq!(locals.len(), 4);
+        for (i, local) in locals.iter().enumerate() {
+            assert_eq!(local.rank(), Rank(i as u32));
+            assert_eq!(local.crs_component(), "blcr_sim");
+            let bytes = local.read_context().unwrap();
+            assert!(!bytes.is_empty());
+        }
+        // Node-local scratch copies were cleaned up.
+        for node in handle.placement().nodes() {
+            let daemon = rt.ensure_daemon(node);
+            assert!(!daemon.local_interval_dir(handle.job(), 0).exists());
+        }
+
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn consecutive_intervals_accumulate() {
+        let rt = runtime("intervals", 2);
+        let handle = launch_spinning(&rt, 2, Arc::new(McaParams::new()));
+        for expected in 0..3 {
+            let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+            assert_eq!(outcome.interval, expected);
+        }
+        let global = GlobalSnapshot::open(&handle.global_snapshot_path()).unwrap();
+        assert_eq!(global.intervals(), vec![0, 1, 2]);
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn non_checkpointable_rank_fails_whole_request_without_side_effects() {
+        let rt = runtime("optout", 2);
+        let handle = launch_spinning(&rt, 3, Arc::new(McaParams::new()));
+        handle.container(Rank(2)).set_checkpointable(false);
+        let err = handle.checkpoint(&CheckpointOptions::tool()).unwrap_err();
+        match err {
+            CrError::NotCheckpointable { ranks } => assert_eq!(ranks, vec![Rank(2)]),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // No interval was begun or committed.
+        let global = GlobalSnapshot::open(&handle.global_snapshot_path());
+        if let Ok(g) = global {
+            assert!(g.intervals().is_empty());
+        }
+        // The job is still alive and checkpointable after re-enabling.
+        handle.container(Rank(2)).set_checkpointable(true);
+        handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn direct_component_skips_daemons() {
+        let rt = runtime("direct", 2);
+        let params = Arc::new(McaParams::new());
+        params.set("snapc", "direct");
+        let handle = launch_spinning(&rt, 2, params);
+        let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+        assert_eq!(global.local_snapshots(0).unwrap().len(), 2);
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_and_terminate_stops_the_job() {
+        let rt = runtime("ckptterm", 1);
+        let handle = launch_spinning(&rt, 2, Arc::new(McaParams::new()));
+        let outcome = handle
+            .checkpoint(&CheckpointOptions::tool().and_terminate())
+            .unwrap();
+        assert!(outcome.global_snapshot.exists());
+        // Terminate flag was set by checkpoint(); join completes.
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn figure1_event_ordering_holds() {
+        let rt = runtime("fig1", 2);
+        let handle = launch_spinning(&rt, 2, Arc::new(McaParams::new()));
+        rt.tracer().clear();
+        handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        let tracer = rt.tracer();
+        // A: request precedes B: initiate precedes C: local initiate
+        // precedes D: app done precedes E: local done precedes F: gather
+        // precedes the reference being returned.
+        tracer.assert_order("snapc.global.request", "snapc.global.initiate");
+        tracer.assert_order("snapc.global.initiate", "snapc.local.initiate");
+        tracer.assert_order("snapc.local.initiate", "opal.crs.checkpoint");
+        tracer.assert_order("opal.crs.checkpoint", "snapc.app.done");
+        tracer.assert_order("snapc.app.done", "snapc.local.done");
+        tracer.assert_order("snapc.local.done", "filem.gather");
+        tracer.assert_order("filem.gather", "snapc.global.reference_returned");
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn failed_local_checkpoint_leaves_interval_uncommitted() {
+        let rt = runtime("failure", 1);
+        let params = Arc::new(McaParams::new());
+        params.set("crs_blcr_sim_fail_every", "1"); // every checkpoint fails
+        let handle = launch_spinning(&rt, 2, params);
+        let err = handle.checkpoint(&CheckpointOptions::tool()).unwrap_err();
+        assert!(err.to_string().contains("injected failure"));
+        let global = GlobalSnapshot::open(&handle.global_snapshot_path()).unwrap();
+        assert!(global.intervals().is_empty());
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tree_tests {
+    use super::*;
+    use crate::snapc::tests::{launch_spinning, runtime};
+    use cr_core::request::CheckpointOptions;
+    use cr_core::snapshot::GlobalSnapshot;
+    use mca::McaParams;
+    use std::sync::Arc;
+
+    #[test]
+    fn binomial_tree_covers_all_nodes_once() {
+        let nodes: Vec<netsim::NodeId> = (0..7).map(netsim::NodeId).collect();
+        let endpoints: Vec<u64> = (100..107).collect();
+        let children = binomial_tree(&nodes, &endpoints);
+        // Collect every node covered by the root's children.
+        fn collect(spec: &crate::oob::TreeSpec, out: &mut Vec<u32>) {
+            out.push(spec.node);
+            for c in &spec.children {
+                collect(c, out);
+            }
+        }
+        let mut covered = Vec::new();
+        for c in &children {
+            collect(c, &mut covered);
+        }
+        covered.sort_unstable();
+        // Root (node 0) is not in its own child list; everyone else once.
+        assert_eq!(covered, (1..7).collect::<Vec<u32>>());
+        // Root has ceil(log2(7)) = 3 children: 1, 2, 4.
+        let roots: Vec<u32> = children.iter().map(|c| c.node).collect();
+        assert_eq!(roots, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn tree_checkpoint_produces_complete_snapshot() {
+        let rt = runtime("tree", 4);
+        let params = Arc::new(McaParams::new());
+        params.set("snapc", "tree");
+        let handle = launch_spinning(&rt, 8, params);
+        rt.tracer().clear();
+        let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        assert_eq!(outcome.ranks, 8);
+
+        let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+        let locals = global.local_snapshots(outcome.interval).unwrap();
+        assert_eq!(locals.len(), 8);
+
+        // The fan-out actually went through the tree: forwards recorded,
+        // and the HNP received exactly one aggregated reply (no per-node
+        // local_done events at the global coordinator).
+        assert!(rt.tracer().count_prefix("snapc.tree.forward") >= 3);
+        assert_eq!(rt.tracer().count_prefix("snapc.global.local_done"), 0);
+
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tree_on_single_node_degenerates_cleanly() {
+        let rt = runtime("tree1", 1);
+        let params = Arc::new(McaParams::new());
+        params.set("snapc", "tree");
+        let handle = launch_spinning(&rt, 2, params);
+        let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        assert_eq!(outcome.ranks, 2);
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+}

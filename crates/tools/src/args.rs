@@ -1,0 +1,99 @@
+//! Minimal command line argument parsing (no external dependencies).
+//!
+//! Supports `--flag`, `--key value`, and the MCA passthrough
+//! `--mca key value` handled by [`mca::McaParams::consume_cli_args`].
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: flags, key/value options, and positionals.
+#[derive(Debug, Default, Clone)]
+pub struct ArgSpec {
+    flags: Vec<String>,
+    options: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl ArgSpec {
+    /// Parse `args` (not including the program name). `option_keys` lists the
+    /// `--key value` options; any other `--name` is a flag.
+    pub fn parse(args: &[String], option_keys: &[&str]) -> Result<ArgSpec, String> {
+        let mut spec = ArgSpec::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if option_keys.contains(&name) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    spec.options.insert(name.to_string(), value.clone());
+                } else {
+                    spec.flags.push(name.to_string());
+                }
+            } else {
+                spec.positional.push(arg.clone());
+            }
+        }
+        Ok(spec)
+    }
+
+    /// True when `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Value of `--name value`, if given.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Parse `--name value` as `T`, with a default.
+    pub fn option_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name} value {raw:?} is invalid")),
+        }
+    }
+
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_options_positionals() {
+        let spec = ArgSpec::parse(
+            &argv(&["--np", "8", "--term", "snapshot.ckpt", "--app", "ring"]),
+            &["np", "app"],
+        )
+        .unwrap();
+        assert_eq!(spec.option("np"), Some("8"));
+        assert_eq!(spec.option("app"), Some("ring"));
+        assert!(spec.flag("term"));
+        assert!(!spec.flag("verbose"));
+        assert_eq!(spec.positional(), &["snapshot.ckpt".to_string()]);
+        assert_eq!(spec.option_parsed("np", 1u32).unwrap(), 8);
+        assert_eq!(spec.option_parsed("missing", 4u32).unwrap(), 4);
+    }
+
+    #[test]
+    fn missing_option_value_is_an_error() {
+        assert!(ArgSpec::parse(&argv(&["--np"]), &["np"]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_reported() {
+        let spec = ArgSpec::parse(&argv(&["--np", "lots"]), &["np"]).unwrap();
+        assert!(spec.option_parsed("np", 1u32).is_err());
+    }
+}

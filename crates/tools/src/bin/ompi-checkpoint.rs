@@ -1,0 +1,67 @@
+//! `ompi-checkpoint` — checkpoint a running simulated job.
+//!
+//! ```text
+//! ompi-checkpoint --np 4 --nodes 2 --app ring [--term] [--base DIR]
+//!                 [--settle-ms N] [--mca key value]...
+//! ```
+//!
+//! Launches a long-running job, waits `--settle-ms`, checkpoints it
+//! (with `--term`, checkpoint-and-terminate), prints the **global
+//! snapshot reference** — the single name the user must preserve
+//! (paper §4) — and exits. Restart later with `ompi-restart <reference>`,
+//! possibly from a different host process.
+
+use std::sync::Arc;
+
+use cr_core::request::CheckpointOptions;
+use mca::McaParams;
+use tools::apps::{launch_named, tool_runtime};
+use tools::ArgSpec;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ompi-checkpoint: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let params = McaParams::new();
+    let rest = params.consume_cli_args(&raw).map_err(|e| e.to_string())?;
+    let spec = ArgSpec::parse(&rest, &["np", "nodes", "app", "base", "settle-ms"])?;
+
+    let np: u32 = spec.option_parsed("np", 4)?;
+    let nodes: u32 = spec.option_parsed("nodes", 2)?;
+    let app = spec.option("app").unwrap_or("stencil").to_string();
+    let settle: u64 = spec.option_parsed("settle-ms", 100)?;
+    let terminate = spec.flag("term");
+    let base = spec
+        .option("base")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("ompi_checkpoint_{}", std::process::id()))
+        });
+
+    let rt = tool_runtime(&base, nodes).map_err(|e| e.to_string())?;
+    let job = launch_named(&rt, &app, np, Arc::new(params)).map_err(|e| e.to_string())?;
+    println!("ompi-checkpoint: job {} ({app}, {np} ranks) running; letting it settle {settle}ms", job.handle().job());
+    std::thread::sleep(std::time::Duration::from_millis(settle));
+
+    let options = if terminate {
+        CheckpointOptions::tool().and_terminate()
+    } else {
+        CheckpointOptions::tool()
+    };
+    let outcome = job.handle().checkpoint(&options).map_err(|e| e.to_string())?;
+    println!("Snapshot Ref.: {}", outcome.global_snapshot.display());
+    println!("  interval: {}", outcome.interval);
+    println!("  ranks:    {}", outcome.ranks);
+
+    if !terminate {
+        job.handle().request_terminate();
+    }
+    job.wait().map_err(|e| e.to_string())?;
+    rt.shutdown();
+    Ok(())
+}

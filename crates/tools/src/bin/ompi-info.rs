@@ -1,0 +1,57 @@
+//! `ompi-info` — list frameworks, components, priorities, and key MCA
+//! parameters, like the real tool of the same name.
+//!
+//! ```text
+//! ompi-info [--mca key value]...
+//! ```
+//!
+//! With `--mca` selections supplied, also shows which component each
+//! framework would select.
+
+use mca::McaParams;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let params = McaParams::new();
+    if let Err(e) = params.consume_cli_args(&raw) {
+        eprintln!("ompi-info: {e}");
+        std::process::exit(1);
+    }
+
+    println!("ompi-cr (simulated Open MPI checkpoint/restart), frameworks and components:\n");
+
+    fn show<C: ?Sized>(fw: &mca::Framework<C>, params: &McaParams) {
+        let selected = fw.resolve(params).map(|r| r.name).unwrap_or("<error>");
+        println!("Framework: {}", fw.name());
+        for reg in fw.registrations() {
+            let mark = if reg.name == selected { "*" } else { " " };
+            println!(
+                "  {mark} {:<12} priority {:>3}  {}",
+                reg.name, reg.priority, reg.describe
+            );
+        }
+        println!();
+    }
+
+    show(&opal::crs::crs_framework(opal::crs::SelfCallbacks::new()), &params);
+    show(&ompi::crcp::crcp_framework(cr_core::Tracer::new()), &params);
+    show(&orte::snapc::snapc_framework(), &params);
+    show(&orte::filem::filem_framework(), &params);
+    show(&orte::plm::plm_framework(), &params);
+
+    println!("Key MCA parameters:");
+    for (key, what) in [
+        ("crs", "local checkpoint/restart system selection"),
+        ("crcp", "checkpoint/restart coordination protocol selection"),
+        ("snapc", "snapshot coordinator selection"),
+        ("filem", "file management component selection"),
+        ("plm", "process launch component selection"),
+        ("plm_map_by", "placement policy: node | slot"),
+        ("ft_cr_enabled", "interpose the C/R wrapper on the PML (default 1)"),
+        ("crs_blcr_sim_fail_every", "fault injection: fail every Nth local checkpoint"),
+        ("crs_blcr_sim_exclude", "memory exclusion hints: sections to omit"),
+        ("opal_progress", "run the OPAL progress engine thread (default 0)"),
+    ] {
+        println!("  {key:<26} {what}");
+    }
+}

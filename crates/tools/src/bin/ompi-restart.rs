@@ -1,0 +1,54 @@
+//! `ompi-restart` — resurrect a job from a global snapshot reference.
+//!
+//! ```text
+//! ompi-restart [--nodes N] [--interval I] [--base DIR] <global-snapshot-ref>
+//! ```
+//!
+//! The only required input is the snapshot reference directory: the
+//! workload, rank count, and MCA parameters are all read from the
+//! snapshot metadata (paper §4 — the user need not remember how the job
+//! was originally started). The restarted job runs to completion.
+
+use tools::apps::{restart_named, tool_runtime};
+use tools::ArgSpec;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ompi-restart: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let spec = ArgSpec::parse(&raw, &["nodes", "interval", "base"])?;
+    let reference = spec
+        .positional()
+        .first()
+        .ok_or("usage: ompi-restart [--nodes N] [--interval I] <global-snapshot-ref>")?;
+    let nodes: u32 = spec.option_parsed("nodes", 2)?;
+    let interval: i64 = spec.option_parsed("interval", -1)?;
+    let base = spec
+        .option("base")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("ompi_restart_{}", std::process::id()))
+        });
+
+    let rt = tool_runtime(&base, nodes).map_err(|e| e.to_string())?;
+    println!("ompi-restart: restoring from {reference}");
+    let job = restart_named(
+        &rt,
+        std::path::Path::new(reference),
+        if interval < 0 { None } else { Some(interval as u64) },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("ompi-restart: job {} resumed on {nodes} nodes", job.handle().job());
+    let results = job.wait().map_err(|e| e.to_string())?;
+    for (rank, (summary, end)) in results.iter().enumerate() {
+        println!("ompi-restart: rank {rank}: {end:?}, {summary}");
+    }
+    rt.shutdown();
+    println!("ompi-restart: job completed");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! `ompi-snapshot-info` — inspect a snapshot reference.
+//!
+//! ```text
+//! ompi-snapshot-info <global-snapshot-ref>
+//! ```
+//!
+//! Prints the jobid, rank count, committed intervals, per-rank local
+//! snapshot details (checkpointer, host, size), and the recorded launch
+//! parameters.
+
+use cr_core::{GlobalSnapshot, Rank};
+use tools::ArgSpec;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ompi-snapshot-info: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let spec = ArgSpec::parse(&raw, &[])?;
+    let reference = spec
+        .positional()
+        .first()
+        .ok_or("usage: ompi-snapshot-info <global-snapshot-ref>")?;
+    let global =
+        GlobalSnapshot::open(std::path::Path::new(reference)).map_err(|e| e.to_string())?;
+
+    println!("Global snapshot reference: {reference}");
+    println!("  job:       {}", global.job());
+    println!("  ranks:     {}", global.nprocs());
+    let intervals = global.intervals();
+    println!("  intervals: {intervals:?}");
+    for interval in &intervals {
+        let size = global
+            .interval_size_bytes(*interval)
+            .map_err(|e| e.to_string())?;
+        println!("  interval {interval}: {size} bytes on stable storage");
+        for r in 0..global.nprocs() {
+            let local = global
+                .local_snapshot(*interval, Rank(r))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "    rank {r}: crs={}, host={}, {} bytes",
+                local.crs_component(),
+                local.hostname().unwrap_or("?"),
+                local.size_bytes().map_err(|e| e.to_string())?
+            );
+        }
+    }
+    println!("  launch parameters:");
+    for (k, v) in global.launch_params() {
+        println!("    {k} = {v}");
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Command line tools (paper §4's asynchronous interface).
+//!
+//! The original system ships `ompi-checkpoint`, `ompi-restart`, and
+//! `ompi-ps`; their value proposition is that a user or scheduler needs
+//! only a PID or a snapshot reference — never the original `mpirun`
+//! arguments or the raw checkpointer files. Our simulated cluster lives
+//! inside one host process, so the binaries here operate on the pieces
+//! that genuinely persist across host processes: **snapshot references on
+//! disk**. Each binary also doubles as a demonstration scenario driving a
+//! live simulated job.
+//!
+//! Binaries:
+//!
+//! * `mpirun-sim` — launch a workload on a simulated cluster, optionally
+//!   checkpointing it on an interval (`--ckpt-every`), and print progress.
+//! * `ompi-checkpoint` — launch a long-running job, checkpoint it
+//!   (optionally `--term`), and print the global snapshot reference —
+//!   the same UX as the real tool.
+//! * `ompi-restart` — resurrect a job from a global snapshot reference
+//!   directory produced by either of the above (works across host
+//!   process boundaries: the only input is the directory).
+//! * `ompi-snapshot-info` — inspect a snapshot reference: intervals,
+//!   ranks, checkpointers, sizes, recorded launch parameters.
+//!
+//! This crate also hosts the shared argument-parsing helpers, kept
+//! dependency-free (no clap in the approved set).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod apps;
+
+pub use args::ArgSpec;

@@ -1,0 +1,25 @@
+//! Reusable MPI application kernels.
+//!
+//! These are the workloads the examples, integration tests, and the
+//! benchmark harness drive through the public API:
+//!
+//! * [`ring::RingApp`] — token ring (pure point-to-point, dependency
+//!   chain; the quickstart workload).
+//! * [`stencil::StencilApp`] — 1-D Jacobi heat diffusion with halo
+//!   exchange: the classic long-running HPC kernel the paper's fault
+//!   tolerance story targets, with a tunable per-rank state size.
+//! * [`master_worker::MasterWorkerApp`] — bag-of-tasks with any-source
+//!   receives (exercises wildcard matching across checkpoints).
+//! * [`traffic::TrafficApp`] — seeded pseudo-random all-pairs traffic;
+//!   the adversarial workload behind the consistency property tests.
+//! * [`netpipe`] — the NetPIPE-style ping-pong harness reproducing the
+//!   paper's §7 overhead measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod master_worker;
+pub mod netpipe;
+pub mod ring;
+pub mod stencil;
+pub mod traffic;

@@ -1,0 +1,94 @@
+//! Concurrency stress: overlapping checkpoint requests, checkpointing
+//! under the progress engine, and parallel independent jobs in one
+//! runtime.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cr_core::request::CheckpointOptions;
+use mca::McaParams;
+use ompi::{mpirun, restart_from, RunConfig};
+use ompi_cr::test_runtime;
+use workloads::ring::{reference_checksums, RingApp};
+use workloads::stencil::StencilApp;
+
+#[test]
+fn concurrent_checkpoint_requests_serialize() {
+    let rt = test_runtime("concurrent_ckpt", 2);
+    let app = Arc::new(RingApp { rounds: 500_000 });
+    let job = mpirun(&rt, Arc::clone(&app), RunConfig::new(4)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Four simultaneous tool-side requests: all must succeed, with
+    // distinct, consecutive intervals (the global coordinator serializes).
+    let handle = job.handle();
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..4)
+            .map(|_| s.spawn(|| handle.checkpoint(&CheckpointOptions::tool())))
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let mut intervals: Vec<u64> = outcomes
+        .into_iter()
+        .map(|o| o.expect("each serialized request succeeds").interval)
+        .collect();
+    intervals.sort_unstable();
+    assert_eq!(intervals, vec![0, 1, 2, 3]);
+
+    job.request_terminate();
+    job.wait().unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn checkpoint_with_progress_engine_enabled() {
+    let rt = test_runtime("progress", 1);
+    let params = Arc::new(McaParams::new());
+    params.set("opal_progress", "1");
+    let app = Arc::new(RingApp { rounds: 300_000 });
+    let job = mpirun(&rt, Arc::clone(&app), RunConfig { nprocs: 2, params }).unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    let outcome = job
+        .checkpoint(&CheckpointOptions::tool().and_terminate())
+        .unwrap();
+    job.wait().unwrap();
+
+    // Restart (progress engine restarts too) and complete correctly.
+    let rt2 = test_runtime("progress_restart", 1);
+    let job = restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, None).unwrap();
+    let results = job.wait().unwrap();
+    let expected = reference_checksums(2, 300_000);
+    for (r, (state, _)) in results.iter().enumerate() {
+        assert_eq!(state.checksum, expected[r]);
+    }
+    rt.shutdown();
+    rt2.shutdown();
+}
+
+#[test]
+fn independent_jobs_share_a_runtime() {
+    // Two jobs run concurrently in one runtime; checkpointing one must not
+    // disturb the other (daemon registries and modex are job-scoped).
+    let rt = test_runtime("two_jobs", 2);
+    let ring = Arc::new(RingApp { rounds: 400_000 });
+    let stencil = Arc::new(StencilApp {
+        cells_per_rank: 32,
+        iters: 300,
+        ..Default::default()
+    });
+    let job_a = mpirun(&rt, Arc::clone(&ring), RunConfig::new(3)).unwrap();
+    let job_b = mpirun(&rt, Arc::clone(&stencil), RunConfig::new(4)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+
+    let outcome = job_a.checkpoint(&CheckpointOptions::tool()).unwrap();
+    assert_eq!(outcome.ranks, 3);
+
+    // Job B finishes untouched.
+    let results_b = job_b.wait().unwrap();
+    assert_eq!(results_b.len(), 4);
+    assert_eq!(results_b[0].0.iter, 300);
+
+    job_a.request_terminate();
+    job_a.wait().unwrap();
+    rt.shutdown();
+}

@@ -1,0 +1,170 @@
+//! Failure injection across the stack: a failed checkpoint must never
+//! harm the running job, and recovery paths must report cleanly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cr_core::request::CheckpointOptions;
+use cr_core::{CrError, GlobalSnapshot};
+use mca::McaParams;
+use ompi::app::RunEnd;
+use ompi::{mpirun, restart_from, RunConfig};
+use ompi_cr::test_runtime;
+use workloads::ring::{reference_checksums, RingApp};
+
+#[test]
+fn failed_checkpoint_leaves_job_healthy_and_next_succeeds() {
+    let rt = test_runtime("fail_then_ok", 2);
+    let params = Arc::new(McaParams::new());
+    // First CRS attempt on every process fails, later attempts succeed.
+    params.set("crs_blcr_sim_fail_every", "1000000"); // placeholder, reset below
+    params.set("crs_blcr_sim_fail_every", "1");
+    let rounds = 50_000;
+    let app = Arc::new(RingApp { rounds });
+    let job = mpirun(&rt, Arc::clone(&app), RunConfig { nprocs: 4, params: Arc::clone(&params) })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+
+    // fail_every=1: every checkpoint attempt fails.
+    let err = job.checkpoint(&CheckpointOptions::tool()).unwrap_err();
+    assert!(err.to_string().contains("injected failure"));
+
+    // The job is entirely unharmed: no committed interval...
+    if let Ok(g) = GlobalSnapshot::open(&job.handle().global_snapshot_path()) {
+        assert!(g.intervals().is_empty());
+    }
+    // ...and it runs to the correct completion.
+    job.request_terminate();
+    let results = job.wait().unwrap();
+    assert!(results
+        .iter()
+        .all(|(_, end)| matches!(end, RunEnd::Completed | RunEnd::Terminated)));
+    rt.shutdown();
+}
+
+#[test]
+fn alternating_failures_every_other_checkpoint_succeeds() {
+    let rt = test_runtime("alternating", 1);
+    let params = Arc::new(McaParams::new());
+    params.set("crs_blcr_sim_fail_every", "2"); // 2nd, 4th, ... attempts fail
+    let app = Arc::new(RingApp { rounds: 500_000 });
+    let job = mpirun(&rt, Arc::clone(&app), RunConfig { nprocs: 2, params }).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Attempt 1 per process succeeds.
+    let first = job.checkpoint(&CheckpointOptions::tool()).unwrap();
+    assert_eq!(first.interval, 0);
+    // Attempt 2 per process fails.
+    assert!(job.checkpoint(&CheckpointOptions::tool()).is_err());
+    // Attempt 3 succeeds; interval numbering skips nothing visible.
+    let third = job.checkpoint(&CheckpointOptions::tool()).unwrap();
+    assert_eq!(third.interval, 1);
+
+    let global = GlobalSnapshot::open(&first.global_snapshot).unwrap();
+    assert_eq!(global.intervals(), vec![0, 1]);
+
+    job.request_terminate();
+    job.wait().unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn restart_from_corrupted_context_fails_loudly() {
+    let rt = test_runtime("corrupt", 1);
+    let app = Arc::new(RingApp { rounds: 200_000 });
+    let job = mpirun(&rt, Arc::clone(&app), RunConfig::new(2)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let outcome = job
+        .checkpoint(&CheckpointOptions::tool().and_terminate())
+        .unwrap();
+    job.wait().unwrap();
+
+    // Flip one byte in rank 1's context file.
+    let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+    let local = global.local_snapshot(outcome.interval, cr_core::Rank(1)).unwrap();
+    let path = local.context_path();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, bytes).unwrap();
+
+    let rt2 = test_runtime("corrupt_restart", 1);
+    let err = match restart_from(&rt2, app, &outcome.global_snapshot, None) {
+        Err(e) => e,
+        Ok(_) => panic!("restart from corrupted snapshot must fail"),
+    };
+    assert!(
+        matches!(err, CrError::Codec(codec::Error::ChecksumMismatch { .. })),
+        "wanted checksum mismatch, got: {err}"
+    );
+    rt.shutdown();
+    rt2.shutdown();
+}
+
+#[test]
+fn restart_from_missing_interval_fails_loudly() {
+    let rt = test_runtime("noiv", 1);
+    let app = Arc::new(RingApp { rounds: 200_000 });
+    let job = mpirun(&rt, Arc::clone(&app), RunConfig::new(2)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let outcome = job
+        .checkpoint(&CheckpointOptions::tool().and_terminate())
+        .unwrap();
+    job.wait().unwrap();
+
+    let rt2 = test_runtime("noiv_restart", 1);
+    // Interval 7 was never committed.
+    let err = match restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, Some(7)) {
+        Err(e) => e,
+        Ok(_) => panic!("restart from uncommitted interval must fail"),
+    };
+    assert!(err.to_string().contains("never committed"));
+    // Restarting from the real interval still works afterwards.
+    let job = restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, None).unwrap();
+    let results = job.wait().unwrap();
+    let expected = reference_checksums(2, 200_000);
+    assert_eq!(results[0].0.checksum, expected[0]);
+    rt.shutdown();
+    rt2.shutdown();
+}
+
+#[test]
+fn restart_from_nonexistent_reference_fails_loudly() {
+    let rt = test_runtime("noref", 1);
+    let err = match restart_from(
+        &rt,
+        Arc::new(RingApp { rounds: 1 }),
+        std::path::Path::new("/definitely/not/a/snapshot.ckpt"),
+        None,
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("must fail"),
+    };
+    assert!(matches!(err, CrError::BadSnapshot { .. }));
+    rt.shutdown();
+}
+
+#[test]
+fn mid_job_opt_out_window() {
+    // A process flips checkpointability off and on; requests during the
+    // window fail atomically, requests after succeed.
+    let rt = test_runtime("optout_window", 1);
+    let app = Arc::new(RingApp { rounds: 2_000_000 });
+    let job = mpirun(&rt, Arc::clone(&app), RunConfig::new(3)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+
+    job.handle().container(cr_core::Rank(1)).set_checkpointable(false);
+    let err = job.checkpoint(&CheckpointOptions::tool()).unwrap_err();
+    match err {
+        CrError::NotCheckpointable { ranks } => assert_eq!(ranks, vec![cr_core::Rank(1)]),
+        other => panic!("unexpected {other}"),
+    }
+
+    job.handle().container(cr_core::Rank(1)).set_checkpointable(true);
+    let outcome = job.checkpoint(&CheckpointOptions::tool()).unwrap();
+    assert_eq!(outcome.interval, 0);
+
+    job.request_terminate();
+    job.wait().unwrap();
+    rt.shutdown();
+}

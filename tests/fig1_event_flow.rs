@@ -1,0 +1,95 @@
+//! Experiment E3 (paper Figure 1): the distributed checkpoint event flow
+//! through the full MPI stack — tool request (A), global coordinator
+//! initiation (B), local coordinator initiation (C), application
+//! coordinators completing (D), local done (E), FILEM aggregation to
+//! stable storage (F), global snapshot reference returned to the caller.
+
+use std::sync::Arc;
+
+use cr_core::request::CheckpointOptions;
+use cr_core::GlobalSnapshot;
+use ompi::{mpirun, RunConfig};
+use ompi_cr::test_runtime;
+use workloads::stencil::StencilApp;
+
+#[test]
+fn figure1_flow_through_the_mpi_stack() {
+    let rt = test_runtime("fig1_mpi", 4);
+    let app = Arc::new(StencilApp {
+        cells_per_rank: 32,
+        iters: 1_000_000, // effectively "long running"; terminated below
+        ..Default::default()
+    });
+    let job = mpirun(&rt, app, RunConfig::new(8)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    rt.tracer().clear();
+    let outcome = job.checkpoint(&CheckpointOptions::tool()).unwrap();
+
+    let tracer = rt.tracer();
+    // A -> B -> C -> D -> E -> F -> reference returned.
+    tracer.assert_order("snapc.global.request", "snapc.global.initiate");
+    tracer.assert_order("snapc.global.initiate", "snapc.local.initiate");
+    tracer.assert_order("snapc.local.initiate", "opal.notify.request");
+    tracer.assert_order("opal.notify.request", "opal.crs.checkpoint");
+    tracer.assert_order("opal.crs.checkpoint", "snapc.app.done");
+    tracer.assert_order("snapc.app.done", "snapc.local.done");
+    tracer.assert_order("snapc.local.done", "snapc.global.local_done");
+    tracer.assert_order("snapc.global.local_done", "filem.gather");
+    tracer.assert_order("filem.gather", "snapc.global.reference_returned");
+    // Cleanup of node-local scratch happens too.
+    assert!(tracer.count_prefix("filem.local.remove") > 0);
+
+    // Every rank checkpointed exactly once in this interval.
+    assert_eq!(tracer.count_prefix("opal.crs.checkpoint"), 8);
+    // All four local coordinators participated.
+    assert_eq!(tracer.count_prefix("snapc.local.initiate"), 4);
+
+    // The returned reference is a valid, complete global snapshot.
+    let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+    assert_eq!(global.nprocs(), 8);
+    let locals = global.local_snapshots(outcome.interval).unwrap();
+    assert_eq!(locals.len(), 8);
+    for local in &locals {
+        assert!(!local.read_context().unwrap().is_empty());
+        assert!(local.hostname().is_some());
+    }
+
+    job.request_terminate();
+    job.wait().unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn interval_metadata_records_rank_placement() {
+    let rt = test_runtime("fig1_meta", 2);
+    let app = Arc::new(StencilApp {
+        cells_per_rank: 8,
+        iters: 1_000_000,
+        ..Default::default()
+    });
+    let job = mpirun(&rt, app, RunConfig::new(4)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let outcome = job.checkpoint(&CheckpointOptions::tool()).unwrap();
+
+    let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+    // Round-robin placement over 2 nodes recorded in the metadata.
+    assert_eq!(
+        global.rank_hostname(outcome.interval, cr_core::Rank(0)),
+        Some("node00")
+    );
+    assert_eq!(
+        global.rank_hostname(outcome.interval, cr_core::Rank(1)),
+        Some("node01")
+    );
+    assert_eq!(
+        global.rank_hostname(outcome.interval, cr_core::Rank(2)),
+        Some("node00")
+    );
+    // Launch parameters were recorded so restart needs no user input.
+    assert!(!global.launch_params().is_empty());
+
+    job.request_terminate();
+    job.wait().unwrap();
+    rt.shutdown();
+}

@@ -1,0 +1,91 @@
+//! Property test for DESIGN.md invariant 1 (ablation A4): for *any*
+//! message pattern and *any* checkpoint trigger time, restarting from the
+//! global snapshot yields exactly the fault-free answer.
+//!
+//! Each case is a full job lifecycle (launch, checkpoint+terminate at a
+//! random instant, restart, compare), so the case count is kept small;
+//! the traffic seed randomizes the communication pattern and payload
+//! sizes, and the checkpoint delay randomizes where in the step/ops the
+//! cut lands.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cr_core::request::CheckpointOptions;
+use ompi::app::RunEnd;
+use ompi::{mpirun, restart_from, RunConfig};
+use ompi_cr::test_runtime;
+use proptest::prelude::*;
+use workloads::traffic::{digests_agree, TrafficApp, TrafficState};
+
+fn fault_free(app: &Arc<TrafficApp>, nprocs: u32, tag: &str) -> Vec<TrafficState> {
+    let rt = test_runtime(tag, 2);
+    let results = mpirun(&rt, Arc::clone(app), RunConfig::new(nprocs))
+        .unwrap()
+        .wait()
+        .unwrap();
+    rt.shutdown();
+    results.into_iter().map(|(s, _)| s).collect()
+}
+
+fn checkpointed(
+    app: &Arc<TrafficApp>,
+    nprocs: u32,
+    delay_ms: u64,
+    tag: &str,
+) -> Option<Vec<TrafficState>> {
+    let rt = test_runtime(&format!("{tag}_ck"), 2);
+    let job = mpirun(&rt, Arc::clone(app), RunConfig::new(nprocs)).unwrap();
+    std::thread::sleep(Duration::from_millis(delay_ms));
+    let outcome = match job.checkpoint(&CheckpointOptions::tool().and_terminate()) {
+        Ok(o) => o,
+        Err(_) => {
+            // The job finished before the checkpoint landed: nothing to
+            // test for this timing, which is itself a valid outcome.
+            job.request_terminate();
+            let _ = job.wait();
+            rt.shutdown();
+            return None;
+        }
+    };
+    job.wait().unwrap();
+
+    let rt2 = test_runtime(&format!("{tag}_rs"), 3);
+    let job = restart_from(&rt2, Arc::clone(app), &outcome.global_snapshot, None).unwrap();
+    let results = job.wait().unwrap();
+    for (r, (_, end)) in results.iter().enumerate() {
+        assert_eq!(*end, RunEnd::Completed, "rank {r}");
+    }
+    rt.shutdown();
+    rt2.shutdown();
+    Some(results.into_iter().map(|(s, _)| s).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        max_shrink_iters: 0, // each case is seconds; shrinking buys little
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_seed_any_timing_restart_is_exact(
+        seed in any::<u64>(),
+        delay_ms in 5u64..120,
+        nprocs in 2u32..6,
+    ) {
+        let app = Arc::new(TrafficApp {
+            rounds: 3000,
+            seed,
+            max_len: 192,
+        });
+        let tag = format!("prop_{seed:x}_{delay_ms}_{nprocs}");
+        let reference = fault_free(&app, nprocs, &format!("{tag}_ref"));
+        if let Some(restarted) = checkpointed(&app, nprocs, delay_ms, &tag) {
+            prop_assert!(
+                digests_agree(&reference, &restarted),
+                "seed={seed:#x} delay={delay_ms}ms nprocs={nprocs}:\n{reference:?}\nvs\n{restarted:?}"
+            );
+        }
+    }
+}
