@@ -496,6 +496,14 @@ impl<'de> Deserializer<'de> {
         Ok(s)
     }
 
+    fn read_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let offset = self.pos;
+        let bytes = self.read_exact(N)?;
+        bytes
+            .try_into()
+            .map_err(|_| Error::UnexpectedEof { offset })
+    }
+
     fn read_str_raw(&mut self) -> Result<&'de str> {
         let len = self.read_len()?;
         let offset = self.pos;
@@ -520,19 +528,19 @@ impl<'de> Deserializer<'de> {
                 visitor.visit_u64(v)
             }
             tag::I128 => {
-                let raw: [u8; 16] = self.read_exact(16)?.try_into().expect("16 bytes");
+                let raw = self.read_array::<16>()?;
                 visitor.visit_i128(i128::from_le_bytes(raw))
             }
             tag::U128 => {
-                let raw: [u8; 16] = self.read_exact(16)?.try_into().expect("16 bytes");
+                let raw = self.read_array::<16>()?;
                 visitor.visit_u128(u128::from_le_bytes(raw))
             }
             tag::F32 => {
-                let raw: [u8; 4] = self.read_exact(4)?.try_into().expect("4 bytes");
+                let raw = self.read_array::<4>()?;
                 visitor.visit_f32(f32::from_le_bytes(raw))
             }
             tag::F64 => {
-                let raw: [u8; 8] = self.read_exact(8)?.try_into().expect("8 bytes");
+                let raw = self.read_array::<8>()?;
                 visitor.visit_f64(f64::from_le_bytes(raw))
             }
             tag::CHAR => {

@@ -37,6 +37,18 @@ pub fn write_frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Fixed-size header field at `at`, or a truncation error.
+fn header_field<const N: usize>(data: &[u8], at: usize) -> Result<[u8; N]> {
+    data.get(at..at + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| {
+            Error::BadFrame(format!(
+                "file too short for frame header: {} bytes",
+                data.len()
+            ))
+        })
+}
+
 /// Unwrap a frame, validating magic, version, length, and checksum.
 pub fn read_frame(data: &[u8]) -> Result<&[u8]> {
     if data.len() < HEADER_LEN {
@@ -45,18 +57,18 @@ pub fn read_frame(data: &[u8]) -> Result<&[u8]> {
             data.len()
         )));
     }
-    if data[0..4] != MAGIC {
+    if header_field::<4>(data, 0)? != MAGIC {
         return Err(Error::BadFrame("bad magic (not a context file)".into()));
     }
-    let version = u16::from_le_bytes([data[4], data[5]]);
+    let version = u16::from_le_bytes(header_field(data, 4)?);
     if version != VERSION {
         return Err(Error::BadFrame(format!(
             "unsupported context format version {version} (this build reads {VERSION})"
         )));
     }
-    let len = u64::from_le_bytes(data[6..14].try_into().expect("8 bytes")) as usize;
-    let stored = u32::from_le_bytes(data[14..18].try_into().expect("4 bytes"));
-    let body = &data[HEADER_LEN..];
+    let len = u64::from_le_bytes(header_field(data, 6)?) as usize;
+    let stored = u32::from_le_bytes(header_field(data, 14)?);
+    let body = data.split_at(HEADER_LEN).1;
     if body.len() != len {
         return Err(Error::BadFrame(format!(
             "payload length mismatch: header says {len}, file has {}",

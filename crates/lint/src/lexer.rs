@@ -1,0 +1,389 @@
+//! A minimal Rust tokenizer, sufficient for source-level lint rules.
+//!
+//! This is deliberately not a full lexer: it produces identifiers, string
+//! and char literals, numbers, lifetimes, and single-character punctuation,
+//! with comments (line, block, doc) stripped. Multi-character operators
+//! arrive as consecutive punctuation tokens; rules match the sequences they
+//! care about (`=` `>` for a match arm, `:` `:` for a path separator).
+//! Line numbers are 1-based and attached to every token so findings can be
+//! reported as `file:line`.
+
+/// The coarse class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// Single punctuation character (`.`, `{`, `=`, ...).
+    Punct,
+    /// String literal (text excludes the quotes; escapes are left raw).
+    Str,
+    /// Character literal.
+    Char,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// Lifetime such as `'a` (text excludes the leading quote).
+    Lifetime,
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is included).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.chars().next() == Some(c)
+    }
+
+    /// True when this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Tokenize `src`, stripping comments.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Byte accessor that cannot panic on EOF.
+    let at = |i: usize| -> u8 { b.get(i).copied().unwrap_or(0) };
+
+    while i < b.len() {
+        let c = at(i);
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if at(i + 1) == b'/' => {
+                while i < b.len() && at(i) != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if at(i + 1) == b'*' => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if at(i) == b'/' && at(i + 1) == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if at(i) == b'*' && at(i + 1) == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if at(i) == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (text, next, nl) = scan_string(b, i + 1);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += nl;
+                i = next;
+            }
+            b'b' | b'r' if is_string_start(b, i) => {
+                let (skip, hashes) = string_prefix(b, i);
+                if hashes == 0 {
+                    let (text, next, nl) = scan_string(b, skip);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                    line += nl;
+                    i = next;
+                } else {
+                    let (text, next, nl) = scan_raw_string(b, skip, hashes);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                    line += nl;
+                    i = next;
+                }
+            }
+            b'\'' => {
+                // Distinguish a char literal from a lifetime: a char closes
+                // with a quote shortly after; a lifetime never closes.
+                if let Some((text, next)) = scan_char(b, i + 1) {
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                    });
+                    i = next;
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && is_ident_byte(at(j)) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::from_utf8_lossy(&b[start..j]).into_owned(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && (is_ident_byte(at(i)) || at(i) == b'.') {
+                    // `0..10` range: stop before a second consecutive dot.
+                    if at(i) == b'.' && at(i + 1) == b'.' {
+                        break;
+                    }
+                    // `1.method()` style: a dot followed by a non-digit is
+                    // punctuation, not part of the number.
+                    if at(i) == b'.' && !at(i + 1).is_ascii_digit() {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_byte(at(i)) {
+                    i += 1;
+                }
+                let mut text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                // Raw identifier `r#name`: strip the prefix so rules see the
+                // plain name.
+                if text == "r" && at(i) == b'#' && is_ident_start(at(i + 1)) {
+                    let s2 = i + 1;
+                    let mut j = s2;
+                    while j < b.len() && is_ident_byte(at(j)) {
+                        j += 1;
+                    }
+                    text = String::from_utf8_lossy(&b[s2..j]).into_owned();
+                    i = j;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Is `b[i..]` the start of a `b"`, `r"`, `br"`, `r#"`-style string?
+fn is_string_start(b: &[u8], i: usize) -> bool {
+    let at = |k: usize| -> u8 { b.get(k).copied().unwrap_or(0) };
+    match at(i) {
+        b'b' => at(i + 1) == b'"' || (at(i + 1) == b'r' && raw_tail(b, i + 2)),
+        b'r' => raw_tail(b, i + 1),
+        _ => false,
+    }
+}
+
+/// After an `r`, do we see `#*"`?
+fn raw_tail(b: &[u8], mut i: usize) -> bool {
+    while b.get(i).copied() == Some(b'#') {
+        i += 1;
+    }
+    b.get(i).copied() == Some(b'"')
+}
+
+/// Length of the `b`/`r`/`#` prefix and the number of hashes.
+fn string_prefix(b: &[u8], mut i: usize) -> (usize, usize) {
+    if b.get(i).copied() == Some(b'b') {
+        i += 1;
+    }
+    let raw = b.get(i).copied() == Some(b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(i).copied() == Some(b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    // Position after the opening quote; raw strings with zero hashes still
+    // need raw (no-escape) handling, signal with hashes+1 sentinel.
+    (i + 1, if raw { hashes + 1 } else { 0 })
+}
+
+/// Scan an escaped string body starting just after the opening quote.
+/// Returns (text, index after closing quote, newlines consumed).
+fn scan_string(b: &[u8], mut i: usize) -> (String, usize, u32) {
+    let start = i;
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (text, i + 1, nl);
+            }
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (String::from_utf8_lossy(&b[start..]).into_owned(), i, nl)
+}
+
+/// Scan a raw string body; `hashes` is the sentinel from [`string_prefix`]
+/// (actual hash count + 1).
+fn scan_raw_string(b: &[u8], start: usize, hashes: usize) -> (String, usize, u32) {
+    let want = hashes - 1;
+    let mut i = start;
+    let mut nl = 0u32;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            nl += 1;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < want && b.get(j).copied() == Some(b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == want {
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (text, j, nl);
+            }
+        }
+        i += 1;
+    }
+    (String::from_utf8_lossy(&b[start..]).into_owned(), i, nl)
+}
+
+/// Try to scan a char literal starting just after the opening quote.
+/// Returns None when this is actually a lifetime.
+fn scan_char(b: &[u8], i: usize) -> Option<(String, usize)> {
+    let at = |k: usize| -> u8 { b.get(k).copied().unwrap_or(0) };
+    if at(i) == b'\\' {
+        // Escaped char: find the closing quote within a small window
+        // (handles \n, \t, \\, \', \u{...}, \x7f).
+        let mut j = i + 1;
+        let limit = (i + 12).min(b.len());
+        while j < limit {
+            if at(j) == b'\'' && j > i + 1 {
+                let text = String::from_utf8_lossy(&b[i..j]).into_owned();
+                return Some((text, j + 1));
+            }
+            j += 1;
+        }
+        None
+    } else {
+        // Unescaped char: exactly one (possibly multibyte) character then a
+        // quote. A lifetime like 'a is followed by an ident byte or non-quote.
+        let mut j = i + 1;
+        // Skip UTF-8 continuation bytes.
+        while j < b.len() && (at(j) & 0xC0) == 0x80 {
+            j += 1;
+        }
+        if at(j) == b'\'' {
+            let text = String::from_utf8_lossy(&b[i..j]).into_owned();
+            Some((text, j + 1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            texts("fn f(x: u32) -> u32 { x + 1 }"),
+            ["fn", "f", "(", "x", ":", "u32", ")", "-", ">", "u32", "{", "x", "+", "1", "}"]
+        );
+    }
+
+    #[test]
+    fn comments_stripped_lines_counted() {
+        let toks = lex("// line\n/* block\nstill */ x\ny");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text, "x");
+        assert_eq!(toks[0].line, 3);
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let toks = lex(r###"a "plain \" esc" r#"raw "inner""# b"bytes""###);
+        assert_eq!(toks[1].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "plain \\\" esc");
+        assert_eq!(toks[2].kind, TokKind::Str);
+        assert_eq!(toks[2].text, "raw \"inner\"");
+        assert_eq!(toks[3].kind, TokKind::Str);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("'a' 'x: &'a str '\\n'");
+        assert_eq!(toks[0].kind, TokKind::Char);
+        assert_eq!(toks[1].kind, TokKind::Lifetime);
+        assert_eq!(toks[1].text, "x");
+        let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokKind::Lifetime));
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokKind::Char));
+    }
+
+    #[test]
+    fn ranges_and_floats() {
+        assert_eq!(texts("0..64"), ["0", ".", ".", "64"]);
+        assert_eq!(texts("1.5f64"), ["1.5f64"]);
+        assert_eq!(texts("1.max(2)"), ["1", ".", "max", "(", "2", ")"]);
+    }
+
+    #[test]
+    fn raw_idents_unwrapped() {
+        assert_eq!(texts("r#type"), ["type"]);
+    }
+}

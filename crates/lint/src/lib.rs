@@ -1,0 +1,162 @@
+//! cr-lint: source-level static analysis for checkpoint/restart invariants.
+//!
+//! The compiler cannot see the C/R protocol: that `FtEvent` handlers must
+//! consider all four protocol states, that the INC/coordinator/PML mutexes
+//! must be acquired in one global order, that the fault-tolerance path must
+//! not contain hidden aborts, and that every `--mca` key a component reads
+//! is registered for `ompi-info` to enumerate. `cr-lint` walks the
+//! workspace's Rust sources with a lightweight tokenizer (no syntax tree,
+//! no external dependencies) and enforces those four invariants; see
+//! DESIGN.md section "Static analysis" for the rationale and ROADMAP.md for
+//! its place in the tier-1 checks.
+//!
+//! Scope: `src/` of every workspace member under `crates/`, plus the root
+//! package's `src/`. The `shims/` crates are vendored stand-ins for
+//! external dependencies and are not held to C/R invariants. Test code
+//! (`#[cfg(test)]` modules, `#[test]` functions, `tests/`, `benches/`) is
+//! exempt from the panic-path and MCA rules by construction.
+
+pub mod baseline;
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use baseline::{Baseline, BaselineCheck};
+use model::FileModel;
+use report::{Finding, Rule};
+
+/// Everything one lint run produces.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Hard findings (lock-order, ft-event, mca-keys): always violations.
+    pub hard: Vec<Finding>,
+    /// Baselined findings (panic-path): all sites, pre-ratchet.
+    pub baselined: Vec<Finding>,
+    /// Result of comparing `baselined` against `lint.allow`.
+    pub baseline_check: BaselineCheck,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl LintRun {
+    /// Findings that should fail the run.
+    pub fn violations(&self) -> Vec<Finding> {
+        let mut out = self.hard.clone();
+        out.extend(self.baseline_check.new_violations.iter().cloned());
+        out
+    }
+}
+
+/// Analyze a set of already-loaded `(relative path, source)` pairs.
+///
+/// This is the test entry point: fixtures feed sources directly without
+/// touching the filesystem.
+pub fn analyze_sources(sources: &[(String, String)], baseline: &Baseline) -> LintRun {
+    let models: Vec<FileModel> = sources
+        .iter()
+        .map(|(rel, src)| model::parse_file(rel, src))
+        .collect();
+
+    let mut hard = Vec::new();
+    let mut baselined = Vec::new();
+
+    rules::lock_order::check(&models, &mut hard);
+
+    let mut registered: BTreeSet<String> = BTreeSet::new();
+    let mut uses = Vec::new();
+    for m in &models {
+        rules::ft_event::check(m, &mut hard);
+        rules::panic_path::check(m, &mut baselined);
+        rules::mca_keys::collect_registered(m, &mut registered);
+        rules::mca_keys::collect_uses(m, &mut uses);
+    }
+    rules::mca_keys::check(&registered, &uses, &mut hard);
+
+    let baseline_check = baseline.check(&baselined);
+    LintRun {
+        hard,
+        baselined,
+        baseline_check,
+        files: models.len(),
+    }
+}
+
+/// Discover the workspace's lintable sources under `root`.
+///
+/// Returns `(relative path, source)` pairs for `crates/*/src/**/*.rs` and
+/// the root package's `src/**/*.rs`, sorted by path for deterministic
+/// output.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        out.push((rel, src));
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// holding both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Render a short human summary line.
+pub fn summary_line(run: &LintRun) -> String {
+    format!(
+        "cr-lint: {} files, {} hard findings, {} baselined sites ({} over baseline)",
+        run.files,
+        run.hard.len(),
+        run.baselined.len(),
+        run.baseline_check.new_violations.len()
+    )
+}
+
+/// Re-export for binary convenience.
+pub use report::{render_human, render_json};
+
+/// Which rules are hard (non-baselined). Exposed for documentation tests.
+pub const HARD_RULES: [Rule; 3] = [Rule::LockOrder, Rule::FtEvent, Rule::McaKeys];

@@ -1,0 +1,218 @@
+//! Rule `ft-event`: every `FtEvent` implementation must consciously handle
+//! all four `FtEventState` protocol states.
+//!
+//! The INC contract (paper §4.2: Checkpoint / Continue / Restart, plus the
+//! Error rollback state) is easy to silently violate by adding a variant
+//! arm-less `match`: a `_ =>` wildcard compiles clean when a fifth state is
+//! added, and a catch-all binding (`other => ...`) hides which states a
+//! subsystem actually thought about. The rule:
+//!
+//! - An impl that matches on its state parameter must name every variant
+//!   (`Checkpoint`, `Continue`, `Restart`, `Error`); `_` arms and bare
+//!   binding arms are violations.
+//! - An impl that never matches handles all states uniformly (delegation,
+//!   logging); that is allowed, but the state parameter must not be
+//!   discarded with a leading-underscore name.
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use crate::report::{Finding, Rule};
+
+const VARIANTS: [&str; 4] = ["Checkpoint", "Continue", "Restart", "Error"];
+
+/// Run the rule over one file.
+pub fn check(file: &FileModel, findings: &mut Vec<Finding>) {
+    for f in &file.fns {
+        if f.is_test || f.name != "ft_event" || f.trait_name.as_deref() != Some("FtEvent") {
+            continue;
+        }
+        let who = f.self_ty.as_deref().unwrap_or("<unknown>");
+        let toks = &file.toks;
+        let line_of = |i: usize| toks.get(i).map_or(0, |t| t.line);
+
+        // State parameter: first ident after the `,` following `self`.
+        let state_param = param_after_self(file, f.sig.clone());
+        let Some(param) = state_param else { continue };
+
+        // Find `match <param>` in the body.
+        let mut match_open = None;
+        let mut i = f.body.start;
+        while i < f.body.end {
+            if toks[i].is_ident("match")
+                && toks.get(i + 1).is_some_and(|t| t.is_ident(&param))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+            {
+                match_open = Some(i + 2);
+                break;
+            }
+            i += 1;
+        }
+
+        let Some(open) = match_open else {
+            if param.starts_with('_') {
+                findings.push(Finding::new(
+                    Rule::FtEvent,
+                    &file.rel,
+                    line_of(f.body.start.saturating_sub(1)),
+                    format!(
+                        "impl FtEvent for {who}: state parameter `{param}` is discarded; \
+                         every protocol state must be consciously handled"
+                    ),
+                ));
+            }
+            continue;
+        };
+
+        // Walk arms at depth 1 of the match block.
+        let mut seen: Vec<&str> = Vec::new();
+        let mut depth = 1i32;
+        let (mut paren, mut bracket) = (0i32, 0i32);
+        let mut arm: Vec<usize> = Vec::new(); // token indices of current pattern
+        let mut in_pattern = true;
+        let mut j = open + 1;
+        while j < f.body.end && depth > 0 {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                if depth == 1 && !in_pattern {
+                    // arm body block
+                }
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 1 && !in_pattern {
+                    // end of a `{ ... }` arm body
+                    in_pattern = true;
+                    arm.clear();
+                }
+            } else if depth == 1 && paren == 0 && bracket == 0 {
+                if t.is_punct('(') {
+                    paren += 1;
+                    if in_pattern {
+                        arm.push(j);
+                    }
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if in_pattern
+                    && t.is_punct('=')
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct('>'))
+                {
+                    check_pattern(file, &arm, who, &mut seen, findings);
+                    arm.clear();
+                    in_pattern = false;
+                    j += 1; // skip `>`
+                } else if !in_pattern && t.is_punct(',') {
+                    in_pattern = true;
+                } else if in_pattern {
+                    arm.push(j);
+                }
+            } else if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            }
+            j += 1;
+        }
+
+        let missing: Vec<&str> = VARIANTS
+            .iter()
+            .filter(|v| !seen.contains(v))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            findings.push(Finding::new(
+                Rule::FtEvent,
+                &file.rel,
+                line_of(open),
+                format!(
+                    "impl FtEvent for {who}: match on `{param}` does not name \
+                     FtEventState::{{{}}}",
+                    missing.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Extract the name of the parameter after `&mut self`.
+fn param_after_self(file: &FileModel, sig: std::ops::Range<usize>) -> Option<String> {
+    let toks = &file.toks;
+    let mut i = sig.start;
+    let mut seen_comma = false;
+    while i < sig.end {
+        let t = &toks[i];
+        if t.is_punct(',') {
+            seen_comma = true;
+        } else if seen_comma && t.kind == TokKind::Ident {
+            return Some(t.text.clone());
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Inspect one arm pattern: record named variants, flag `_` and catch-alls.
+fn check_pattern(
+    file: &FileModel,
+    arm: &[usize],
+    who: &str,
+    seen: &mut Vec<&'static str>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &file.toks;
+    // Pattern tokens before any `if` guard.
+    let guard_at = arm
+        .iter()
+        .position(|&i| toks[i].is_ident("if"))
+        .unwrap_or(arm.len());
+    let pat = &arm[..guard_at];
+    let line = pat.first().or(arm.first()).map_or(0, |&i| toks[i].line);
+
+    let mut named_any = false;
+    for &i in pat {
+        for v in VARIANTS {
+            if toks[i].is_ident(v) {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+                named_any = true;
+            }
+        }
+        if toks[i].is_ident("_") || toks[i].is_punct('_') {
+            findings.push(Finding::new(
+                Rule::FtEvent,
+                &file.rel,
+                line,
+                format!(
+                    "impl FtEvent for {who}: wildcard `_` arm hides protocol states; \
+                     name each FtEventState variant"
+                ),
+            ));
+            return;
+        }
+    }
+    // A pure binding arm (single ident, no path, no variant name) is a
+    // catch-all: `other => ...`.
+    if !named_any {
+        let idents: Vec<&str> = pat
+            .iter()
+            .filter(|&&i| toks[i].kind == TokKind::Ident)
+            .map(|&i| toks[i].text.as_str())
+            .collect();
+        if idents.len() == 1 && !pat.iter().any(|&i| toks[i].is_punct(':')) {
+            findings.push(Finding::new(
+                Rule::FtEvent,
+                &file.rel,
+                line,
+                format!(
+                    "impl FtEvent for {who}: catch-all binding `{}` hides protocol states; \
+                     name each FtEventState variant",
+                    idents.first().copied().unwrap_or("_")
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Rule `lock-order`: the workspace-wide lock acquisition graph must be
+//! acyclic.
+//!
+//! The C/R control path crosses every layer — `opal::container` (the INC
+//! gate), `cr_core::inc` (the callback stack), `orte::job`/`snapc` (the
+//! coordinator), `ompi::init`/`pml` (the interposed messaging layer) — and
+//! each layer has its own mutexes. A checkpoint request travelling down
+//! while message progress travels up is exactly the shape that deadlocks
+//! when two functions take the same pair of locks in opposite orders.
+//!
+//! The analysis is source-level and conservative-but-heuristic:
+//!
+//! 1. **Acquisition sites.** A zero-argument `.lock()` / `.read()` /
+//!    `.write()` call on a plain field path is an acquisition. The lock's
+//!    identity is `module::Receiver.path` with `self` replaced by the impl
+//!    type, so `self.entries.read()` inside `impl McaParams` in
+//!    `crates/mca/src/params.rs` becomes `mca::params::McaParams.entries`.
+//! 2. **Guard lifetime.** A guard bound with `let` (or assigned) is held to
+//!    the end of its block; an unbound temporary is released at the next
+//!    `;` of the same depth. `drop(guard)` is not modelled (conservative:
+//!    the guard is considered held longer than it is).
+//! 3. **Intra-procedural edges.** Acquiring `B` while `A` is held adds the
+//!    edge `A -> B`.
+//! 4. **Inter-procedural edges.** Calling `f()` while `A` is held adds
+//!    `A -> L` for every lock `L` in `f`'s transitive acquisition summary
+//!    (a fixpoint over the call graph). Calls resolve by qualified name
+//!    (`Type::method`) or by bare name when the name is unique across the
+//!    workspace; ambiguous names are skipped rather than over-linked.
+//! 5. **Cycles.** Any strongly connected component with a cycle (including
+//!    a self-edge, which is a re-entrant `Mutex` deadlock) is reported
+//!    with the contributing edges and their source sites.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::model::{FileModel, FnDecl};
+use crate::report::{Finding, Rule};
+
+/// One analyzed function: the locks it takes and the calls it makes.
+#[derive(Debug, Default)]
+struct FnFacts {
+    qual: String,
+    /// Locks acquired directly in this function.
+    locks: BTreeSet<String>,
+    /// `(callee key, held locks at the call, line)`.
+    calls: Vec<(CallKey, Vec<String>, u32)>,
+    /// `(held lock, acquired lock, line)` intra-procedural edges.
+    edges: Vec<(String, String, u32)>,
+    file: String,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CallKey {
+    /// `name(..)` or `.name(..)` — resolved only if globally unique.
+    Bare(String),
+    /// `Type::name(..)`.
+    Qualified(String, String),
+}
+
+/// A directed edge in the lock graph with provenance.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: String,
+}
+
+/// Run the rule over all files at once (the graph is workspace-global).
+pub fn check(files: &[FileModel], findings: &mut Vec<Finding>) {
+    let mut facts: Vec<FnFacts> = Vec::new();
+    for file in files {
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            facts.push(scan_fn(file, f));
+        }
+    }
+
+    // Resolve bare names: name -> unique function index (or ambiguous).
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qual: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (i, ff) in facts.iter().enumerate() {
+        let name = ff.qual.rsplit("::").next().unwrap_or(&ff.qual);
+        by_name.entry(name).or_default().push(i);
+        let mut segs = ff.qual.rsplit("::");
+        let fn_name = segs.next().unwrap_or_default().to_string();
+        if let Some(ty) = segs.next() {
+            by_qual.insert((ty.to_string(), fn_name), i);
+        }
+    }
+    let resolve = |key: &CallKey| -> Option<usize> {
+        match key {
+            CallKey::Bare(name) => match by_name.get(name.as_str()) {
+                Some(v) if v.len() == 1 => v.first().copied(),
+                _ => None,
+            },
+            CallKey::Qualified(ty, name) => by_qual.get(&(ty.clone(), name.clone())).copied(),
+        }
+    };
+
+    // Fixpoint: transitive lock summaries.
+    let mut summaries: Vec<BTreeSet<String>> =
+        facts.iter().map(|f| f.locks.clone()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..facts.len() {
+            let mut add: Vec<String> = Vec::new();
+            for (key, _, _) in &facts[i].calls {
+                if let Some(j) = resolve(key) {
+                    for l in &summaries[j] {
+                        if !summaries[i].contains(l) {
+                            add.push(l.clone());
+                        }
+                    }
+                }
+            }
+            for l in add {
+                summaries[i].insert(l);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Assemble the edge set.
+    let mut edges: Vec<Edge> = Vec::new();
+    for ff in &facts {
+        for (from, to, line) in &ff.edges {
+            edges.push(Edge {
+                from: from.clone(),
+                to: to.clone(),
+                file: ff.file.clone(),
+                line: *line,
+                via: ff.qual.clone(),
+            });
+        }
+        for (key, held, line) in &ff.calls {
+            if held.is_empty() {
+                continue;
+            }
+            if let Some(j) = resolve(key) {
+                for to in &summaries[j] {
+                    for from in held {
+                        edges.push(Edge {
+                            from: from.clone(),
+                            to: to.clone(),
+                            file: ff.file.clone(),
+                            line: *line,
+                            via: format!("{} -> {}", ff.qual, facts[j].qual),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    report_cycles(&edges, findings);
+}
+
+/// SCCs via pairwise reachability (the lock graph is small); emit one
+/// finding per cyclic component.
+fn report_cycles(edges: &[Edge], findings: &mut Vec<Finding>) {
+    let mut nodes: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut names: Vec<&str> = Vec::new();
+    for e in edges {
+        for n in [e.from.as_str(), e.to.as_str()] {
+            if !nodes.contains_key(n) {
+                nodes.insert(n, names.len());
+                names.push(n);
+            }
+        }
+    }
+    let n = names.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        let (Some(&a), Some(&b)) = (nodes.get(e.from.as_str()), nodes.get(e.to.as_str()))
+        else {
+            continue;
+        };
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+        }
+    }
+
+    // reach[v] = set of nodes reachable from v (BFS per node).
+    let mut reach: Vec<Vec<bool>> = Vec::with_capacity(n);
+    for start in 0..n {
+        let mut seen = vec![false; n];
+        let mut queue: Vec<usize> = adj[start].clone();
+        while let Some(v) = queue.pop() {
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            queue.extend(adj[v].iter().copied());
+        }
+        reach.push(seen);
+    }
+
+    // Two nodes share a cyclic SCC when each reaches the other; a node with
+    // a self-path (start reaches itself) is cyclic alone.
+    let mut assigned = vec![false; n];
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    for v in 0..n {
+        if assigned[v] {
+            continue;
+        }
+        let mut comp = vec![v];
+        for w in (v + 1)..n {
+            if !assigned[w] && reach[v][w] && reach[w][v] {
+                comp.push(w);
+            }
+        }
+        if comp.len() > 1 || reach[v][v] {
+            for &m in &comp {
+                assigned[m] = true;
+            }
+            sccs.push(comp);
+        }
+    }
+
+    for comp in sccs {
+        let members: BTreeSet<&str> = comp.iter().map(|&v| names[v]).collect();
+        let mut detail = String::new();
+        let mut first_site: Option<(&str, u32)> = None;
+        for e in edges {
+            if members.contains(e.from.as_str()) && members.contains(e.to.as_str()) {
+                if first_site.is_none() {
+                    first_site = Some((&e.file, e.line));
+                }
+                detail.push_str(&format!(
+                    "\n    {} -> {} ({}:{}, via {})",
+                    e.from, e.to, e.file, e.line, e.via
+                ));
+            }
+        }
+        let (file, line) = first_site.unwrap_or(("<graph>", 0));
+        let member_list: Vec<&str> = members.into_iter().collect();
+        findings.push(Finding::new(
+            Rule::LockOrder,
+            file,
+            line,
+            format!(
+                "lock-order cycle between {{{}}}; contributing edges:{}",
+                member_list.join(", "),
+                detail
+            ),
+        ));
+    }
+}
+
+/// Scan one function body for acquisitions, calls, and local edges.
+fn scan_fn(file: &FileModel, f: &FnDecl) -> FnFacts {
+    let toks = &file.toks;
+    let mut facts = FnFacts {
+        qual: f.qual.clone(),
+        file: file.rel.clone(),
+        ..FnFacts::default()
+    };
+    // Held locks: (id, depth, bound).
+    let mut held: Vec<(String, i32, bool)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = f.body.start;
+    while i < f.body.end {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            held.retain(|(_, d, _)| *d <= depth);
+        } else if t.is_punct(';') {
+            held.retain(|(_, d, bound)| *bound || *d != depth);
+        } else if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| matches!(n.text.as_str(), "lock" | "read" | "write"))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+            && toks.get(i + 3).is_some_and(|p| p.is_punct(')'))
+        {
+            if let Some(chain) = receiver_chain(file, f, i) {
+                let id = lock_id(file, f, &chain);
+                let line = toks[i + 1].line;
+                for (h, _, _) in &held {
+                    if h != &id {
+                        facts.edges.push((h.clone(), id.clone(), line));
+                    }
+                }
+                facts.locks.insert(id.clone());
+                let bound = statement_binds(file, f, i, chain.len());
+                held.push((id, depth, bound));
+                i += 4;
+                continue;
+            }
+        } else if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+            && !not_a_call(&t.text)
+        {
+            // A call site. Calls with nothing held still feed the summary
+            // fixpoint (transitive acquisition); calls with locks held also
+            // generate inter-procedural edges.
+            if let Some(key) = call_key(file, f, i, t.text.clone()) {
+                let held_ids: Vec<String> =
+                    held.iter().map(|(h, _, _)| h.clone()).collect();
+                facts.calls.push((key, held_ids, t.line));
+            }
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Identifiers followed by `(` that are not function calls: control-flow
+/// keywords, common enum constructors, and the lock methods themselves.
+fn not_a_call(name: &str) -> bool {
+    matches!(
+        name,
+        "lock"
+            | "read"
+            | "write"
+            | "Some"
+            | "Ok"
+            | "Err"
+            | "if"
+            | "while"
+            | "match"
+            | "return"
+            | "for"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "fn"
+            | "let"
+            | "else"
+            | "box"
+    )
+}
+
+/// Classify the call at token `i` (an ident followed by `(`), or `None`
+/// when the callee cannot be named safely.
+///
+/// Method calls on receivers other than `self` are deliberately *not*
+/// resolved by bare name: `guard.clear()` or `handle.join()` would
+/// otherwise shadow-match workspace methods that happen to share a name
+/// with a std method (`Tracer::clear`, `JobHandle::join`), manufacturing
+/// false cycles. The inter-procedural graph flows through free functions,
+/// `Type::method(..)` calls, and `self.method(..)` calls, which cover the
+/// C/R control path.
+fn call_key(file: &FileModel, f: &FnDecl, i: usize, name: String) -> Option<CallKey> {
+    let toks = &file.toks;
+    // `Type::name(` — two colons then a type ident before the name.
+    if i >= 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks[i - 3].kind == TokKind::Ident
+    {
+        let ty = toks[i - 3].text.clone();
+        if ty == "Self" {
+            if let Some(st) = &f.self_ty {
+                return Some(CallKey::Qualified(st.clone(), name));
+            }
+        }
+        return Some(CallKey::Qualified(ty, name));
+    }
+    if i >= 1 && toks[i - 1].is_punct('.') {
+        // `self.name(` — a method of the impl type; anything else is an
+        // unresolvable method call.
+        if i >= 2 && toks[i - 2].is_ident("self") {
+            if let Some(st) = &f.self_ty {
+                return Some(CallKey::Qualified(st.clone(), name));
+            }
+        }
+        return None;
+    }
+    Some(CallKey::Bare(name))
+}
+
+/// Walk backwards from the `.` at `i` collecting a plain `a.b.c` chain.
+/// Returns `None` when the receiver is not a simple field path (e.g. a call
+/// result like `stdin().lock()`).
+fn receiver_chain(file: &FileModel, f: &FnDecl, dot: usize) -> Option<Vec<String>> {
+    let toks = &file.toks;
+    let mut chain: Vec<String> = Vec::new();
+    let mut j = dot;
+    loop {
+        // Expect an ident before the current `.`.
+        if j == 0 || j - 1 < f.body.start {
+            break;
+        }
+        let id = &toks[j - 1];
+        if id.kind != TokKind::Ident {
+            return if chain.is_empty() { None } else { Some(chain) };
+        }
+        chain.insert(0, id.text.clone());
+        // Another `.` before it continues the chain.
+        if j >= 2 && toks[j - 2].is_punct('.') && j - 2 > f.body.start {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    if chain.is_empty() {
+        None
+    } else {
+        Some(chain)
+    }
+}
+
+/// Lock identity from a receiver chain (see module docs, point 1).
+fn lock_id(file: &FileModel, f: &FnDecl, chain: &[String]) -> String {
+    let mut parts: Vec<String> = chain.to_vec();
+    if parts.first().map(String::as_str) == Some("self") {
+        let ty = f.self_ty.clone().unwrap_or_else(|| "Self".to_string());
+        parts[0] = ty;
+    }
+    format!("{}::{}", file.module, parts.join("."))
+}
+
+/// Does the statement containing the acquisition bind its guard (`let` /
+/// assignment), meaning the guard lives to end of scope?
+fn statement_binds(file: &FileModel, f: &FnDecl, dot: usize, chain_len: usize) -> bool {
+    let toks = &file.toks;
+    // Walk back past the receiver chain, then to the statement start.
+    let mut j = dot.saturating_sub(chain_len * 2 - 1);
+    while j > f.body.start {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") || t.is_punct('=') {
+            return true;
+        }
+        j -= 1;
+    }
+    false
+}

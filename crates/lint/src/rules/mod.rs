@@ -1,0 +1,6 @@
+//! The four rule families (see crate docs and DESIGN.md "Static analysis").
+
+pub mod ft_event;
+pub mod lock_order;
+pub mod mca_keys;
+pub mod panic_path;

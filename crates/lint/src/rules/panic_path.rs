@@ -1,0 +1,93 @@
+//! Rule `panic-path`: audit aborts hiding in non-test library code.
+//!
+//! A checkpoint/restart runtime must degrade into `CrError` results, not
+//! process aborts: a panic inside the INC stack takes down the rank and
+//! turns a recoverable checkpoint failure into a job failure. This rule
+//! counts, per file:
+//!
+//! - `.unwrap()` / `.expect(...)` on `Option`/`Result`
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!` invocations
+//! - direct index expressions `x[...]` (implicit bounds-check panics)
+//!
+//! Existing sites are grandfathered through the `lint.allow` baseline
+//! (see [`crate::baseline`]); the count per (rule, file) may only go down.
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use crate::report::{Finding, Rule};
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the rule over one file.
+pub fn check(file: &FileModel, findings: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for f in &file.fns {
+        if f.is_test {
+            continue;
+        }
+        let mut i = f.body.start;
+        while i < f.body.end {
+            let t = &toks[i];
+            // `.unwrap()` / `.expect(`
+            if t.is_punct('.') {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let called = toks.get(i + 2).is_some_and(|p| p.is_punct('('));
+                    if called && name.text == "unwrap" {
+                        findings.push(Finding::new(
+                            Rule::PanicPath,
+                            &file.rel,
+                            name.line,
+                            format!("`.unwrap()` in {}", f.qual),
+                        ));
+                    } else if called && name.text == "expect" {
+                        findings.push(Finding::new(
+                            Rule::PanicPath,
+                            &file.rel,
+                            name.line,
+                            format!("`.expect(..)` in {}", f.qual),
+                        ));
+                    }
+                }
+            }
+            // `panic!(` and friends
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                findings.push(Finding::new(
+                    Rule::PanicPath,
+                    &file.rel,
+                    t.line,
+                    format!("`{}!` in {}", t.text, f.qual),
+                ));
+            }
+            // Direct indexing: `[` straight after an ident, `)` or `]`.
+            // Array types/literals (`[u8; 4]`, `[0; n]`), attributes (`#[`),
+            // and macro brackets (`vec![`) all follow other tokens.
+            if t.is_punct('[') && i > f.body.start {
+                let prev = &toks[i - 1];
+                let indexes = (prev.kind == TokKind::Ident && !is_keyword(&prev.text))
+                    || prev.is_punct(')')
+                    || prev.is_punct(']');
+                if indexes {
+                    findings.push(Finding::new(
+                        Rule::PanicPath,
+                        &file.rel,
+                        t.line,
+                        format!("direct index `{}[..]` in {}", prev.text, f.qual),
+                    ));
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Keywords that may precede `[` without forming an index expression
+/// (`let [a, b] = ..` slice patterns, `in [..]` iteration).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let" | "in" | "return" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as"
+    )
+}

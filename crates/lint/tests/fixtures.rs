@@ -1,0 +1,141 @@
+//! Integration tests: feed the fixture sources under `tests/fixtures/`
+//! through [`lint::analyze_sources`] and assert each rule family fires on
+//! its seeded violation and stays quiet on the clean variant.
+
+use lint::baseline::Baseline;
+use lint::report::Rule;
+use lint::{analyze_sources, LintRun};
+
+fn run(files: &[(&str, &str)]) -> LintRun {
+    run_with_baseline(files, "")
+}
+
+fn run_with_baseline(files: &[(&str, &str)], baseline: &str) -> LintRun {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), src.to_string()))
+        .collect();
+    let baseline = Baseline::parse(baseline).expect("fixture baseline parses");
+    analyze_sources(&sources, &baseline)
+}
+
+#[test]
+fn lock_order_cycle_detected() {
+    let out = run(&[(
+        "crates/demo/src/pair.rs",
+        include_str!("fixtures/lock_cycle.rs"),
+    )]);
+    let cycles: Vec<_> = out
+        .hard
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrder)
+        .collect();
+    assert!(!cycles.is_empty(), "expected a lock-order cycle finding");
+    let msg = &cycles[0].message;
+    assert!(msg.contains("lock-order cycle"), "unexpected message: {msg}");
+    // Both lock ids participate, and the inter-procedural edge through
+    // `take_a` is attributed to the calling path.
+    assert!(msg.contains("Pair.a") && msg.contains("Pair.b"), "{msg}");
+    assert!(msg.contains("take_a"), "inter-proc edge missing: {msg}");
+}
+
+#[test]
+fn lock_order_consistent_order_is_clean() {
+    let out = run(&[(
+        "crates/demo/src/pair.rs",
+        include_str!("fixtures/lock_clean.rs"),
+    )]);
+    assert!(
+        out.hard.iter().all(|f| f.rule != Rule::LockOrder),
+        "clean fixture flagged: {:?}",
+        out.hard
+    );
+}
+
+#[test]
+fn ft_event_wildcard_detected() {
+    let out = run(&[(
+        "crates/demo/src/handler.rs",
+        include_str!("fixtures/ft_wildcard.rs"),
+    )]);
+    let ft: Vec<_> = out
+        .hard
+        .iter()
+        .filter(|f| f.rule == Rule::FtEvent)
+        .collect();
+    assert!(
+        ft.iter().any(|f| f.message.contains("wildcard `_` arm")),
+        "wildcard arm not flagged: {ft:?}"
+    );
+    // The wildcard also hides the three unnamed variants.
+    assert!(
+        ft.iter().any(|f| f.message.contains("Restart")),
+        "missing-variant finding absent: {ft:?}"
+    );
+}
+
+#[test]
+fn ft_event_full_match_is_clean() {
+    let out = run(&[(
+        "crates/demo/src/handler.rs",
+        include_str!("fixtures/ft_clean.rs"),
+    )]);
+    assert!(
+        out.hard.iter().all(|f| f.rule != Rule::FtEvent),
+        "clean fixture flagged: {:?}",
+        out.hard
+    );
+}
+
+#[test]
+fn mca_unregistered_key_detected() {
+    let out = run(&[
+        (
+            "crates/demo/src/component.rs",
+            include_str!("fixtures/mca_use.rs"),
+        ),
+        (
+            "crates/mca/src/registry.rs",
+            include_str!("fixtures/mca_registry.rs"),
+        ),
+    ]);
+    let mca: Vec<_> = out
+        .hard
+        .iter()
+        .filter(|f| f.rule == Rule::McaKeys)
+        .collect();
+    assert_eq!(mca.len(), 1, "exactly the bad key should fire: {mca:?}");
+    assert!(mca[0].message.contains("made_up_key"), "{}", mca[0].message);
+    assert!(
+        !out.hard.iter().any(|f| f.message.contains("good_key")),
+        "registered key must not be flagged"
+    );
+}
+
+#[test]
+fn panic_path_counted_and_ratcheted() {
+    let files = &[(
+        "crates/demo/src/risky.rs",
+        include_str!("fixtures/panic_sites.rs"),
+    )];
+
+    // With an empty baseline the library-code unwrap is a violation; the
+    // test-function unwraps are exempt.
+    let out = run(files);
+    assert_eq!(out.baselined.len(), 1, "{:?}", out.baselined);
+    assert_eq!(out.baselined[0].rule, Rule::PanicPath);
+    assert_eq!(out.violations().len(), 1);
+
+    // A baseline that grandfathers the site makes the run clean.
+    let out = run_with_baseline(files, "panic-path\tcrates/demo/src/risky.rs\t1\n");
+    assert!(out.violations().is_empty(), "{:?}", out.violations());
+
+    // A stale over-allowance is a ratchet note, never a violation.
+    let out = run_with_baseline(files, "panic-path\tcrates/demo/src/risky.rs\t5\n");
+    assert!(out.violations().is_empty());
+    assert!(
+        out.baseline_check.notes.iter().any(|n| n.contains("5")),
+        "ratchet opportunity not noted: {:?}",
+        out.baseline_check.notes
+    );
+}

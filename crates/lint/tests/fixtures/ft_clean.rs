@@ -1,0 +1,13 @@
+//! Fixture: an `FtEvent` handler that names all four protocol states —
+//! cr-lint must report nothing.
+
+impl FtEvent for Thing {
+    fn ft_event(&mut self, state: FtEventState) {
+        match state {
+            FtEventState::Checkpoint => self.prepare(),
+            FtEventState::Continue => self.resume(),
+            FtEventState::Restart => self.rebuild(),
+            FtEventState::Error => self.abort(),
+        }
+    }
+}

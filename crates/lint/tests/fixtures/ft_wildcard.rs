@@ -1,0 +1,11 @@
+//! Fixture: an `FtEvent` handler that hides protocol states behind a
+//! wildcard arm — cr-lint must flag the `_` arm and the unnamed variants.
+
+impl FtEvent for Thing {
+    fn ft_event(&mut self, state: FtEventState) {
+        match state {
+            FtEventState::Checkpoint => self.prepare(),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: every path takes `a` before `b` — a consistent total order,
+//! so cr-lint must report nothing.
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn both(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn nested(&self) {
+        let ga = self.a.lock();
+        self.take_b();
+        drop(ga);
+    }
+
+    fn take_b(&self) {
+        let gb = self.b.lock();
+        drop(gb);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: two lock acquisition paths in opposite order — a lock-order
+//! cycle cr-lint must report. `forward` holds `a` while taking `b`;
+//! `backward` holds `b` while taking `a` through a helper call, so the
+//! cycle needs the inter-procedural summary to close.
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn backward(&self) {
+        let gb = self.b.lock();
+        self.take_a();
+        drop(gb);
+    }
+
+    fn take_a(&self) {
+        let ga = self.a.lock();
+        drop(ga);
+    }
+}

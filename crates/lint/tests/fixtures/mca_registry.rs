@@ -1,0 +1,8 @@
+//! Fixture registry: stands in for `mca/src/registry.rs` so that
+//! `good_key` in `mca_use.rs` counts as registered.
+
+pub const KNOWN_PARAMS: &[ParamDef] = &[ParamDef {
+    key: "good_key",
+    default: None,
+    help: "a registered parameter",
+}];

@@ -1,0 +1,8 @@
+//! Fixture: one registered and one unregistered MCA parameter read —
+//! cr-lint must flag `made_up_key` and accept `good_key`.
+
+pub fn read_params(params: &McaParams) -> u64 {
+    let good: u64 = params.get_parsed_or("good_key", 1);
+    let bad: u64 = params.get_parsed_or("made_up_key", 5);
+    good + bad
+}

@@ -25,6 +25,8 @@
 
 pub mod framework;
 pub mod params;
+pub mod registry;
 
 pub use framework::{Framework, Registration, SelectError};
 pub use params::{McaParams, ParamSource};
+pub use registry::{register_defaults, ParamDef, KNOWN_PARAMS};

@@ -384,7 +384,9 @@ impl FtEvent for CrcpFtHandle {
         };
         match state {
             FtEventState::Checkpoint => component.coordinate(&self.pml),
-            other => component.resume(&self.pml, other),
+            FtEventState::Continue | FtEventState::Restart | FtEventState::Error => {
+                component.resume(&self.pml, state)
+            }
         }
     }
 }

@@ -336,8 +336,28 @@ fn make_proc_main<A: MpiApp>(
 ) -> ProcMain {
     Arc::new(move |ctx: LaunchCtx| {
         let rank = ctx.name.rank.index();
-        let outcome = proc_body(app.as_ref(), &ctx, sync_tx.clone());
-        results.lock()[rank] = Some(outcome.map_err(|e| e.to_string()));
+        // A panicking rank must still record a result, retire its gate,
+        // and pull the job down — otherwise peers blocked in receive wait
+        // loops poll forever and the job never settles.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            proc_body(app.as_ref(), &ctx, sync_tx.clone())
+        }));
+        let outcome = match caught {
+            Ok(r) => r.map_err(|e| e.to_string()),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                Err(format!("application panicked: {msg}"))
+            }
+        };
+        if outcome.is_err() {
+            // Unblock peers waiting on messages this rank will never send.
+            ctx.terminate.store(true, Ordering::SeqCst);
+        }
+        results.lock()[rank] = Some(outcome);
         // The application thread is done with the checkpoint window.
         ctx.container.gate().retire();
     })

@@ -244,6 +244,10 @@ impl JobHandle {
 
 /// Launch a job into `runtime` per `spec`.
 pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
+    // Register built-in parameter defaults (weakest source) so the
+    // snapshot metadata records the complete effective configuration and
+    // `ompi-info` agrees with what components will actually read.
+    mca::registry::register_defaults(&spec.params);
     if let Some(images) = &spec.restored {
         if images.len() != spec.nprocs as usize {
             return Err(CrError::BadSnapshot {

@@ -27,6 +27,15 @@ fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let params = McaParams::new();
     let rest = params.consume_cli_args(&raw).map_err(|e| e.to_string())?;
+    // Diagnose typo'd --mca keys before launch: an unregistered key will
+    // never be read by any component, which is almost always a mistake.
+    let unknown = mca::registry::unknown_keys(&params);
+    if !unknown.is_empty() {
+        eprintln!(
+            "mpirun-sim: warning: unknown --mca keys (see ompi-info): {}",
+            unknown.join(", ")
+        );
+    }
     let spec = ArgSpec::parse(&rest, &["np", "nodes", "app", "base", "ckpt-every", "rounds"])?;
 
     let np: u32 = spec.option_parsed("np", 4)?;

@@ -39,19 +39,14 @@ fn main() {
     show(&orte::filem::filem_framework(), &params);
     show(&orte::plm::plm_framework(), &params);
 
-    println!("Key MCA parameters:");
-    for (key, what) in [
-        ("crs", "local checkpoint/restart system selection"),
-        ("crcp", "checkpoint/restart coordination protocol selection"),
-        ("snapc", "snapshot coordinator selection"),
-        ("filem", "file management component selection"),
-        ("plm", "process launch component selection"),
-        ("plm_map_by", "placement policy: node | slot"),
-        ("ft_cr_enabled", "interpose the C/R wrapper on the PML (default 1)"),
-        ("crs_blcr_sim_fail_every", "fault injection: fail every Nth local checkpoint"),
-        ("crs_blcr_sim_exclude", "memory exclusion hints: sections to omit"),
-        ("opal_progress", "run the OPAL progress engine thread (default 0)"),
-    ] {
-        println!("  {key:<26} {what}");
+    println!("Registered MCA parameters:");
+    for def in mca::KNOWN_PARAMS {
+        let default = def.default.map(|d| format!(" [default: {d:?}]")).unwrap_or_default();
+        println!("  {:<28} {}{default}", def.key, def.help);
+    }
+    let unknown = mca::registry::unknown_keys(&params);
+    if !unknown.is_empty() {
+        eprintln!("\nompi-info: unknown --mca keys (not registered): {}", unknown.join(", "));
+        std::process::exit(1);
     }
 }

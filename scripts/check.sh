@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verify: build, tests, and the cr-lint static analysis pass.
+# Referenced from ROADMAP.md; CI and pre-merge checks should run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run --release -q -p lint --bin cr-lint

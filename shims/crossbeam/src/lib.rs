@@ -1,0 +1,10 @@
+//! Offline shim for `crossbeam`, providing `crossbeam::channel`.
+//!
+//! Multi-producer multi-consumer channels with the crossbeam semantics the
+//! workspace relies on: `Sender` and `Receiver` are both `Clone + Send +
+//! Sync`, `bounded(n)` applies backpressure, and disconnection is reported
+//! once every peer on the other side is dropped. Built on a
+//! `Mutex<VecDeque>` plus two condvars; throughput is adequate for the
+//! simulation workloads in this repository.
+
+pub mod channel;

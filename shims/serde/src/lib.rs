@@ -1,0 +1,17 @@
+//! Offline shim of `serde`: the serialization data model this workspace
+//! programs against, reimplemented in-tree so the build needs no network.
+//!
+//! The API mirrors real serde closely enough that `crates/codec`'s binary
+//! format (a full `Serializer`/`Deserializer` pair) and the workspace's
+//! derived types compile unchanged. Deliberately out of scope: zero-copy
+//! `&'de str` deserialization of owned formats, `Unexpected`-typed error
+//! constructors, and the long tail of std impls nothing here touches.
+
+pub mod de;
+pub mod ser;
+
+pub use crate::de::{Deserialize, DeserializeOwned, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,800 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Derives `Serialize` / `Deserialize` for the shapes this workspace
+//! actually uses: non-generic structs (named, tuple, newtype, unit) and
+//! non-generic enums whose variants are unit, newtype, tuple, or struct
+//! shaped. Supported field attributes: `#[serde(skip)]` and
+//! `#[serde(default)]`. Anything outside that set is rejected with a
+//! `compile_error!` so a silent mis-derive can never ship.
+//!
+//! Implementation notes: the input item is parsed with a small hand
+//! written cursor over `proc_macro::TokenTree` (no `syn`), field types
+//! are skipped rather than parsed, and the generated impl never names a
+//! field's type — `Deserialize` impls bind `Option<_>` locals and let the
+//! final struct literal drive inference.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let code = match parse_input(input) {
+        Ok(item) => format!("const _: () = {{ {} }};", gen(&item)),
+        Err(msg) => return compile_err(&msg),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_err(&format!("serde_derive shim emitted invalid code: {e}")),
+    }
+}
+
+fn compile_err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("a string literal always lexes")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple struct with N fields (N == 1 is a newtype).
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    /// Identifier as written (may be a raw identifier like `r#type`).
+    ident: String,
+    skip: bool,
+    default: bool,
+}
+
+impl Field {
+    /// The wire name: the identifier without any `r#` prefix.
+    fn wire(&self) -> &str {
+        self.ident.strip_prefix("r#").unwrap_or(&self.ident)
+    }
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Default)]
+struct Attrs {
+    skip: bool,
+    default: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.at_punct(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) if i.to_string() == kw => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!(
+                "serde_derive shim: expected {what}, found {:?}",
+                other.map(|t| t.to_string())
+            )),
+        }
+    }
+}
+
+/// Consume any leading `#[...]` attributes, returning the serde-relevant
+/// flags. Unsupported `#[serde(...)]` contents are an error.
+fn parse_attrs(c: &mut Cursor) -> Result<Attrs, String> {
+    let mut attrs = Attrs::default();
+    while c.at_punct('#') {
+        c.bump();
+        let group = match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Err("serde_derive shim: malformed attribute".into()),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.eat_kw("serde") {
+            continue; // doc comments, cfg, derive helpers from other macros…
+        }
+        let args = match inner.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            _ => return Err("serde_derive shim: expected #[serde(...)]".into()),
+        };
+        for tok in args.stream() {
+            match tok {
+                TokenTree::Ident(i) => match i.to_string().as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    other => {
+                        return Err(format!(
+                            "serde_derive shim: unsupported serde attribute `{other}` \
+                             (only skip/default are implemented)"
+                        ))
+                    }
+                },
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => {
+                    return Err(format!(
+                        "serde_derive shim: unsupported serde attribute token `{other}`"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(attrs)
+}
+
+fn skip_vis(c: &mut Cursor) {
+    if c.eat_kw("pub") {
+        if let Some(TokenTree::Group(g)) = c.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// Skip one type, stopping before a top-level `,` or end of stream.
+/// Tracks `<...>` nesting; `->` inside fn-pointer types is handled so the
+/// `>` is not miscounted.
+fn skip_type(c: &mut Cursor) -> Result<(), String> {
+    let mut depth: i32 = 0;
+    loop {
+        match c.peek() {
+            None => return Ok(()),
+            Some(TokenTree::Punct(p)) => {
+                let ch = p.as_char();
+                if ch == ',' && depth == 0 {
+                    return Ok(());
+                }
+                c.bump();
+                match ch {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    '-' => {
+                        // Swallow the `>` of an `->` arrow.
+                        if c.at_punct('>') {
+                            c.bump();
+                        }
+                    }
+                    _ => {}
+                }
+                if depth < 0 {
+                    return Err("serde_derive shim: unbalanced angle brackets in type".into());
+                }
+            }
+            Some(_) => {
+                c.bump();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(ts);
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        let attrs = parse_attrs(&mut c)?;
+        skip_vis(&mut c);
+        let ident = c.expect_ident("a field name")?;
+        if !c.eat_punct(':') {
+            return Err(format!("serde_derive shim: expected `:` after field `{ident}`"));
+        }
+        skip_type(&mut c)?;
+        c.eat_punct(',');
+        out.push(Field {
+            ident,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    Ok(out)
+}
+
+/// Count the fields of a tuple struct / tuple variant: one per non-empty
+/// top-level comma-separated segment.
+fn count_tuple_fields(ts: TokenStream) -> Result<usize, String> {
+    let mut c = Cursor::new(ts);
+    let mut count = 0;
+    while c.peek().is_some() {
+        // A segment may start with attributes.
+        parse_attrs(&mut c)?;
+        skip_vis(&mut c);
+        if c.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_type(&mut c)?;
+        c.eat_punct(',');
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        parse_attrs(&mut c)?;
+        let name = c.expect_ident("a variant name")?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                c.bump();
+                match count_tuple_fields(stream)? {
+                    0 => Shape::Tuple(0),
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                c.bump();
+                Shape::Struct(parse_named_fields(stream)?)
+            }
+            _ => Shape::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip its expression.
+            skip_type(&mut c)?;
+        }
+        c.eat_punct(',');
+        out.push(Variant { name, shape });
+    }
+    Ok(out)
+}
+
+fn parse_input(ts: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(ts);
+    parse_attrs(&mut c)?;
+    skip_vis(&mut c);
+    let is_struct = if c.eat_kw("struct") {
+        true
+    } else if c.eat_kw("enum") {
+        false
+    } else {
+        return Err("serde_derive shim: only structs and enums are supported".into());
+    };
+    let name = c.expect_ident("a type name")?;
+    if c.at_punct('<') {
+        return Err(format!(
+            "serde_derive shim: `{name}` is generic; generic derives are not supported"
+        ));
+    }
+    let kind = if is_struct {
+        match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())?))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            _ => return Err(format!("serde_derive shim: malformed struct `{name}`")),
+        }
+    } else {
+        match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde_derive shim: malformed enum `{name}`")),
+        }
+    };
+    Ok(Input { name, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => {
+            format!("::serde::Serializer::serialize_unit_struct(__s, \"{name}\")")
+        }
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "::serde::Serializer::serialize_newtype_struct(__s, \"{name}\", &self.0)"
+        ),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let mut b = format!(
+                "let mut __t = ::serde::Serializer::serialize_tuple_struct(__s, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __t, &self.{i})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeTupleStruct::end(__t)");
+            b
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut b = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__s, \"{name}\", {})?;\n",
+                active.len()
+            );
+            for f in &active {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{}\", &self.{})?;\n",
+                    f.wire(),
+                    f.ident
+                ));
+            }
+            b.push_str("::serde::ser::SerializeStruct::end(__st)");
+            b
+        }
+        Kind::Enum(variants) => gen_serialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let arm = match &v.shape {
+            Shape::Unit => format!(
+                "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                 __s, \"{name}\", {idx}u32, \"{vname}\"),\n"
+            ),
+            Shape::Newtype => format!(
+                "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(\
+                 __s, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+            ),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut b = format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut __tv = ::serde::Serializer::serialize_tuple_variant(\
+                     __s, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                    binds.join(", ")
+                );
+                for bind in &binds {
+                    b.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {bind})?;\n"
+                    ));
+                }
+                b.push_str("::serde::ser::SerializeTupleVariant::end(__tv)\n}\n");
+                b
+            }
+            Shape::Struct(fields) => {
+                let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                let binds: Vec<&str> = active.iter().map(|f| f.ident.as_str()).collect();
+                let mut b = format!(
+                    "{name}::{vname} {{ {}.. }} => {{\n\
+                     let mut __sv = ::serde::Serializer::serialize_struct_variant(\
+                     __s, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                    binds
+                        .iter()
+                        .map(|f| format!("{f}, "))
+                        .collect::<String>(),
+                    active.len()
+                );
+                for f in &active {
+                    b.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(\
+                         &mut __sv, \"{}\", {})?;\n",
+                        f.wire(),
+                        f.ident
+                    ));
+                }
+                b.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n}\n");
+                b
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => format!(
+            "{}\n::serde::Deserializer::deserialize_unit_struct(__d, \"{name}\", __Visitor)",
+            unit_visitor(name)
+        ),
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "{}\n::serde::Deserializer::deserialize_newtype_struct(__d, \"{name}\", __Visitor)",
+            newtype_visitor(name)
+        ),
+        Kind::Struct(Fields::Tuple(n)) => format!(
+            "{}\n::serde::Deserializer::deserialize_tuple_struct(__d, \"{name}\", {n}, __Visitor)",
+            tuple_visitor(name, &format!("{name}"), *n, "__Visitor")
+        ),
+        Kind::Struct(Fields::Named(fields)) => {
+            let (items, names) = named_visitor(name, name, fields, "");
+            format!(
+                "{items}\n::serde::Deserializer::deserialize_struct(\
+                 __d, \"{name}\", &[{names}], __Visitor)"
+            )
+        }
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn visitor_header(visitor: &str, value: &str, expecting: &str) -> String {
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+             type Value = {value};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"{expecting}\")\n\
+             }}\n"
+    )
+}
+
+fn unit_visitor(name: &str) -> String {
+    format!(
+        "{}\
+             fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<{name}, __E> {{\n\
+                 ::core::result::Result::Ok({name})\n\
+             }}\n\
+         }}",
+        visitor_header("__Visitor", name, &format!("unit struct {name}"))
+    )
+}
+
+fn newtype_visitor(name: &str) -> String {
+    format!(
+        "{}\
+             fn visit_newtype_struct<__D2: ::serde::Deserializer<'de>>(self, __d2: __D2)\n\
+                 -> ::core::result::Result<{name}, __D2::Error> {{\n\
+                 ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d2)?))\n\
+             }}\n\
+         }}",
+        visitor_header("__Visitor", name, &format!("newtype struct {name}"))
+    )
+}
+
+/// Visitor for a tuple struct or tuple variant: `construct` is the path to
+/// build (`Name` or `Name::Variant`), `value` the visitor's value type.
+fn tuple_visitor(value: &str, construct: &str, n: usize, visitor: &str) -> String {
+    let mut body = String::new();
+    for i in 0..n {
+        body.push_str(&format!(
+            "let __e{i} = match __seq.next_element()? {{\n\
+                 ::core::option::Option::Some(__v) => __v,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                     <__A::Error as ::serde::de::Error>::invalid_length({i}usize, \
+                     \"{construct} with {n} elements\")),\n\
+             }};\n"
+        ));
+    }
+    let elems: Vec<String> = (0..n).map(|i| format!("__e{i}")).collect();
+    format!(
+        "{}\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                 -> ::core::result::Result<{value}, __A::Error> {{\n\
+                 {body}\
+                 ::core::result::Result::Ok({construct}({}))\n\
+             }}\n\
+         }}",
+        visitor_header(visitor, value, &format!("{construct} with {n} elements")),
+        elems.join(", ")
+    )
+}
+
+/// Visitor plus key-identifier type for a named-field struct or struct
+/// variant. Returns `(items, wire_names_csv)`; the visitor is named
+/// `__Visitor{suffix}` and the key type `__Field{suffix}`.
+fn named_visitor(value: &str, construct: &str, fields: &[Field], suffix: &str) -> (String, String) {
+    let visitor = format!("__Visitor{suffix}");
+    let field_ty = format!("__Field{suffix}");
+    let field_vis = format!("__FieldVisitor{suffix}");
+    let active: Vec<(usize, &Field)> = fields.iter().filter(|f| !f.skip).enumerate().collect();
+
+    let names_csv: String = active
+        .iter()
+        .map(|(_, f)| format!("\"{}\", ", f.wire()))
+        .collect();
+
+    // Key identifier type: deserializes a field name into its index.
+    let str_arms: String = active
+        .iter()
+        .map(|(i, f)| format!("\"{}\" => {i}usize,\n", f.wire()))
+        .collect();
+    let key_item = format!(
+        "struct {field_ty}(usize);\n\
+         impl<'de> ::serde::Deserialize<'de> for {field_ty} {{\n\
+             fn deserialize<__D2: ::serde::Deserializer<'de>>(__d2: __D2)\n\
+                 -> ::core::result::Result<Self, __D2::Error> {{\n\
+                 struct {field_vis};\n\
+                 impl<'de> ::serde::de::Visitor<'de> for {field_vis} {{\n\
+                     type Value = {field_ty};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"a field identifier\")\n\
+                     }}\n\
+                     fn visit_str<__E: ::serde::de::Error>(self, __v: &str)\n\
+                         -> ::core::result::Result<{field_ty}, __E> {{\n\
+                         ::core::result::Result::Ok({field_ty}(match __v {{\n\
+                             {str_arms}\
+                             _ => usize::MAX,\n\
+                         }}))\n\
+                     }}\n\
+                     fn visit_u64<__E: ::serde::de::Error>(self, __v: u64)\n\
+                         -> ::core::result::Result<{field_ty}, __E> {{\n\
+                         ::core::result::Result::Ok({field_ty}(__v as usize))\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_identifier(__d2, {field_vis})\n\
+             }}\n\
+         }}\n"
+    );
+
+    // visit_map body.
+    let mut decls = String::new();
+    let mut arms = String::new();
+    for (i, f) in &active {
+        decls.push_str(&format!(
+            "let mut __v{i}: ::core::option::Option<_> = ::core::option::Option::None;\n"
+        ));
+        arms.push_str(&format!(
+            "{i}usize => {{\n\
+                 if __v{i}.is_some() {{\n\
+                     return ::core::result::Result::Err(\n\
+                         <__A::Error as ::serde::de::Error>::duplicate_field(\"{}\"));\n\
+                 }}\n\
+                 __v{i} = ::core::option::Option::Some(__map.next_value()?);\n\
+             }}\n",
+            f.wire()
+        ));
+    }
+    let mut build = String::new();
+    let mut active_iter = active.iter();
+    for f in fields {
+        if f.skip {
+            build.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.ident
+            ));
+            continue;
+        }
+        let (i, _) = active_iter.next().expect("active fields align");
+        if f.default {
+            build.push_str(&format!(
+                "{}: match __v{i} {{\n\
+                     ::core::option::Option::Some(__v) => __v,\n\
+                     ::core::option::Option::None => ::core::default::Default::default(),\n\
+                 }},\n",
+                f.ident
+            ));
+        } else {
+            build.push_str(&format!(
+                "{}: match __v{i} {{\n\
+                     ::core::option::Option::Some(__v) => __v,\n\
+                     ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                         <__A::Error as ::serde::de::Error>::missing_field(\"{}\")),\n\
+                 }},\n",
+                f.ident,
+                f.wire()
+            ));
+        }
+    }
+
+    let visitor_item = format!(
+        "{}\
+             fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A)\n\
+                 -> ::core::result::Result<{value}, __A::Error> {{\n\
+                 {decls}\
+                 while let ::core::option::Option::Some(__k) = __map.next_key::<{field_ty}>()? {{\n\
+                     match __k.0 {{\n\
+                         {arms}\
+                         _ => {{\n\
+                             let _skipped: ::serde::de::IgnoredAny = __map.next_value()?;\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 ::core::result::Result::Ok({construct} {{\n\
+                     {build}\
+                 }})\n\
+             }}\n\
+         }}\n",
+        visitor_header(&visitor, value, &format!("struct {construct}"))
+    );
+
+    (format!("{key_item}{visitor_item}"), names_csv)
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let variant_names: String = variants
+        .iter()
+        .map(|v| format!("\"{}\", ", v.name))
+        .collect();
+    let str_arms: String = variants
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("\"{}\" => {i}usize,\n", v.name))
+        .collect();
+
+    // Identifier type for variant names.
+    let key_item = format!(
+        "struct __Variant(usize);\n\
+         impl<'de> ::serde::Deserialize<'de> for __Variant {{\n\
+             fn deserialize<__D2: ::serde::Deserializer<'de>>(__d2: __D2)\n\
+                 -> ::core::result::Result<Self, __D2::Error> {{\n\
+                 struct __VariantVisitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __VariantVisitor {{\n\
+                     type Value = __Variant;\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"a variant identifier\")\n\
+                     }}\n\
+                     fn visit_str<__E: ::serde::de::Error>(self, __v: &str)\n\
+                         -> ::core::result::Result<__Variant, __E> {{\n\
+                         ::core::result::Result::Ok(__Variant(match __v {{\n\
+                             {str_arms}\
+                             _ => return ::core::result::Result::Err(\n\
+                                 <__E as ::serde::de::Error>::unknown_variant(__v, __VARIANTS)),\n\
+                         }}))\n\
+                     }}\n\
+                     fn visit_u64<__E: ::serde::de::Error>(self, __v: u64)\n\
+                         -> ::core::result::Result<__Variant, __E> {{\n\
+                         ::core::result::Result::Ok(__Variant(__v as usize))\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_identifier(__d2, __VariantVisitor)\n\
+             }}\n\
+         }}\n"
+    );
+
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let arm = match &v.shape {
+            Shape::Unit => format!(
+                "{idx}usize => {{\n\
+                     ::serde::de::VariantAccess::unit_variant(__va)?;\n\
+                     ::core::result::Result::Ok({name}::{vname})\n\
+                 }}\n"
+            ),
+            Shape::Newtype => format!(
+                "{idx}usize => ::core::result::Result::Ok({name}::{vname}(\n\
+                     ::serde::de::VariantAccess::newtype_variant(__va)?)),\n"
+            ),
+            Shape::Tuple(n) => {
+                let visitor = format!("__TupleVisitor{idx}");
+                format!(
+                    "{idx}usize => {{\n\
+                         {}\n\
+                         ::serde::de::VariantAccess::tuple_variant(__va, {n}, {visitor})\n\
+                     }}\n",
+                    tuple_visitor(name, &format!("{name}::{vname}"), *n, &visitor)
+                )
+            }
+            Shape::Struct(fields) => {
+                let suffix = format!("{idx}");
+                let (items, names) =
+                    named_visitor(name, &format!("{name}::{vname}"), fields, &suffix);
+                format!(
+                    "{idx}usize => {{\n\
+                         {items}\n\
+                         ::serde::de::VariantAccess::struct_variant(__va, &[{names}], __Visitor{suffix})\n\
+                     }}\n"
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+
+    let enum_visitor = format!(
+        "{}\
+             fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                 -> ::core::result::Result<{name}, __A::Error> {{\n\
+                 let (__variant, __va) = ::serde::de::EnumAccess::variant::<__Variant>(__data)?;\n\
+                 match __variant.0 {{\n\
+                     {arms}\
+                     _ => ::core::result::Result::Err(\n\
+                         <__A::Error as ::serde::de::Error>::custom(\n\
+                             \"variant index out of range for enum {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        visitor_header("__EnumVisitor", name, &format!("enum {name}"))
+    );
+
+    format!(
+        "const __VARIANTS: &'static [&'static str] = &[{variant_names}];\n\
+         {key_item}\
+         {enum_visitor}\n\
+         ::serde::Deserializer::deserialize_enum(__d, \"{name}\", __VARIANTS, __EnumVisitor)"
+    )
+}

@@ -33,14 +33,33 @@ fn checkpointed_equals_fault_free<A>(
         .unwrap();
     rt.shutdown();
 
-    // Checkpoint + terminate mid-flight.
-    let rt = test_runtime(&format!("{tag}_ckpt"), 2);
-    let job = mpirun(&rt, Arc::clone(&app), RunConfig::new(nprocs)).unwrap();
-    std::thread::sleep(settle);
-    let outcome = job
-        .checkpoint(&CheckpointOptions::tool().and_terminate())
-        .unwrap();
-    job.wait().unwrap();
+    // Checkpoint + terminate mid-flight. A loaded machine can deschedule
+    // this thread long enough for the job to reach MPI_Finalize (where
+    // checkpointing is disabled) before the request strikes; retry with a
+    // shorter settle instead of flaking.
+    let mut settle = settle;
+    let mut attempt = 0;
+    let (rt, outcome) = loop {
+        attempt += 1;
+        let rt = test_runtime(&format!("{tag}_ckpt{attempt}"), 2);
+        let job = mpirun(&rt, Arc::clone(&app), RunConfig::new(nprocs)).unwrap();
+        std::thread::sleep(settle);
+        match job.checkpoint(&CheckpointOptions::tool().and_terminate()) {
+            Ok(outcome) => {
+                job.wait().unwrap();
+                break (rt, outcome);
+            }
+            Err(e) if attempt < 4 => {
+                let _ = job.wait();
+                rt.shutdown();
+                settle /= 4;
+                eprintln!(
+                    "{tag}: checkpoint raced job completion ({e}); retrying with settle {settle:?}"
+                );
+            }
+            Err(e) => panic!("{tag}: checkpoint failed after {attempt} attempts: {e}"),
+        }
+    };
 
     // Restart and run to completion.
     let rt2 = test_runtime(&format!("{tag}_restart"), 2);

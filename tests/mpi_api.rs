@@ -100,19 +100,23 @@ impl MpiApp for NonBlockingApp {
         let n = comm.size();
 
         // Everyone posts n-1 wildcard irecvs, then isends a tagged value
-        // to every other rank, then drains with wait_recv.
+        // to every other rank, then drains with wait_recv. The tag is
+        // scoped per round: with a shared tag, a wildcard recv in round k
+        // could legally match a fast sender's round-k+1 frame (MPI only
+        // orders messages per (sender, tag) pair).
+        let tag = 77_000 + state.round;
         let reqs: Vec<_> = (0..n - 1)
-            .map(|_| mpi.irecv(&comm, None, Some(77)))
+            .map(|_| mpi.irecv(&comm, None, Some(tag)))
             .collect::<Result<_, _>>()?;
         let sends: Vec<_> = (0..n)
             .filter(|q| *q != me)
-            .map(|q| mpi.isend(&comm, q, 77, &(me * 1000 + state.round)))
+            .map(|q| mpi.isend(&comm, q, tag, &(me * 1000 + state.round)))
             .collect::<Result<_, _>>()?;
         let mut seen = Vec::new();
         for req in reqs {
             let (value, status): (u32, _) = mpi.wait_recv(req)?;
             assert_eq!(value, status.source * 1000 + state.round);
-            assert_eq!(status.tag, 77);
+            assert_eq!(status.tag, tag);
             seen.push(status.source);
         }
         for s in sends {
