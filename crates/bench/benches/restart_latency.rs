@@ -1,0 +1,162 @@
+//! Restart latency: peer-memory replicas vs stable storage.
+//!
+//! The replica FILEM component commits checkpoints to peer daemon memory
+//! and drains to disk behind the job's back, so a restart can usually be
+//! served without touching stable storage at all. This bench restarts the
+//! same checkpointed job twice — `--source replica` and `--source stable`
+//! — and reports both the wall-clock restart time and the deterministic
+//! simulated wire cost of each image-materialization path. The simulated
+//! comparison is asserted: memory must be strictly cheaper than disk.
+//!
+//! `RESTART_LATENCY_SMOKE=1` (used by `scripts/check.sh`) runs one timed
+//! restart per source instead of the full criterion sampling.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cr_core::{GlobalSnapshot, Rank};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca::McaParams;
+use netsim::{LinkSpec, NodeId, SimTime, Topology};
+use ompi::{mpirun, restart_from_with_source, RestartSource, RunConfig};
+use orte::filem::CopyRequest;
+use orte::Runtime;
+use workloads::ring::RingApp;
+
+const NODES: u32 = 4;
+const NPROCS: u32 = 4;
+
+/// Launch a ring job with the replica file mover, checkpoint it, let it
+/// terminate, and hand back the runtime (daemons — and their replica
+/// stores — stay up) plus the global snapshot reference.
+fn checkpointed(base: &std::path::Path) -> (Runtime, std::path::PathBuf) {
+    let rt = Runtime::new(Topology::uniform(NODES, LinkSpec::gigabit_ethernet()), base)
+        .expect("runtime");
+    let params = Arc::new(McaParams::new());
+    params.set("filem", "replica");
+    params.set("filem_replica_factor", "1");
+    let job = mpirun(
+        &rt,
+        Arc::new(RingApp { rounds: 1_000_000 }),
+        RunConfig {
+            nprocs: NPROCS,
+            params,
+        },
+    )
+    .expect("launch");
+    std::thread::sleep(Duration::from_millis(30));
+    let outcome = job
+        .handle()
+        .checkpoint(&cr_core::request::CheckpointOptions::tool().and_terminate())
+        .expect("checkpoint");
+    job.wait().expect("wait");
+    // Make stable storage complete so the disk path has everything.
+    rt.drain_writebehind();
+    (rt, outcome.global_snapshot)
+}
+
+/// One full restart from `source`, terminated as soon as it is up.
+fn restart_once(rt: &Runtime, snapshot: &std::path::Path, source: RestartSource) -> Duration {
+    let start = Instant::now();
+    let job = restart_from_with_source(
+        rt,
+        Arc::new(RingApp { rounds: 1_000_000 }),
+        snapshot,
+        None,
+        source,
+    )
+    .expect("restart");
+    let up = start.elapsed();
+    job.handle().request_terminate();
+    job.wait().expect("wait restarted");
+    up
+}
+
+/// Deterministic simulated wire cost of pulling every rank's image from
+/// peer memory.
+fn memory_sim_cost(rt: &Runtime, global: &GlobalSnapshot, interval: u64) -> SimTime {
+    let mut total = SimTime::ZERO;
+    for r in 0..global.nprocs() {
+        let rank = Rank(r);
+        let holders = global.replica_holders(interval, rank);
+        let (_, cost) = orte::replica::fetch_image(rt, global.job(), interval, rank, &holders)
+            .expect("replica image");
+        total += cost;
+    }
+    total
+}
+
+/// Deterministic simulated wire cost of the stable-storage preload
+/// broadcast for every rank (same file mover the restart would select).
+fn disk_sim_cost(
+    rt: &Runtime,
+    global: &GlobalSnapshot,
+    interval: u64,
+    scratch: &std::path::Path,
+) -> SimTime {
+    let params = McaParams::from_dump(
+        global
+            .launch_params()
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str())),
+    );
+    let filem = orte::filem::filem_framework()
+        .select(&params)
+        .expect("filem");
+    let mut batch = Vec::new();
+    for r in 0..global.nprocs() {
+        let local = global.local_snapshot(interval, Rank(r)).expect("stable copy");
+        batch.push(CopyRequest {
+            src: local.dir().to_path_buf(),
+            src_node: NodeId(0),
+            dest: scratch.join(format!("rank_{r}")),
+            dest_node: NodeId(r % NODES),
+        });
+    }
+    let report = filem.copy_all(rt.topology(), &batch).expect("preload");
+    for req in &batch {
+        filem.remove_tree(&req.dest).expect("cleanup");
+    }
+    report.sim_cost
+}
+
+fn restart_latency(c: &mut Criterion) {
+    let base = std::env::temp_dir().join(format!("bench_restart_latency_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let (rt, snapshot) = checkpointed(&base);
+
+    let global = GlobalSnapshot::open(&snapshot).expect("open global");
+    let interval = global.latest_interval().expect("committed interval");
+    let mem_sim = memory_sim_cost(&rt, &global, interval);
+    let disk_sim = disk_sim_cost(&rt, &global, interval, &base.join("disk_sim_scratch"));
+    println!("restart sim cost: memory={mem_sim} disk={disk_sim}");
+    assert!(
+        mem_sim < disk_sim,
+        "peer-memory restart must be strictly cheaper than stable storage \
+         (memory={mem_sim}, disk={disk_sim})"
+    );
+
+    if std::env::var("RESTART_LATENCY_SMOKE").is_ok() {
+        let mem = restart_once(&rt, &snapshot, RestartSource::Replica);
+        let disk = restart_once(&rt, &snapshot, RestartSource::Stable);
+        println!(
+            "restart_latency smoke: memory={mem:?} disk={disk:?} (1 restart each)"
+        );
+        rt.shutdown();
+        return;
+    }
+
+    let mut group = c.benchmark_group("restart_latency");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("memory", |b| {
+        b.iter(|| restart_once(&rt, &snapshot, RestartSource::Replica))
+    });
+    group.bench_function("disk", |b| {
+        b.iter(|| restart_once(&rt, &snapshot, RestartSource::Stable))
+    });
+    group.finish();
+    rt.shutdown();
+}
+
+criterion_group!(benches, restart_latency);
+criterion_main!(benches);

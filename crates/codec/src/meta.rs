@@ -142,6 +142,26 @@ impl MetaDoc {
         self.append(section, key, value);
     }
 
+    /// Remove every `key = value` entry in `section` whose value equals
+    /// `value`. Returns how many entries were removed.
+    pub fn remove_value(&mut self, section: &str, key: &str, value: &str) -> usize {
+        let mut removed = 0;
+        for sec in self.sections.iter_mut().filter(|s| s.name == section) {
+            let before = sec.entries.len();
+            sec.entries.retain(|(k, v)| !(k == key && v == value));
+            removed += before - sec.entries.len();
+        }
+        removed
+    }
+
+    /// Remove an entire section (header and all entries). Returns `true`
+    /// if a section with that name existed.
+    pub fn remove_section(&mut self, section: &str) -> bool {
+        let before = self.sections.len();
+        self.sections.retain(|s| s.name != section);
+        self.sections.len() != before
+    }
+
     /// First value of `key` in `section`, if present.
     pub fn get(&self, section: &str, key: &str) -> Option<&str> {
         self.sections
@@ -292,6 +312,19 @@ mod tests {
         doc.append("snapshot", "interval", "4");
         doc.set("snapshot", "interval", "5");
         assert_eq!(doc.get_all("snapshot", "interval"), vec!["5"]);
+    }
+
+    #[test]
+    fn remove_value_and_section() {
+        let mut doc = sample();
+        doc.append("global", "interval", "1");
+        doc.append("global", "interval", "2");
+        assert_eq!(doc.remove_value("global", "interval", "1"), 1);
+        assert_eq!(doc.get_all("global", "interval"), vec!["2"]);
+        assert_eq!(doc.remove_value("global", "interval", "9"), 0);
+        assert!(doc.remove_section("process"));
+        assert!(!doc.remove_section("process"));
+        assert_eq!(doc.get("process", "rank"), None);
     }
 
     #[test]

@@ -334,6 +334,57 @@ impl GlobalSnapshot {
         self.save_meta()
     }
 
+    /// Record which nodes hold in-memory replicas of each rank's image for
+    /// `interval` (the FILEM `replica` component's location metadata).
+    ///
+    /// `holders` maps each rank to the node ids whose daemons accepted a
+    /// copy, primary first. Restart consults this section to try
+    /// peer-memory recovery before falling back to stable storage;
+    /// snapshots written without the replica component simply lack the
+    /// section and restart goes straight to disk.
+    pub fn record_replica_holders(
+        &mut self,
+        interval: u64,
+        holders: &[(Rank, Vec<u32>)],
+    ) -> Result<(), CrError> {
+        let section = format!("replica_{interval}");
+        for (rank, nodes) in holders {
+            let list = nodes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            self.meta
+                .set(&section, &format!("rank_{}_nodes", rank.0), list);
+        }
+        self.save_meta()
+    }
+
+    /// Nodes recorded as holding in-memory replicas of `rank`'s image for
+    /// `interval`, primary first. Empty when the snapshot was gathered
+    /// without the replica component.
+    pub fn replica_holders(&self, interval: u64, rank: Rank) -> Vec<u32> {
+        self.meta
+            .get(&format!("replica_{interval}"), &format!("rank_{}_nodes", rank.0))
+            .map(|list| list.split(',').filter_map(|n| n.parse().ok()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Retire a committed interval: delete its on-disk directory and drop
+    /// its metadata (interval listing, per-rank references, replica
+    /// locations). Used to expire superseded checkpoints.
+    pub fn retire_interval(&mut self, interval: u64) -> Result<(), CrError> {
+        let dir = self.interval_dir(interval);
+        if dir.exists() {
+            fs::remove_dir_all(&dir).map_err(|e| CrError::io(dir.display().to_string(), &e))?;
+        }
+        self.meta
+            .remove_value("global", "interval", &interval.to_string());
+        self.meta.remove_section(&format!("interval_{interval}"));
+        self.meta.remove_section(&format!("replica_{interval}"));
+        self.save_meta()
+    }
+
     /// Store the original launch parameters (MCA dump) so restart needs no
     /// user-supplied configuration.
     pub fn record_launch_params<'a>(
@@ -534,6 +585,45 @@ mod tests {
             .unwrap();
         let err = global.local_snapshots(interval).unwrap_err();
         assert!(err.to_string().contains("rank 1"));
+    }
+
+    #[test]
+    fn replica_holders_roundtrip_and_retire() {
+        let base = tmpdir("replicas");
+        let mut global = GlobalSnapshot::create(&base, JobId(5), 2).unwrap();
+        for _ in 0..2 {
+            let (interval, dir) = global.begin_interval().unwrap();
+            for r in 0..2 {
+                LocalSnapshot::create(&dir, Rank(r), "self", interval, "node00").unwrap();
+            }
+            global
+                .commit_interval(
+                    interval,
+                    &[(Rank(0), "node00".into()), (Rank(1), "node01".into())],
+                )
+                .unwrap();
+            global
+                .record_replica_holders(
+                    interval,
+                    &[(Rank(0), vec![0, 1]), (Rank(1), vec![1, 0])],
+                )
+                .unwrap();
+        }
+        let reopened = GlobalSnapshot::open(global.dir()).unwrap();
+        assert_eq!(reopened.replica_holders(0, Rank(0)), vec![0, 1]);
+        assert_eq!(reopened.replica_holders(1, Rank(1)), vec![1, 0]);
+        // Unknown interval or pre-replica snapshot: empty, not an error.
+        assert!(reopened.replica_holders(7, Rank(0)).is_empty());
+
+        let mut global = reopened;
+        global.retire_interval(0).unwrap();
+        assert_eq!(global.intervals(), vec![1]);
+        assert!(!global.interval_dir(0).exists());
+        assert!(global.replica_holders(0, Rank(0)).is_empty());
+        assert!(global.local_snapshots(0).is_err());
+        // Interval 1 untouched.
+        assert_eq!(global.local_snapshots(1).unwrap().len(), 2);
+        assert_eq!(global.replica_holders(1, Rank(0)), vec![0, 1]);
     }
 
     #[test]

@@ -121,6 +121,21 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         default: Some("20"),
         help: "OOB-stream file mover: simulated per-session setup time",
     },
+    ParamDef {
+        key: "filem_replica_factor",
+        default: Some("1"),
+        help: "replica file mover: ring-replication factor k (copies beyond the rank's own node)",
+    },
+    ParamDef {
+        key: "filem_replica_session_ms",
+        default: Some("2"),
+        help: "replica file mover: simulated per-tree session setup for the write-behind drain",
+    },
+    ParamDef {
+        key: "filem_replica_writebehind",
+        default: Some("true"),
+        help: "replica file mover: drain to stable storage asynchronously after peer-memory commit",
+    },
     // Launcher-written informational keys (recorded in snapshot metadata
     // so a restart can reconstruct the original launch).
     ParamDef {

@@ -74,63 +74,73 @@ pub trait CrcpComponent: Send + Sync {
     fn resume(&self, pml: &PmlShared, state: FtEventState) -> Result<(), CrError>;
 }
 
-/// Collect one `Bookmark`/`Have` control message from every peer while
-/// pumping the wire, returning the per-peer values.
-fn collect_counts(
-    pml: &PmlShared,
-    accept_bookmark: bool,
-) -> Result<HashMap<u32, u64>, CrError> {
+/// Which CRCP control message a collection phase expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollectKind {
+    /// Sent-count bookmarks (coordinated protocol, phase one).
+    Bookmark,
+    /// Received-count exchanges (logger GC / restart negotiation).
+    Have,
+    /// Quiesce acknowledgements (coordinated protocol, exit barrier).
+    Quiesced,
+}
+
+/// Collect one control message of the expected kind from every peer while
+/// pumping the wire, returning the per-peer values (zero for `Quiesced`,
+/// which carries no count).
+///
+/// The phases of one coordination round overlap across ranks: a fast peer
+/// that finished draining sends its `Quiesced` while this rank is still
+/// collecting `Bookmark`s, so out-of-phase messages are expected here.
+/// They are set aside and re-queued (in arrival order) for the phase that
+/// wants them, rather than treated as protocol errors.
+fn collect_counts(pml: &PmlShared, kind: CollectKind) -> Result<HashMap<u32, u64>, CrError> {
     let me = pml.me();
     let n = pml.nprocs();
     let mut counts: HashMap<u32, u64> = HashMap::new();
+    let mut deferred: Vec<CrcpMsg> = Vec::new();
     let deadline = Instant::now() + COORD_TIMEOUT;
-    while counts.len() < (n - 1) as usize {
+    let outcome = loop {
         pml.with_state(|st| {
             while let Some(msg) = st.crcp_inbox.pop_front() {
-                match msg {
-                    CrcpMsg::Bookmark { from, sent } if accept_bookmark => {
+                match (msg, kind) {
+                    (CrcpMsg::Bookmark { from, sent }, CollectKind::Bookmark) => {
                         counts.insert(from, sent);
                     }
-                    CrcpMsg::Have { from, have } if !accept_bookmark => {
+                    (CrcpMsg::Have { from, have }, CollectKind::Have) => {
                         counts.insert(from, have);
                     }
-                    other => {
-                        // A message for the other protocol phase would be a
-                        // protocol bug; requeue nothing, fail loudly below.
-                        st.crcp_inbox.push_front(other);
+                    (CrcpMsg::Quiesced { from }, CollectKind::Quiesced) => {
+                        counts.insert(from, 0);
                     }
+                    (other, _) => deferred.push(other),
                 }
             }
-            // Avoid an infinite loop when an unexpected message type sits
-            // at the head of the inbox.
-            if let Some(front) = st.crcp_inbox.front() {
-                let wrong_kind = matches!(
-                    (front, accept_bookmark),
-                    (CrcpMsg::Bookmark { .. }, false) | (CrcpMsg::Have { .. }, true)
-                );
-                if wrong_kind {
-                    return Err(CrError::protocol(format!(
-                        "unexpected CRCP message during collection: {front:?}"
-                    )));
-                }
-            }
-            Ok(())
-        })?;
+        });
         if counts.len() == (n - 1) as usize {
-            break;
+            break Ok(counts);
         }
         if Instant::now() > deadline {
             let missing: Vec<u32> = (0..n)
                 .filter(|q| *q != me && !counts.contains_key(q))
                 .collect();
-            return Err(CrError::PeerLost {
+            break Err(CrError::PeerLost {
                 detail: format!("no CRCP counts from ranks {missing:?}"),
             });
         }
         pml.poll_wire_once(Duration::from_millis(1))
             .map_err(|e| CrError::protocol(e.to_string()))?;
+    };
+    // Hand the out-of-phase messages back, oldest at the front, so the
+    // next collection phase finds them in arrival order.
+    if !deferred.is_empty() {
+        pml.with_state(|st| {
+            for msg in deferred.drain(..).rev() {
+                st.crcp_inbox.push_front(msg);
+            }
+        });
     }
-    Ok(counts)
+    outcome
 }
 
 // ---------------------------------------------------------------------------
@@ -169,7 +179,7 @@ impl CrcpComponent for CoordCrcp {
             pml.send_crcp(q, &CrcpMsg::Bookmark { from: me, sent })
                 .map_err(|e| CrError::protocol(e.to_string()))?;
         }
-        let bookmarks = collect_counts(pml, true)?;
+        let bookmarks = collect_counts(pml, CollectKind::Bookmark)?;
 
         // Drain until every peer's sends have been received into the PML.
         let deadline = Instant::now() + COORD_TIMEOUT;
@@ -203,6 +213,20 @@ impl CrcpComponent for CoordCrcp {
             }
             Ok(())
         })?;
+
+        // Exit barrier. Without it a fast rank returns, completes its local
+        // checkpoint, resumes the application, and sends *new* traffic while
+        // a slower peer is still draining — the new frame lands in the slow
+        // peer's drain window and trips its bookmark verification ("bookmark
+        // overrun: sent N, received N+1", the component_matrix flake).
+        for q in 0..n {
+            if q == me {
+                continue;
+            }
+            pml.send_crcp(q, &CrcpMsg::Quiesced { from: me })
+                .map_err(|e| CrError::protocol(e.to_string()))?;
+        }
+        collect_counts(pml, CollectKind::Quiesced)?;
         self.tracer
             .record("ompi.crcp.quiesced", &format!("rank {me}"));
         Ok(())
@@ -242,7 +266,7 @@ impl LoggerCrcp {
             pml.send_crcp(q, &CrcpMsg::Have { from: me, have })
                 .map_err(|e| CrError::protocol(e.to_string()))?;
         }
-        collect_counts(pml, false)
+        collect_counts(pml, CollectKind::Have)
     }
 }
 
@@ -388,5 +412,94 @@ impl FtEvent for CrcpFtHandle {
                 component.resume(&self.pml, state)
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Fabric, LinkSpec, NodeId, Topology};
+    use opal::SafePointGate;
+
+    fn pair() -> (Arc<PmlShared>, Arc<PmlShared>) {
+        let fabric = Fabric::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()));
+        let ep0 = fabric.register(NodeId(0));
+        let ep1 = fabric.register(NodeId(1));
+        let peers = vec![ep0.id(), ep1.id()];
+        let pml0 = PmlShared::new(
+            0,
+            2,
+            ep0,
+            peers.clone(),
+            Arc::new(SafePointGate::new()),
+            Tracer::new(),
+        );
+        let pml1 = PmlShared::new(
+            1,
+            2,
+            ep1,
+            peers,
+            Arc::new(SafePointGate::new()),
+            Tracer::new(),
+        );
+        (pml0, pml1)
+    }
+
+    /// Regression for the `component_matrix::blcr_coord_full_oobstream`
+    /// flake: a drain with frames still in flight must count each
+    /// drained-but-unmatched frame exactly once, and both ranks must
+    /// complete coordination.
+    #[test]
+    fn drain_counts_inflight_frames_exactly_once() {
+        let (pml0, pml1) = pair();
+        // Three application frames are in flight toward rank 1 when the
+        // checkpoint begins.
+        for _ in 0..3 {
+            pml0.send(0, 1, 7, b"in-flight").unwrap();
+        }
+        let t0 = {
+            let pml0 = Arc::clone(&pml0);
+            std::thread::spawn(move || CoordCrcp::new(Tracer::new()).coordinate(&pml0))
+        };
+        let t1 = {
+            let pml1 = Arc::clone(&pml1);
+            std::thread::spawn(move || CoordCrcp::new(Tracer::new()).coordinate(&pml1))
+        };
+        t0.join().unwrap().unwrap();
+        t1.join().unwrap().unwrap();
+        pml1.with_state(|st| {
+            assert_eq!(st.recv_counts[0], 3, "each drained frame counted once");
+            assert_eq!(st.unmatched.len(), 3, "drained frames buffered, not lost");
+            assert!(st.crcp_inbox.is_empty(), "all control traffic consumed");
+        });
+        pml0.with_state(|st| assert!(st.crcp_inbox.is_empty()));
+    }
+
+    /// The coordinated protocol must not let a fast rank exit coordination
+    /// (and resume sending) before every peer has verified its bookmarks:
+    /// `coordinate` blocks until all peers report `Quiesced`.
+    #[test]
+    fn coordinate_holds_exit_barrier_until_peers_quiesce() {
+        let (pml0, pml1) = pair();
+        let worker = {
+            let pml1 = Arc::clone(&pml1);
+            std::thread::spawn(move || CoordCrcp::new(Tracer::new()).coordinate(&pml1))
+        };
+        // Play rank 0 by hand: bookmark one in-flight frame, deliver it,
+        // but withhold the quiesce acknowledgement.
+        pml0.send_crcp(1, &CrcpMsg::Bookmark { from: 0, sent: 1 })
+            .unwrap();
+        pml0.send(0, 1, 7, b"late frame").unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(
+            !worker.is_finished(),
+            "rank 1 must stay in coordination until rank 0 quiesces"
+        );
+        pml0.send_crcp(1, &CrcpMsg::Quiesced { from: 0 }).unwrap();
+        worker.join().unwrap().unwrap();
+        pml1.with_state(|st| {
+            assert_eq!(st.recv_counts[0], 1);
+            assert_eq!(st.unmatched.len(), 1);
+        });
     }
 }

@@ -88,6 +88,15 @@ pub enum CrcpMsg {
         /// Messages received from the destination so far.
         have: u64,
     },
+    /// Exit barrier for the coordinated protocol: "my channels are
+    /// quiesced". A rank that finished draining must not resume the
+    /// application (and send new traffic) until every peer has verified
+    /// its bookmarks, or the new traffic lands in a slower peer's drain
+    /// window and overruns its bookmark.
+    Quiesced {
+        /// Sender's world rank.
+        from: u32,
+    },
 }
 
 /// Encode a CRCP control message.
@@ -138,6 +147,7 @@ mod tests {
         for msg in [
             CrcpMsg::Bookmark { from: 1, sent: 99 },
             CrcpMsg::Have { from: 2, have: 0 },
+            CrcpMsg::Quiesced { from: 3 },
         ] {
             let wire = encode_crcp(&msg).unwrap();
             assert_eq!(decode_crcp(&wire).unwrap(), msg);

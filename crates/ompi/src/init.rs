@@ -420,15 +420,60 @@ pub fn mpirun<A: MpiApp>(
     spawn_job(runtime, app, config, None, None)
 }
 
+/// Where restart pulls the process images from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartSource {
+    /// Try surviving peer-memory replicas first, fall back to stable
+    /// storage per rank. The default, and what the recovery supervisor
+    /// uses: after `k` or fewer node losses every image comes from
+    /// memory; beyond that the orphaned ranks come from disk.
+    #[default]
+    Auto,
+    /// Peer-memory replicas only; fail if any rank's image has no
+    /// surviving holder. Proves the fast path works with stable storage
+    /// unavailable.
+    Replica,
+    /// Stable storage only — the paper's original broadcast path.
+    Stable,
+}
+
+impl std::str::FromStr for RestartSource {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(RestartSource::Auto),
+            "replica" => Ok(RestartSource::Replica),
+            "stable" => Ok(RestartSource::Stable),
+            other => Err(format!(
+                "unknown restart source {other:?} (expected auto, replica, or stable)"
+            )),
+        }
+    }
+}
+
 /// Restart a job from a global snapshot reference (the `ompi-restart`
 /// equivalent). Only the directory is needed: the original launch
 /// parameters are read from the snapshot metadata (paper §4). `interval`
-/// of `None` restores the most recent committed interval.
+/// of `None` restores the most recent committed interval. Images come
+/// from surviving peer-memory replicas when available, stable storage
+/// otherwise ([`RestartSource::Auto`]).
 pub fn restart_from<A: MpiApp>(
     runtime: &Runtime,
     app: Arc<A>,
     global_ref: &Path,
     interval: Option<u64>,
+) -> Result<MpiJob<A::State>, CrError> {
+    restart_from_with_source(runtime, app, global_ref, interval, RestartSource::Auto)
+}
+
+/// [`restart_from`] with an explicit image source (`ompi-restart
+/// --source`).
+pub fn restart_from_with_source<A: MpiApp>(
+    runtime: &Runtime,
+    app: Arc<A>,
+    global_ref: &Path,
+    interval: Option<u64>,
+    source: RestartSource,
 ) -> Result<MpiJob<A::State>, CrError> {
     let global = GlobalSnapshot::open(global_ref)?;
     let interval = match interval {
@@ -437,16 +482,19 @@ pub fn restart_from<A: MpiApp>(
             detail: "global snapshot has no committed intervals".into(),
         })?,
     };
+    if !global.intervals().contains(&interval) {
+        return Err(CrError::BadSnapshot {
+            detail: format!("interval {interval} was never committed"),
+        });
+    }
     let launch_params = global.launch_params();
     let params = Arc::new(McaParams::from_dump(
         launch_params.iter().map(|(k, v)| (k.as_str(), v.as_str())),
     ));
 
-    // FILEM broadcast: preload each rank's local snapshot from stable
-    // storage onto the node the rank will restart on (paper §5.2 — the
-    // broadcast operation exists precisely for process recovery). The
-    // placement is predicted with the same deterministic PLM mapping the
-    // launch will use.
+    // The placement is predicted with the same deterministic PLM mapping
+    // the relaunch will use, so each rank's image lands on the node it
+    // will restart on.
     let plm = orte::plm::plm_framework()
         .select(&params)
         .map_err(|e| CrError::Unsupported {
@@ -458,38 +506,114 @@ pub fn restart_from<A: MpiApp>(
         .map_err(|e| CrError::Unsupported {
             detail: e.to_string(),
         })?;
-    let locals_on_stable = global.local_snapshots(interval)?;
-    let mut preload_batch = Vec::with_capacity(locals_on_stable.len());
-    let mut preloaded_dirs = Vec::with_capacity(locals_on_stable.len());
-    for local in &locals_on_stable {
-        let rank = local.rank();
-        let node = placement.node_of[rank.index()];
-        let dest = runtime
+
+    let job = global.job();
+    let nprocs = global.nprocs();
+    let node_for = |rank: cr_core::Rank| {
+        placement
+            .node_of
+            .get(rank.index())
+            .copied()
+            .ok_or_else(|| CrError::BadSnapshot {
+                detail: format!("placement has no node for rank {rank}"),
+            })
+    };
+    let dest_of = |rank: cr_core::Rank, node: netsim::NodeId| {
+        runtime
             .node_dir(node)
             .join("restart")
-            .join(format!("{}", global.job()))
+            .join(format!("{job}"))
             .join(format!("interval_{interval}"))
-            .join(cr_core::snapshot::local_dir_name(rank));
-        preload_batch.push(orte::filem::CopyRequest {
-            src: local.dir().to_path_buf(),
-            src_node: netsim::NodeId(0), // stable storage is served by the head node
-            dest: dest.clone(),
-            dest_node: node,
-        });
-        preloaded_dirs.push(dest);
-    }
-    let report = filem.copy_all(runtime.topology(), &preload_batch)?;
-    runtime.tracer().record(
-        "filem.preload",
-        &format!(
-            "{} files, {} bytes, sim {}",
-            report.files, report.bytes, report.sim_cost
-        ),
-    );
+            .join(cr_core::snapshot::local_dir_name(rank))
+    };
 
-    // Rebuild every rank's process image — from its preloaded node-local
-    // copy — with the CRS component named in its local snapshot metadata
-    // (which may differ from the restart-time selection parameters).
+    // Phase 1 — peer memory: pull each rank's image from the first
+    // surviving replica holder recorded in the snapshot metadata.
+    // Snapshots gathered without the replica component have no holder
+    // records, so every rank simply misses and phase 2 does all the work.
+    let mut dirs: std::collections::HashMap<u32, std::path::PathBuf> =
+        std::collections::HashMap::with_capacity(nprocs as usize);
+    let mut replica_hits = 0u32;
+    if source != RestartSource::Stable {
+        let mut replica_cost = netsim::SimTime::ZERO;
+        let mut replica_bytes = 0u64;
+        for r in 0..nprocs {
+            let rank = cr_core::Rank(r);
+            let holders = global.replica_holders(interval, rank);
+            if holders.is_empty() {
+                continue;
+            }
+            if let Some((image, cost)) =
+                orte::replica::fetch_image(runtime, job, interval, rank, &holders)
+            {
+                let dest = dest_of(rank, node_for(rank)?);
+                replica_bytes += image.total_bytes();
+                replica_cost += cost;
+                image.write_to(&dest)?;
+                dirs.insert(r, dest);
+                replica_hits += 1;
+            }
+        }
+        if replica_hits > 0 {
+            runtime.tracer().record(
+                "filem.replica.preload",
+                &format!(
+                    "{replica_hits} ranks, {replica_bytes} bytes, sim {replica_cost}"
+                ),
+            );
+        }
+    }
+
+    // Phase 2 — stable storage: whatever peer memory could not serve.
+    let missing: Vec<cr_core::Rank> = (0..nprocs)
+        .filter(|r| !dirs.contains_key(r))
+        .map(cr_core::Rank)
+        .collect();
+    if !missing.is_empty() {
+        if source == RestartSource::Replica {
+            return Err(CrError::BadSnapshot {
+                detail: format!(
+                    "replica-only restart impossible: {} of {nprocs} ranks have no \
+                     surviving replica holder",
+                    missing.len()
+                ),
+            });
+        }
+        // Never race an in-flight write-behind drain to the files.
+        runtime.drain_writebehind();
+        let mut preload_batch = Vec::with_capacity(missing.len());
+        for rank in &missing {
+            let local = global.local_snapshot(interval, *rank)?;
+            let node = node_for(*rank)?;
+            let dest = dest_of(*rank, node);
+            preload_batch.push(orte::filem::CopyRequest {
+                src: local.dir().to_path_buf(),
+                src_node: netsim::NodeId(0), // stable storage is served by the head node
+                dest: dest.clone(),
+                dest_node: node,
+            });
+            dirs.insert(rank.0, dest);
+        }
+        let report = filem.copy_all(runtime.topology(), &preload_batch)?;
+        runtime.tracer().record(
+            "filem.preload",
+            &format!(
+                "{} files, {} bytes, sim {}",
+                report.files, report.bytes, report.sim_cost
+            ),
+        );
+    }
+
+    // Rebuild every rank's process image — from its node-local copy —
+    // with the CRS component named in its local snapshot metadata (which
+    // may differ from the restart-time selection parameters).
+    let preloaded_dirs: Vec<std::path::PathBuf> = (0..nprocs)
+        .map(|r| {
+            dirs.remove(&r).ok_or_else(|| CrError::BadSnapshot {
+                detail: format!("rank {r} has no restart image"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
     let crs_fw = crs_framework(SelfCallbacks::new());
     let mut images = Vec::with_capacity(preloaded_dirs.len());
     for dir in &preloaded_dirs {
@@ -508,15 +632,12 @@ pub fn restart_from<A: MpiApp>(
     runtime.tracer().record(
         "ompi.restart",
         &format!(
-            "{} ranks from {} interval {interval}",
+            "{} ranks from {} interval {interval} ({replica_hits} from peer memory)",
             images.len(),
             global_ref.display()
         ),
     );
 
-    let config = RunConfig {
-        nprocs: global.nprocs(),
-        params,
-    };
+    let config = RunConfig { nprocs, params };
     spawn_job(runtime, app, config, Some(images), Some(interval))
 }

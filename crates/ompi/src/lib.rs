@@ -45,5 +45,5 @@ pub mod supervisor;
 pub use app::{MpiApp, StepOutcome};
 pub use comm::Comm;
 pub use error::MpiError;
-pub use init::{mpirun, restart_from, MpiJob, RunConfig};
+pub use init::{mpirun, restart_from, restart_from_with_source, MpiJob, RestartSource, RunConfig};
 pub use mpi::Mpi;

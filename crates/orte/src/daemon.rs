@@ -28,6 +28,7 @@ use opal::container::{CkptReply, OpalCtrl};
 use opal::ProcessContainer;
 
 use crate::oob::{recv_oob, send_oob, DaemonMsg, DaemonReply};
+use crate::replica::ReplicaStore;
 
 /// Pending per-rank checkpoint completions (phase 1 output of a local
 /// checkpoint).
@@ -47,6 +48,7 @@ pub struct Orted {
     node_dir: PathBuf,
     tracer: Tracer,
     procs: Mutex<HashMap<(JobId, Rank), LocalProc>>,
+    replicas: ReplicaStore,
     thread: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -62,6 +64,7 @@ impl Orted {
             node_dir,
             tracer,
             procs: Mutex::new(HashMap::new()),
+            replicas: ReplicaStore::new(),
             thread: Mutex::new(None),
         });
         let runner = Arc::clone(&daemon);
@@ -81,6 +84,12 @@ impl Orted {
     /// Node this daemon manages.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// This daemon's in-memory replica store (volatile peer memory: dies
+    /// with the daemon, which is the point).
+    pub fn replicas(&self) -> &ReplicaStore {
+        &self.replicas
     }
 
     /// Node-local directory that holds interval scratch snapshots for a
@@ -217,6 +226,65 @@ impl Orted {
                         self.endpoint_id,
                         EndpointId(reply_to),
                         &DaemonReply::CleanupAck { node: self.node.0 },
+                    );
+                }
+                DaemonMsg::ReplicaPut {
+                    job,
+                    interval,
+                    image,
+                    reply_to,
+                } => {
+                    self.replicas.put(job, interval, image);
+                    let _ = send_oob(
+                        &self.fabric,
+                        self.endpoint_id,
+                        EndpointId(reply_to),
+                        &DaemonReply::ReplicaStored { node: self.node.0 },
+                    );
+                }
+                DaemonMsg::ReplicaFetch {
+                    job,
+                    interval,
+                    rank,
+                    reply_to,
+                } => {
+                    let image = self.replicas.get(job, interval, rank);
+                    let _ = send_oob(
+                        &self.fabric,
+                        self.endpoint_id,
+                        EndpointId(reply_to),
+                        &DaemonReply::ReplicaImageReply {
+                            node: self.node.0,
+                            image,
+                        },
+                    );
+                }
+                DaemonMsg::ReplicaExpire {
+                    job,
+                    interval,
+                    reply_to,
+                } => {
+                    let removed = self.replicas.expire_interval(job, interval);
+                    let _ = send_oob(
+                        &self.fabric,
+                        self.endpoint_id,
+                        EndpointId(reply_to),
+                        &DaemonReply::ReplicaExpired {
+                            node: self.node.0,
+                            removed,
+                        },
+                    );
+                }
+                DaemonMsg::ReplicaInventory { job, reply_to } => {
+                    let entries = self.replicas.inventory(job);
+                    let _ = send_oob(
+                        &self.fabric,
+                        self.endpoint_id,
+                        EndpointId(reply_to),
+                        &DaemonReply::ReplicaHolding {
+                            node: self.node.0,
+                            entries,
+                        },
                     );
                 }
             }

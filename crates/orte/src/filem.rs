@@ -13,8 +13,14 @@
 //!   simulated cost carries a per-file overhead on top of the wire time.
 //! * **`oob_stream`** — models streaming a whole tree through one
 //!   connection (tar-over-ssh style): one session per *tree*.
+//! * **`replica`** — peer-memory first (see [`crate::replica`]): SNAPC
+//!   commits images into surviving daemons' memory and drains them to
+//!   stable storage asynchronously (write-behind). Its `copy_tree` is the
+//!   drain/preload engine — a streamed copy with a near-zero session
+//!   setup, since the stream originates from memory, not an `scp`
+//!   handshake.
 //!
-//! Both components physically copy files on the host filesystem (the trees
+//! All components physically copy files on the host filesystem (the trees
 //! are real); only the *cost* is simulated, via the topology's link model.
 
 use std::fs;
@@ -175,6 +181,42 @@ impl FilemComponent for OobStreamFilem {
     }
 }
 
+/// Peer-memory-first copier: the write-behind drain / stable-fallback
+/// engine of the replica store. Selecting `filem=replica` additionally
+/// switches SNAPC's gather to commit into peer memory before the drain
+/// (see `snapc`); this component's `copy_tree` is what the asynchronous
+/// drain and the restart preload run on.
+pub struct ReplicaFilem {
+    session: SimTime,
+}
+
+impl ReplicaFilem {
+    /// Build from MCA parameters (`filem_replica_session_ms`).
+    pub fn from_params(params: &McaParams) -> Self {
+        let ms = params.get_parsed_or("filem_replica_session_ms", 2u64).unwrap_or(2);
+        ReplicaFilem {
+            session: SimTime::from_millis(ms),
+        }
+    }
+}
+
+impl FilemComponent for ReplicaFilem {
+    fn name(&self) -> &'static str {
+        "replica"
+    }
+
+    fn copy_tree(&self, topology: &Topology, req: &CopyRequest) -> Result<FilemReport, CrError> {
+        let sizes = copy_tree_files(&req.src, &req.dest)?;
+        let bytes: u64 = sizes.iter().sum();
+        let cost = self.session + topology.cost(req.src_node, req.dest_node, bytes as usize);
+        Ok(FilemReport {
+            files: sizes.len() as u64,
+            bytes,
+            sim_cost: cost,
+        })
+    }
+}
+
 /// Assemble the FILEM framework (`rsh_sim` default, matching the paper's
 /// first component).
 pub fn filem_framework() -> Framework<dyn FilemComponent> {
@@ -187,6 +229,12 @@ pub fn filem_framework() -> Framework<dyn FilemComponent> {
         10,
         "streamed tree copy over one connection",
         |p| Box::new(OobStreamFilem::from_params(p)),
+    );
+    fw.register(
+        "replica",
+        5,
+        "peer-memory replication with write-behind drain to stable storage",
+        |p| Box::new(ReplicaFilem::from_params(p)),
     );
     fw
 }
@@ -347,5 +395,30 @@ mod tests {
         assert_eq!(fw.select(&params).unwrap().name(), "rsh_sim");
         params.set("filem", "oob_stream");
         assert_eq!(fw.select(&params).unwrap().name(), "oob_stream");
+        params.set("filem", "replica");
+        assert_eq!(fw.select(&params).unwrap().name(), "replica");
+    }
+
+    #[test]
+    fn replica_session_is_cheapest() {
+        // The drain streams from memory: its per-tree session setup must
+        // undercut even oob_stream's connection establishment.
+        let base = tmpdir("replica_session");
+        let src = base.join("src");
+        make_tree(&src);
+        let params = McaParams::new();
+        let stream = OobStreamFilem::from_params(&params);
+        let replica = ReplicaFilem::from_params(&params);
+        let req = |dest: &str| CopyRequest {
+            src: src.clone(),
+            src_node: NodeId(1),
+            dest: base.join(dest),
+            dest_node: NodeId(0),
+        };
+        let s = stream.copy_tree(&topo(), &req("stream_out")).unwrap();
+        let r = replica.copy_tree(&topo(), &req("replica_out")).unwrap();
+        assert_eq!(s.bytes, r.bytes);
+        assert!(r.sim_cost < s.sim_cost);
+        assert!(base.join("replica_out").join("context.bin").is_file());
     }
 }

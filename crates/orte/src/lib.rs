@@ -28,6 +28,10 @@
 //!   components) computing placements and simulated launch costs.
 //! * [`job`] — job specification, launch, and the job handle the OMPI
 //!   layer and the tools operate on.
+//! * [`replica`] — the peer-memory replicated snapshot store backing the
+//!   FILEM `replica` component: each daemon holds its own ranks' images
+//!   plus ring-replicated copies of `k` neighbors', so restart can pull
+//!   from surviving memory before touching stable storage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +42,7 @@ pub mod job;
 pub mod modex;
 pub mod oob;
 pub mod plm;
+pub mod replica;
 pub mod runtime;
 pub mod snapc;
 

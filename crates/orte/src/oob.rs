@@ -7,10 +7,12 @@
 use std::path::PathBuf;
 
 use bytes::Bytes;
-use netsim::{Endpoint, EndpointId, Fabric, NetError};
+use netsim::{Endpoint, EndpointId, Fabric, NetError, SimTime};
 use serde::{Deserialize, Serialize};
 
 use cr_core::{CrError, JobId};
+
+use crate::replica::ReplicaImage;
 
 /// Tag used for all OOB traffic (tags are per-endpoint, so one suffices).
 pub const TAG_OOB: u64 = 0x4000_0000_0000_0001;
@@ -73,6 +75,46 @@ pub enum DaemonMsg {
         /// Raw endpoint id to reply to.
         reply_to: u64,
     },
+    /// Store an in-memory replica of one rank's snapshot image in the
+    /// daemon's [`crate::replica::ReplicaStore`].
+    ReplicaPut {
+        /// Job the image belongs to.
+        job: JobId,
+        /// Checkpoint interval of the image.
+        interval: u64,
+        /// The image itself (metadata + context files).
+        image: ReplicaImage,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
+    /// Fetch a rank's replica image from the daemon's store, if held.
+    ReplicaFetch {
+        /// Job the image belongs to.
+        job: JobId,
+        /// Checkpoint interval wanted.
+        interval: u64,
+        /// Rank whose image is wanted.
+        rank: u32,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
+    /// Drop every replica entry of one `(job, interval)` from the store
+    /// (checkpoint expiry / cleanup).
+    ReplicaExpire {
+        /// Job whose entries should be dropped.
+        job: JobId,
+        /// Interval to drop.
+        interval: u64,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
+    /// List the `(interval, rank)` replica entries held for `job`.
+    ReplicaInventory {
+        /// Job being queried.
+        job: JobId,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
     /// Stop the daemon thread.
     Shutdown,
 }
@@ -115,22 +157,53 @@ pub enum DaemonReply {
         /// Daemon's node id.
         node: u32,
     },
+    /// The daemon stored a replica (reply to [`DaemonMsg::ReplicaPut`]).
+    ReplicaStored {
+        /// Daemon's node id.
+        node: u32,
+    },
+    /// Result of a [`DaemonMsg::ReplicaFetch`]: the image if held, `None`
+    /// on a miss (caller moves on to the next holder or stable storage).
+    ReplicaImageReply {
+        /// Daemon's node id.
+        node: u32,
+        /// The image, when this daemon holds it.
+        image: Option<ReplicaImage>,
+    },
+    /// Replica entries dropped (reply to [`DaemonMsg::ReplicaExpire`]).
+    ReplicaExpired {
+        /// Daemon's node id.
+        node: u32,
+        /// How many entries were removed.
+        removed: usize,
+    },
+    /// Store listing (reply to [`DaemonMsg::ReplicaInventory`]).
+    ReplicaHolding {
+        /// Daemon's node id.
+        node: u32,
+        /// `(interval, rank)` pairs currently held for the queried job.
+        entries: Vec<(u64, u32)>,
+    },
 }
 
 /// Serialize and send an OOB value to `dst`.
+///
+/// Returns the simulated wire time the fabric charged for the transfer, so
+/// control-plane callers that ship bulk payloads (e.g. replica images) can
+/// account latency/bandwidth along their critical path. Callers that only
+/// steer control flow discard the value.
 pub fn send_oob<T: Serialize>(
     fabric: &Fabric,
     src: EndpointId,
     dst: EndpointId,
     value: &T,
-) -> Result<(), CrError> {
+) -> Result<SimTime, CrError> {
     let bytes = codec::to_bytes(value)?;
     fabric
         .send(src, dst, TAG_OOB, Bytes::from(bytes))
         .map_err(|e| CrError::PeerLost {
             detail: format!("OOB send to {dst}: {e}"),
-        })?;
-    Ok(())
+        })
 }
 
 /// Blocking receive of one OOB value on `endpoint`.

@@ -1,0 +1,480 @@
+//! Peer-memory replicated snapshot store (beyond-paper subsystem).
+//!
+//! The paper's FILEM treats stable storage as the only durable home for
+//! snapshot images, so every checkpoint pays a full gather to shared disk
+//! and every restart pays a full broadcast back out. Following ReStore
+//! (Hübner et al., 2022), this module keeps each rank's newest snapshot
+//! image *in the memory of surviving daemons* as well:
+//!
+//! * every `orted` hosts a [`ReplicaStore`] holding images for its own
+//!   node's ranks plus ring-replicated copies from `k` neighbor nodes
+//!   (replication factor via the `filem_replica_factor` MCA parameter),
+//! * images travel over the ordinary OOB fabric, so netsim charges real
+//!   latency/bandwidth for the replication traffic, and
+//! * the restart path asks surviving replicas first and only falls back
+//!   to stable storage when more than `k` nodes (or the whole host
+//!   process) are gone.
+//!
+//! The ring: node `n`'s image is held by `n` itself plus nodes
+//! `(n + 1) % N`, …, `(n + k) % N`. Losing any `k` nodes therefore leaves
+//! at least one holder of every image alive; losing `k + 1` can orphan an
+//! image, which is why the stable-storage write-behind drain still runs.
+
+use std::fs;
+use std::path::Path;
+use std::time::Duration;
+
+use netsim::{NodeId, SimTime};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use cr_core::{CrError, JobId, Rank};
+
+use crate::oob::{recv_oob_timeout, send_oob, DaemonMsg, DaemonReply};
+use crate::runtime::Runtime;
+
+/// How long the HNP waits for a daemon to acknowledge a replica request.
+const REPLICA_OOB_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One rank's snapshot image, fully materialized in memory: every file of
+/// the local snapshot reference directory (metadata and context), stored
+/// as `(relative path, bytes)` pairs so it can be re-materialized on any
+/// node at restart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaImage {
+    /// Rank this image belongs to.
+    pub rank: u32,
+    /// `(path relative to the snapshot directory, contents)`, sorted by
+    /// path for deterministic equality.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> CrError {
+    CrError::io(path.display().to_string(), e)
+}
+
+fn collect_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, Vec<u8>)>,
+) -> Result<(), CrError> {
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(root, &path, out)?;
+        } else {
+            let rel = path.strip_prefix(root).map_err(|_| {
+                CrError::protocol(format!(
+                    "{} escapes snapshot root {}",
+                    path.display(),
+                    root.display()
+                ))
+            })?;
+            let bytes = fs::read(&path).map_err(|e| io_err(&path, &e))?;
+            out.push((rel.to_string_lossy().into_owned(), bytes));
+        }
+    }
+    Ok(())
+}
+
+impl ReplicaImage {
+    /// Capture a local snapshot reference directory into memory.
+    pub fn from_dir(rank: Rank, dir: &Path) -> Result<Self, CrError> {
+        let mut files = Vec::new();
+        collect_files(dir, dir, &mut files)?;
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(ReplicaImage { rank: rank.0, files })
+    }
+
+    /// Materialize the image under `dir` (inverse of
+    /// [`ReplicaImage::from_dir`]), creating directories as needed. The
+    /// result is openable as a `LocalSnapshot` reference.
+    pub fn write_to(&self, dir: &Path) -> Result<(), CrError> {
+        for (rel, bytes) in &self.files {
+            let path = dir.join(rel);
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent).map_err(|e| io_err(parent, &e))?;
+            }
+            fs::write(&path, bytes).map_err(|e| io_err(&path, &e))?;
+        }
+        Ok(())
+    }
+
+    /// Total payload size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+}
+
+/// In-memory replica store, one per daemon. Keyed by
+/// `(job, interval, rank)`; survives as long as its daemon thread does and
+/// dies with the node — that is the point: it models volatile peer memory,
+/// not stable storage.
+#[derive(Debug, Default)]
+pub struct ReplicaStore {
+    entries: Mutex<std::collections::HashMap<(JobId, u64, u32), ReplicaImage>>,
+}
+
+impl ReplicaStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ReplicaStore::default()
+    }
+
+    /// Insert (or replace) one rank's image for `(job, interval)`.
+    pub fn put(&self, job: JobId, interval: u64, image: ReplicaImage) {
+        self.entries
+            .lock()
+            .insert((job, interval, image.rank), image);
+    }
+
+    /// Copy of the stored image, if held.
+    pub fn get(&self, job: JobId, interval: u64, rank: u32) -> Option<ReplicaImage> {
+        self.entries.lock().get(&(job, interval, rank)).cloned()
+    }
+
+    /// Drop every entry of `(job, interval)`. Returns how many were
+    /// removed.
+    pub fn expire_interval(&self, job: JobId, interval: u64) -> usize {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|(j, i, _), _| !(*j == job && *i == interval));
+        before - entries.len()
+    }
+
+    /// Drop every entry of `job` (job teardown). Returns how many were
+    /// removed.
+    pub fn expire_job(&self, job: JobId) -> usize {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|(j, _, _), _| *j != job);
+        before - entries.len()
+    }
+
+    /// `(interval, rank)` pairs currently held for `job`, sorted.
+    pub fn inventory(&self, job: JobId) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self
+            .entries
+            .lock()
+            .keys()
+            .filter(|(j, _, _)| *j == job)
+            .map(|(_, i, r)| (*i, *r))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of images held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Total bytes of payload held.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.lock().values().map(|i| i.total_bytes()).sum()
+    }
+}
+
+/// The `k` ring successors of `node` among `nodes` total, excluding
+/// `node` itself. With fewer than `k + 1` nodes the ring simply stops
+/// when it would wrap back onto `node` — every other node then holds a
+/// copy.
+pub fn ring_neighbors(node: u32, nodes: u32, k: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    if nodes <= 1 {
+        return out;
+    }
+    for step in 1..=k {
+        let neighbor = (node + step) % nodes;
+        if neighbor == node {
+            break;
+        }
+        out.push(neighbor);
+    }
+    out
+}
+
+/// Result of replicating one checkpoint interval into peer memory.
+#[derive(Debug, Clone)]
+pub struct ReplicationOutcome {
+    /// Per rank: the node ids whose daemons accepted a copy of its image,
+    /// primary (the rank's own node) first.
+    pub holders: Vec<(Rank, Vec<u32>)>,
+    /// Total simulated wire time charged for shipping the images.
+    pub sim_cost: SimTime,
+    /// Total image payload bytes replicated (sum over all copies).
+    pub bytes: u64,
+}
+
+/// Ship every rank's local snapshot image into peer memory: the rank's
+/// own daemon plus its `factor` ring neighbors each receive a copy over
+/// OOB (netsim charges the transfers).
+///
+/// `images` lists `(rank, node the rank ran on, local snapshot reference
+/// directory)` — exactly what the daemons report back from a local
+/// checkpoint. Returns where every image landed, for the global snapshot's
+/// replica-location metadata.
+pub fn replicate(
+    runtime: &Runtime,
+    job: JobId,
+    interval: u64,
+    images: &[(Rank, u32, std::path::PathBuf)],
+    factor: u32,
+) -> Result<ReplicationOutcome, CrError> {
+    let nodes = runtime.topology().len() as u32;
+    let ctl = runtime.fabric().register(NodeId(0));
+    let mut holders = Vec::with_capacity(images.len());
+    let mut sim_cost = SimTime::ZERO;
+    let mut bytes = 0u64;
+
+    for (rank, node, dir) in images {
+        let image = ReplicaImage::from_dir(*rank, dir)?;
+        let mut targets = vec![*node];
+        targets.extend(ring_neighbors(*node, nodes, factor));
+        for target in &targets {
+            let daemon = runtime.ensure_daemon(NodeId(*target));
+            sim_cost += send_oob(
+                runtime.fabric(),
+                ctl.id(),
+                daemon.endpoint(),
+                &DaemonMsg::ReplicaPut {
+                    job,
+                    interval,
+                    image: image.clone(),
+                    reply_to: ctl.id().0,
+                },
+            )?;
+            match recv_oob_timeout::<DaemonReply>(&ctl, REPLICA_OOB_TIMEOUT)? {
+                DaemonReply::ReplicaStored { .. } => {}
+                other => {
+                    return Err(CrError::protocol(format!(
+                        "unexpected reply to ReplicaPut: {other:?}"
+                    )))
+                }
+            }
+            bytes += image.total_bytes();
+        }
+        runtime.tracer().record(
+            "filem.replica.put",
+            &format!("rank {rank} -> nodes {targets:?} interval {interval}"),
+        );
+        holders.push((*rank, targets));
+    }
+    Ok(ReplicationOutcome {
+        holders,
+        sim_cost,
+        bytes,
+    })
+}
+
+/// Fetch one rank's image from the first surviving holder.
+///
+/// `holders` comes from the global snapshot's replica-location metadata,
+/// primary first. Dead daemons (killed nodes) are skipped without being
+/// respawned — a respawned daemon would have an empty store and, worse,
+/// would fake the node back to life. Returns the image and the simulated
+/// wire cost of the successful transfer, or `None` when every holder is
+/// gone or answers with a miss.
+pub fn fetch_image(
+    runtime: &Runtime,
+    job: JobId,
+    interval: u64,
+    rank: Rank,
+    holders: &[u32],
+) -> Option<(ReplicaImage, SimTime)> {
+    let ctl = runtime.fabric().register(NodeId(0));
+    let alive = runtime.daemons();
+    for holder in holders {
+        let Some(daemon) = alive.iter().find(|d| d.node().0 == *holder) else {
+            continue;
+        };
+        let sent = send_oob(
+            runtime.fabric(),
+            ctl.id(),
+            daemon.endpoint(),
+            &DaemonMsg::ReplicaFetch {
+                job,
+                interval,
+                rank: rank.0,
+                reply_to: ctl.id().0,
+            },
+        );
+        if sent.is_err() {
+            continue; // daemon died between listing and send: miss
+        }
+        match recv_oob_timeout::<DaemonReply>(&ctl, REPLICA_OOB_TIMEOUT) {
+            Ok(DaemonReply::ReplicaImageReply {
+                node,
+                image: Some(image),
+            }) => {
+                // The reply carries the image payload: charge its wire
+                // time as the cost of this fetch.
+                let cost = sent.unwrap_or(SimTime::ZERO);
+                runtime.tracer().record(
+                    "filem.replica.fetch",
+                    &format!("rank {rank} <- node {node} interval {interval}"),
+                );
+                return Some((image, cost));
+            }
+            Ok(_) | Err(_) => continue,
+        }
+    }
+    None
+}
+
+/// Drop `(job, interval)` replica entries from every surviving daemon
+/// (checkpoint expiry). Returns the total number of entries removed.
+pub fn expire_replicas(runtime: &Runtime, job: JobId, interval: u64) -> usize {
+    let ctl = runtime.fabric().register(NodeId(0));
+    let mut removed = 0;
+    for daemon in runtime.daemons() {
+        let sent = send_oob(
+            runtime.fabric(),
+            ctl.id(),
+            daemon.endpoint(),
+            &DaemonMsg::ReplicaExpire {
+                job,
+                interval,
+                reply_to: ctl.id().0,
+            },
+        );
+        if sent.is_err() {
+            continue;
+        }
+        if let Ok(DaemonReply::ReplicaExpired { removed: n, .. }) =
+            recv_oob_timeout::<DaemonReply>(&ctl, REPLICA_OOB_TIMEOUT)
+        {
+            removed += n;
+        }
+    }
+    if removed > 0 {
+        runtime.tracer().record(
+            "filem.replica.expire",
+            &format!("{job} interval {interval}: {removed} entries"),
+        );
+    }
+    removed
+}
+
+/// Per-node replica inventory for `job` across every surviving daemon:
+/// `(node, [(interval, rank)])`, node order. Diagnostic / test surface.
+pub fn replica_inventory(runtime: &Runtime, job: JobId) -> Vec<(u32, Vec<(u64, u32)>)> {
+    let ctl = runtime.fabric().register(NodeId(0));
+    let mut out = Vec::new();
+    for daemon in runtime.daemons() {
+        let sent = send_oob(
+            runtime.fabric(),
+            ctl.id(),
+            daemon.endpoint(),
+            &DaemonMsg::ReplicaInventory {
+                job,
+                reply_to: ctl.id().0,
+            },
+        );
+        if sent.is_err() {
+            continue;
+        }
+        if let Ok(DaemonReply::ReplicaHolding { node, entries }) =
+            recv_oob_timeout::<DaemonReply>(&ctl, REPLICA_OOB_TIMEOUT)
+        {
+            out.push((node, entries));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "orte_replica_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn image_roundtrips_through_memory() {
+        let src = tmpdir("img_src");
+        fs::write(src.join("snapshot_meta.data"), b"[snapshot]\ncrs = self\n").unwrap();
+        fs::create_dir_all(src.join("sub")).unwrap();
+        fs::write(src.join("sub").join("ompi_context.bin"), vec![0xCD; 4096]).unwrap();
+
+        let image = ReplicaImage::from_dir(Rank(2), &src).unwrap();
+        assert_eq!(image.rank, 2);
+        assert_eq!(image.files.len(), 2);
+        assert_eq!(image.total_bytes(), 4096 + 22);
+
+        let dst = tmpdir("img_dst");
+        image.write_to(&dst).unwrap();
+        assert_eq!(
+            fs::read(dst.join("snapshot_meta.data")).unwrap(),
+            b"[snapshot]\ncrs = self\n"
+        );
+        assert_eq!(
+            fs::read(dst.join("sub").join("ompi_context.bin")).unwrap(),
+            vec![0xCD; 4096]
+        );
+        // Round-trip equality through a second capture.
+        assert_eq!(ReplicaImage::from_dir(Rank(2), &dst).unwrap(), image);
+    }
+
+    #[test]
+    fn store_put_get_expire() {
+        let store = ReplicaStore::new();
+        assert!(store.is_empty());
+        let img = |rank: u32| ReplicaImage {
+            rank,
+            files: vec![("ctx".into(), vec![rank as u8; 10])],
+        };
+        store.put(JobId(1), 0, img(0));
+        store.put(JobId(1), 0, img(1));
+        store.put(JobId(1), 1, img(0));
+        store.put(JobId(2), 0, img(0));
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.total_bytes(), 40);
+        assert_eq!(store.get(JobId(1), 0, 1), Some(img(1)));
+        assert_eq!(store.get(JobId(1), 0, 9), None);
+        assert_eq!(store.inventory(JobId(1)), vec![(0, 0), (0, 1), (1, 0)]);
+
+        assert_eq!(store.expire_interval(JobId(1), 0), 2);
+        assert_eq!(store.inventory(JobId(1)), vec![(1, 0)]);
+        assert_eq!(store.expire_job(JobId(2)), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn put_replaces_same_key() {
+        let store = ReplicaStore::new();
+        let a = ReplicaImage { rank: 0, files: vec![("x".into(), vec![1])] };
+        let b = ReplicaImage { rank: 0, files: vec![("x".into(), vec![2, 3])] };
+        store.put(JobId(1), 0, a);
+        store.put(JobId(1), 0, b.clone());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(JobId(1), 0, 0), Some(b));
+    }
+
+    #[test]
+    fn ring_wraps_and_excludes_self() {
+        assert_eq!(ring_neighbors(0, 4, 1), vec![1]);
+        assert_eq!(ring_neighbors(3, 4, 2), vec![0, 1]);
+        assert_eq!(ring_neighbors(1, 4, 3), vec![2, 3, 0]);
+        // k >= nodes: stop before wrapping onto self.
+        assert_eq!(ring_neighbors(1, 3, 7), vec![2, 0]);
+        assert_eq!(ring_neighbors(0, 1, 2), Vec::<u32>::new());
+        assert_eq!(ring_neighbors(0, 2, 0), Vec::<u32>::new());
+    }
+}

@@ -30,6 +30,7 @@ struct RtInner {
     tracer: Tracer,
     next_job: AtomicU32,
     daemons: Mutex<HashMap<NodeId, Arc<Orted>>>,
+    drains: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// Cheap-to-clone handle to the simulated cluster environment.
@@ -60,6 +61,7 @@ impl Runtime {
                 tracer: Tracer::new(),
                 next_job: AtomicU32::new(1),
                 daemons: Mutex::new(HashMap::new()),
+                drains: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -127,8 +129,43 @@ impl Runtime {
         v.into_iter().map(|(_, d)| d).collect()
     }
 
+    /// Kill one node's daemon, simulating node loss: its thread stops and
+    /// its in-memory state (including any replica store contents) is gone.
+    /// Node-local scratch files are left behind, as a dead node's disk
+    /// would be — unreachable until the "node" comes back.
+    pub fn kill_daemon(&self, node: NodeId) {
+        let daemon = self.inner.daemons.lock().remove(&node);
+        if let Some(daemon) = daemon {
+            self.inner.tracer.record("orte.daemon.kill", &node.to_string());
+            daemon.shutdown();
+        }
+    }
+
+    /// Track a write-behind drain thread (FILEM `replica`'s asynchronous
+    /// gather to stable storage). Joined by
+    /// [`Runtime::drain_writebehind`] and on [`Runtime::shutdown`].
+    pub fn register_drain(&self, handle: std::thread::JoinHandle<()>) {
+        self.inner.drains.lock().push(handle);
+    }
+
+    /// Wait for every outstanding write-behind drain to reach stable
+    /// storage. Restart paths that fall back to disk call this first so
+    /// they never race an in-flight gather.
+    pub fn drain_writebehind(&self) {
+        let drains: Vec<std::thread::JoinHandle<()>> =
+            self.inner.drains.lock().drain(..).collect();
+        for handle in drains {
+            let _ = handle.join();
+        }
+    }
+
     /// Stop all daemons (idempotent; also invoked by tests for hygiene).
+    ///
+    /// Write-behind drains are joined first: stable storage is fully
+    /// populated before the runtime disappears, so a fresh host process
+    /// can always restart from disk.
     pub fn shutdown(&self) {
+        self.drain_writebehind();
         let daemons: Vec<Arc<Orted>> = {
             let mut map = self.inner.daemons.lock();
             map.drain().map(|(_, d)| d).collect()

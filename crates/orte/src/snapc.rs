@@ -25,17 +25,19 @@
 //!   storage at once — the trade-off the A5 ablation measures.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use mca::Framework;
 use netsim::NodeId;
 
 use cr_core::request::{CheckpointOptions, CheckpointOutcome};
-use cr_core::{CrError, Rank};
+use cr_core::{CrError, JobId, Rank};
 use opal::container::OpalCtrl;
 
 use crate::filem::{filem_framework, CopyRequest};
 use crate::job::JobHandle;
 use crate::oob::{recv_oob_timeout, send_oob, DaemonMsg, DaemonReply};
+use crate::runtime::Runtime;
 
 /// How long the global coordinator waits for daemon replies.
 const OOB_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(120);
@@ -69,6 +71,171 @@ pub fn snapc_framework() -> Framework<dyn SnapcComponent> {
         Box::new(DirectSnapc)
     });
     fw
+}
+
+// ---------------------------------------------------------------------------
+// shared gather tail
+// ---------------------------------------------------------------------------
+
+/// Ask every node's daemon to remove its interval scratch copies and wait
+/// for the acknowledgements.
+fn cleanup_scratch(
+    runtime: &Runtime,
+    job: JobId,
+    interval: u64,
+    nodes: &[NodeId],
+) -> Result<(), CrError> {
+    let fabric = runtime.fabric();
+    let hnp = fabric.register(NodeId(0));
+    for node in nodes {
+        let daemon = runtime.ensure_daemon(*node);
+        send_oob(
+            fabric,
+            hnp.id(),
+            daemon.endpoint(),
+            &DaemonMsg::Cleanup {
+                job,
+                interval,
+                reply_to: hnp.id().0,
+            },
+        )?;
+    }
+    for _ in nodes {
+        let _: DaemonReply = recv_oob_timeout(&hnp, OOB_TIMEOUT)?;
+    }
+    Ok(())
+}
+
+/// Gather/commit/cleanup tail shared by the `full` and `tree` components.
+///
+/// `results` is the flat `(node, rank, local snapshot dir, bytes)` listing
+/// the daemons reported. With any classic FILEM component the tail is the
+/// paper's Figure 1-F: synchronously copy every local snapshot to stable
+/// storage, commit the interval, then remove the scratch copies.
+///
+/// With `filem=replica` the durable commit happens into *peer memory*
+/// first: every rank's image is ring-replicated into `k + 1` daemons'
+/// stores ([`crate::replica::replicate`]), the holder locations are
+/// recorded in the global metadata, and the interval is committed — that
+/// is the moment the checkpoint becomes restorable (from memory). The
+/// copy to stable storage then runs as an asynchronous *write-behind*
+/// drain (unless `filem_replica_writebehind=false`), registered with the
+/// runtime so disk-path restarts and shutdown can wait for it. Scratch
+/// cleanup rides behind the drain, which reads from the scratch copies.
+fn gather_commit_cleanup(
+    job: &JobHandle,
+    interval: u64,
+    interval_dir: &std::path::Path,
+    results: &[(u32, u32, PathBuf, u64)],
+    tag: &str,
+) -> Result<(), CrError> {
+    let runtime = job.runtime();
+    let tracer = runtime.tracer();
+    let params = job.params();
+    let nodes = job.placement().nodes();
+    let job_id = job.job();
+
+    let filem_fw = filem_framework();
+    let selection = filem_fw
+        .resolve(params)
+        .map_err(|e| CrError::Unsupported {
+            detail: e.to_string(),
+        })?
+        .name;
+    let filem = filem_fw.select(params).map_err(|e| CrError::Unsupported {
+        detail: e.to_string(),
+    })?;
+
+    let batch: Vec<CopyRequest> = results
+        .iter()
+        .map(|(node, rank, local_dir, _)| CopyRequest {
+            src: local_dir.clone(),
+            src_node: NodeId(*node),
+            dest: interval_dir.join(cr_core::snapshot::local_dir_name(Rank(*rank))),
+            dest_node: NodeId(0),
+        })
+        .collect();
+
+    let ranks_info: Vec<(Rank, String)> = (0..job.nprocs())
+        .map(|r| {
+            let rank = Rank(r);
+            (rank, runtime.topology().hostname(job.node_of(rank)).to_string())
+        })
+        .collect();
+
+    if selection == "replica" {
+        let factor = params
+            .get_parsed_or("filem_replica_factor", 1u32)
+            .unwrap_or(1);
+        let writebehind = params
+            .get_bool_or("filem_replica_writebehind", true)
+            .unwrap_or(true);
+        let images: Vec<(Rank, u32, PathBuf)> = results
+            .iter()
+            .map(|(node, rank, dir, _)| (Rank(*rank), *node, dir.clone()))
+            .collect();
+        let outcome = crate::replica::replicate(runtime, job_id, interval, &images, factor)?;
+        tracer.record(
+            "filem.gather",
+            &format!(
+                "{} bytes to peer memory (factor {factor}), sim {}{tag}",
+                outcome.bytes, outcome.sim_cost
+            ),
+        );
+        {
+            let mut global = job.global_snapshot()?;
+            global.record_replica_holders(interval, &outcome.holders)?;
+            global.commit_interval(interval, &ranks_info)?;
+        }
+        // Write-behind: the stable-storage copy (and the scratch cleanup
+        // behind it) runs off the critical path.
+        let drain_rt = runtime.clone();
+        let drain = move || {
+            match filem.copy_all(drain_rt.topology(), &batch) {
+                Ok(report) => {
+                    drain_rt.tracer().record(
+                        "filem.drain",
+                        &format!(
+                            "{} files, {} bytes, sim {}",
+                            report.files, report.bytes, report.sim_cost
+                        ),
+                    );
+                    if let Err(e) = cleanup_scratch(&drain_rt, job_id, interval, &nodes) {
+                        drain_rt.tracer().record("filem.drain.error", &e.to_string());
+                    }
+                }
+                Err(e) => {
+                    drain_rt.tracer().record("filem.drain.error", &e.to_string());
+                }
+            }
+        };
+        if writebehind {
+            let handle = std::thread::Builder::new()
+                .name("filem-drain".into())
+                .spawn(drain)
+                .map_err(|e| CrError::protocol(format!("spawn drain thread: {e}")))?;
+            runtime.register_drain(handle);
+        } else {
+            drain();
+        }
+        return Ok(());
+    }
+
+    // Classic path: synchronous gather to stable storage (Figure 1-F),
+    // processes already resumed.
+    let report = filem.copy_all(runtime.topology(), &batch)?;
+    tracer.record(
+        "filem.gather",
+        &format!(
+            "{} files, {} bytes, sim {}{tag}",
+            report.files, report.bytes, report.sim_cost
+        ),
+    );
+    {
+        let mut global = job.global_snapshot()?;
+        global.commit_interval(interval, &ranks_info)?;
+    }
+    cleanup_scratch(runtime, job_id, interval, &nodes)
 }
 
 // ---------------------------------------------------------------------------
@@ -192,64 +359,17 @@ impl SnapcComponent for FullSnapc {
             )));
         }
 
-        // Aggregate: FILEM-gather every local snapshot to stable storage
-        // (Figure 1-F), processes already resumed.
-        let filem = filem_framework()
-            .select(job.params())
-            .map_err(|e| CrError::Unsupported {
-                detail: e.to_string(),
-            })?;
-        let mut batch = Vec::new();
-        for (node, results) in &per_node {
-            for (rank, local_dir, _size) in results {
-                let dest = interval_dir.join(cr_core::snapshot::local_dir_name(Rank(*rank)));
-                batch.push(CopyRequest {
-                    src: local_dir.clone(),
-                    src_node: NodeId(*node),
-                    dest,
-                    dest_node: NodeId(0),
-                });
-            }
-        }
-        let report = filem.copy_all(runtime.topology(), &batch)?;
-        tracer.record(
-            "filem.gather",
-            &format!(
-                "{} files, {} bytes, sim {}",
-                report.files, report.bytes, report.sim_cost
-            ),
-        );
-
-        // Commit the interval: from here the snapshot is restorable.
-        let ranks_info: Vec<(Rank, String)> = (0..job.nprocs())
-            .map(|r| {
-                let rank = Rank(r);
-                let node = job.node_of(rank);
-                (rank, runtime.topology().hostname(node).to_string())
+        // Aggregate, commit, and clean up (peer-memory first with
+        // `filem=replica`, synchronous stable-storage gather otherwise).
+        let flat: Vec<(u32, u32, std::path::PathBuf, u64)> = per_node
+            .iter()
+            .flat_map(|(node, results)| {
+                results
+                    .iter()
+                    .map(|(rank, dir, size)| (*node, *rank, dir.clone(), *size))
             })
             .collect();
-        {
-            let mut global = job.global_snapshot()?;
-            global.commit_interval(interval, &ranks_info)?;
-        }
-
-        // Cleanup node-local scratch snapshots.
-        for node in &nodes {
-            let daemon = runtime.ensure_daemon(*node);
-            send_oob(
-                fabric,
-                hnp.id(),
-                daemon.endpoint(),
-                &DaemonMsg::Cleanup {
-                    job: job.job(),
-                    interval,
-                    reply_to: hnp.id().0,
-                },
-            )?;
-        }
-        for _ in &nodes {
-            let _: DaemonReply = recv_oob_timeout(&hnp, OOB_TIMEOUT)?;
-        }
+        gather_commit_cleanup(job, interval, &interval_dir, &flat, "")?;
 
         Ok(CheckpointOutcome {
             global_snapshot: job.global_snapshot_path(),
@@ -381,54 +501,7 @@ impl SnapcComponent for TreeSnapc {
         }
 
         // Gather and commit exactly as the full component does.
-        let filem = filem_framework()
-            .select(job.params())
-            .map_err(|e| CrError::Unsupported {
-                detail: e.to_string(),
-            })?;
-        let batch: Vec<CopyRequest> = all_results
-            .iter()
-            .map(|(node, rank, local_dir, _)| CopyRequest {
-                src: local_dir.clone(),
-                src_node: NodeId(*node),
-                dest: interval_dir.join(cr_core::snapshot::local_dir_name(Rank(*rank))),
-                dest_node: NodeId(0),
-            })
-            .collect();
-        let report = filem.copy_all(runtime.topology(), &batch)?;
-        tracer.record(
-            "filem.gather",
-            &format!(
-                "{} files, {} bytes, sim {} (tree)",
-                report.files, report.bytes, report.sim_cost
-            ),
-        );
-        let ranks_info: Vec<(Rank, String)> = (0..job.nprocs())
-            .map(|r| {
-                let rank = Rank(r);
-                (rank, runtime.topology().hostname(job.node_of(rank)).to_string())
-            })
-            .collect();
-        {
-            let mut global = job.global_snapshot()?;
-            global.commit_interval(interval, &ranks_info)?;
-        }
-        for node in &nodes {
-            let daemon = runtime.ensure_daemon(*node);
-            send_oob(
-                fabric,
-                hnp.id(),
-                daemon.endpoint(),
-                &DaemonMsg::Cleanup {
-                    job: job.job(),
-                    interval,
-                    reply_to: hnp.id().0,
-                },
-            )?;
-        }
-        for _ in &nodes {
-            let _: DaemonReply = recv_oob_timeout(&hnp, OOB_TIMEOUT)?;
-        }
+        gather_commit_cleanup(job, interval, &interval_dir, &all_results, " (tree)")?;
 
         Ok(CheckpointOutcome {
             global_snapshot: job.global_snapshot_path(),

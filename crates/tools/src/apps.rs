@@ -7,7 +7,7 @@ use std::sync::Arc;
 use cr_core::CrError;
 use mca::McaParams;
 use ompi::app::RunEnd;
-use ompi::{mpirun, restart_from, MpiJob, RunConfig};
+use ompi::{mpirun, restart_from_with_source, MpiJob, RestartSource, RunConfig};
 use orte::Runtime;
 use workloads::master_worker::MasterWorkerApp;
 use workloads::ring::RingApp;
@@ -122,6 +122,17 @@ pub fn restart_named(
     global_ref: &std::path::Path,
     interval: Option<u64>,
 ) -> Result<AnyJob, CrError> {
+    restart_named_from(runtime, global_ref, interval, RestartSource::Auto)
+}
+
+/// [`restart_named`] with an explicit restart image source
+/// (`ompi-restart --source replica|stable|auto`).
+pub fn restart_named_from(
+    runtime: &Runtime,
+    global_ref: &std::path::Path,
+    interval: Option<u64>,
+    source: RestartSource,
+) -> Result<AnyJob, CrError> {
     // Read the recorded app name from the snapshot's launch parameters.
     let global = cr_core::GlobalSnapshot::open(global_ref)?;
     let launch = global.launch_params();
@@ -135,15 +146,16 @@ pub fn restart_named(
     let params_store = McaParams::from_dump(launch.iter().map(|(k, v)| (k.as_str(), v.as_str())));
     let params = Arc::new(params_store);
     match name.as_str() {
-        "ring" => Ok(AnyJob::new(restart_from(
+        "ring" => Ok(AnyJob::new(restart_from_with_source(
             runtime,
             Arc::new(RingApp {
                 rounds: scaled(&params, "tools_rounds", 200_000),
             }),
             global_ref,
             interval,
+            source,
         )?)),
-        "stencil" => Ok(AnyJob::new(restart_from(
+        "stencil" => Ok(AnyJob::new(restart_from_with_source(
             runtime,
             Arc::new(StencilApp {
                 cells_per_rank: scaled(&params, "tools_cells", 4096) as usize,
@@ -152,8 +164,9 @@ pub fn restart_named(
             }),
             global_ref,
             interval,
+            source,
         )?)),
-        "master_worker" => Ok(AnyJob::new(restart_from(
+        "master_worker" => Ok(AnyJob::new(restart_from_with_source(
             runtime,
             Arc::new(MasterWorkerApp {
                 tasks: scaled(&params, "tools_tasks", 100_000),
@@ -161,8 +174,9 @@ pub fn restart_named(
             }),
             global_ref,
             interval,
+            source,
         )?)),
-        "traffic" => Ok(AnyJob::new(restart_from(
+        "traffic" => Ok(AnyJob::new(restart_from_with_source(
             runtime,
             Arc::new(TrafficApp {
                 rounds: scaled(&params, "tools_rounds", 100_000),
@@ -170,6 +184,7 @@ pub fn restart_named(
             }),
             global_ref,
             interval,
+            source,
         )?)),
         other => Err(CrError::Unsupported {
             detail: format!("snapshot was taken by unknown app {other:?}"),

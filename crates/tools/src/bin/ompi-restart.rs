@@ -1,15 +1,18 @@
 //! `ompi-restart` — resurrect a job from a global snapshot reference.
 //!
 //! ```text
-//! ompi-restart [--nodes N] [--interval I] [--base DIR] <global-snapshot-ref>
+//! ompi-restart [--nodes N] [--interval I] [--base DIR] [--source S] <global-snapshot-ref>
 //! ```
 //!
 //! The only required input is the snapshot reference directory: the
 //! workload, rank count, and MCA parameters are all read from the
 //! snapshot metadata (paper §4 — the user need not remember how the job
 //! was originally started). The restarted job runs to completion.
+//! `--source` picks where the images come from: `auto` (default;
+//! surviving peer-memory replicas first, stable storage fallback),
+//! `replica` (peer memory only, fail otherwise), or `stable` (disk only).
 
-use tools::apps::{restart_named, tool_runtime};
+use tools::apps::{restart_named_from, tool_runtime};
 use tools::ArgSpec;
 
 fn main() {
@@ -21,13 +24,18 @@ fn main() {
 
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let spec = ArgSpec::parse(&raw, &["nodes", "interval", "base"])?;
+    let spec = ArgSpec::parse(&raw, &["nodes", "interval", "base", "source"])?;
     let reference = spec
         .positional()
         .first()
-        .ok_or("usage: ompi-restart [--nodes N] [--interval I] <global-snapshot-ref>")?;
+        .ok_or("usage: ompi-restart [--nodes N] [--interval I] [--source auto|replica|stable] <global-snapshot-ref>")?;
     let nodes: u32 = spec.option_parsed("nodes", 2)?;
     let interval: i64 = spec.option_parsed("interval", -1)?;
+    let source: ompi::RestartSource = spec
+        .option("source")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or_default();
     let base = spec
         .option("base")
         .map(std::path::PathBuf::from)
@@ -37,10 +45,11 @@ fn run() -> Result<(), String> {
 
     let rt = tool_runtime(&base, nodes).map_err(|e| e.to_string())?;
     println!("ompi-restart: restoring from {reference}");
-    let job = restart_named(
+    let job = restart_named_from(
         &rt,
         std::path::Path::new(reference),
         if interval < 0 { None } else { Some(interval as u64) },
+        source,
     )
     .map_err(|e| e.to_string())?;
     println!("ompi-restart: job {} resumed on {nodes} nodes", job.handle().job());

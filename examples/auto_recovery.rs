@@ -64,6 +64,7 @@ fn main() {
         checkpoint_every: Duration::from_millis(100),
         max_restarts: 3,
         poll_every: Duration::from_millis(5),
+        ..Default::default()
     };
     let (results, report) =
         run_with_recovery(&rt, app, RunConfig::new(8), &policy).expect("supervised run");

@@ -7,3 +7,15 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo run --release -q -p lint --bin cr-lint
+
+# Restart-latency smoke: one memory-path and one disk-path restart; the
+# bench itself asserts the simulated memory cost is strictly below disk.
+RESTART_LATENCY_SMOKE=1 cargo bench -q -p bench --bench restart_latency
+
+# Ratchet: the cr-lint baseline may shrink but never grow.
+baseline_lines=$(grep -cv '^#' lint.allow)
+baseline_sites=$(grep -v '^#' lint.allow | awk -F'\t' '{s+=$3} END {print s}')
+if [ "$baseline_lines" -gt 31 ] || [ "$baseline_sites" -gt 146 ]; then
+  echo "lint.allow grew (files=$baseline_lines > 31 or sites=$baseline_sites > 146)" >&2
+  exit 1
+fi

@@ -68,6 +68,7 @@ fn supervisor_recovers_from_a_rank_failure() {
         checkpoint_every: Duration::from_millis(60),
         max_restarts: 3,
         poll_every: Duration::from_millis(5),
+        ..Default::default()
     };
     let (results, report) =
         run_with_recovery(&rt, Arc::clone(&app), RunConfig::new(nprocs), &policy).unwrap();
@@ -97,6 +98,7 @@ fn supervisor_without_failures_is_transparent() {
         checkpoint_every: Duration::from_millis(30),
         max_restarts: 1,
         poll_every: Duration::from_millis(5),
+        ..Default::default()
     };
     let (results, report) =
         run_with_recovery(&rt, app, RunConfig::new(nprocs), &policy).unwrap();
@@ -145,6 +147,7 @@ fn supervisor_gives_up_after_max_restarts() {
         checkpoint_every: Duration::from_secs(3600), // never checkpoints
         max_restarts: 2,
         poll_every: Duration::from_millis(5),
+        ..Default::default()
     };
     let err = match run_with_recovery(&rt, Arc::new(AlwaysFails), RunConfig::new(2), &policy) {
         Err(e) => e,

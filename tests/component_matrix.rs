@@ -40,6 +40,10 @@ fn run_combination(crs: &str, crcp: &str, snapc: &str, filem: &str) {
         .checkpoint(&CheckpointOptions::tool().and_terminate())
         .unwrap_or_else(|e| panic!("checkpoint with {tag} failed: {e}"));
     job.wait().unwrap();
+    // filem=replica commits to peer memory and drains to stable storage
+    // behind the job's back; the fresh-host restart below reads stable
+    // files, so join the drain first (no-op for the other components).
+    rt.drain_writebehind();
 
     // Restart on a *different* cluster shape (3 nodes instead of 2): the
     // snapshot reference alone must be enough.
@@ -60,11 +64,17 @@ fn run_combination(crs: &str, crcp: &str, snapc: &str, filem: &str) {
 
 // The full matrix, one test per combination so failures localize.
 // CRS: blcr_sim | self; CRCP: coord | logger; SNAPC: full | direct;
-// FILEM: rsh_sim | oob_stream (FILEM only matters under snapc=full).
+// FILEM: rsh_sim | oob_stream | replica (FILEM only matters under
+// snapc=full).
 
 #[test]
 fn blcr_coord_full_rsh() {
     run_combination("blcr_sim", "coord", "full", "rsh_sim");
+}
+
+#[test]
+fn blcr_coord_full_replica() {
+    run_combination("blcr_sim", "coord", "full", "replica");
 }
 
 #[test]
@@ -95,6 +105,11 @@ fn self_coord_full_rsh() {
 #[test]
 fn self_coord_full_oobstream() {
     run_combination("self", "coord", "full", "oob_stream");
+}
+
+#[test]
+fn self_logger_full_replica() {
+    run_combination("self", "logger", "full", "replica");
 }
 
 #[test]
