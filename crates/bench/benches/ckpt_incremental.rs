@@ -1,0 +1,207 @@
+//! Incremental vs full-image checkpointing: bytes moved and simulated
+//! checkpoint time.
+//!
+//! The chunk-level incremental pipeline (`crs_incr_enabled`) hashes each
+//! capture section against the previous interval's chunk manifest and
+//! ships only the dirty chunks through FILEM/replica. This bench runs the
+//! same two-interval schedule twice — incremental on and off — dirtying
+//! 10% of every rank's section bytes between the intervals, and asserts
+//! the paper-motivating deltas deterministically:
+//!
+//! * the incremental interval moves **< 25%** of the full-image bytes,
+//! * its simulated checkpoint time is **strictly below** the full-image
+//!   time at the same state size.
+//!
+//! `CKPT_INCREMENTAL_SMOKE=1` (used by `scripts/check.sh`) skips the
+//! criterion sampling after the assertions. When `BENCH_CKPT_JSON` names
+//! a path, the full-vs-incremental comparison is written there as JSON.
+//!
+//! `RANK_STATE_BYTES` is 1 MiB so chunking (4 KiB default) has real work;
+//! the dirty region is contiguous, which is the stencil-halo access
+//! pattern the chunk digest is designed to exploit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cr_core::inc::LayerInc;
+use cr_core::request::{CheckpointOptions, CheckpointOutcome};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca::McaParams;
+use netsim::{LinkSpec, Topology};
+use opal::crs::{crs_framework, SelfCallbacks};
+use orte::job::{launch, JobSpec, LaunchCtx};
+use orte::Runtime;
+use std::sync::Mutex;
+
+const NODES: u32 = 4;
+const NPROCS: u32 = 4;
+const RANK_STATE_BYTES: usize = 1 << 20; // 1 MiB per rank
+const DIRTY_FRACTION_PCT: usize = 10;
+
+type SharedState = Arc<Vec<Mutex<Vec<u8>>>>;
+
+/// Deterministic per-rank state: rank-seeded byte ramp.
+fn fresh_state() -> SharedState {
+    Arc::new(
+        (0..NPROCS)
+            .map(|r| {
+                Mutex::new(
+                    (0..RANK_STATE_BYTES)
+                        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(r as u8))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Overwrite a contiguous `DIRTY_FRACTION_PCT`% of every rank's state with
+/// generation-tagged bytes, starting at a generation-dependent offset so
+/// consecutive intervals dirty different chunks.
+fn dirty_state(state: &SharedState, generation: u8) {
+    let span = RANK_STATE_BYTES * DIRTY_FRACTION_PCT / 100;
+    let start = (generation as usize * span) % (RANK_STATE_BYTES - span);
+    for cell in state.iter() {
+        let mut buf = cell.lock().expect("state lock");
+        for b in &mut buf[start..start + span] {
+            *b = b.wrapping_add(generation).wrapping_mul(167).wrapping_add(1);
+        }
+    }
+}
+
+/// Spinning checkpointable job whose `app` capture section serves the
+/// shared per-rank buffers (same shape as the SNAPC test harness, with
+/// bulk state instead of a label string).
+fn launch_job(rt: &Runtime, state: &SharedState, incr_enabled: bool) -> orte::JobHandle {
+    let params = Arc::new(McaParams::new());
+    params.set("filem", "replica");
+    params.set("filem_replica_factor", "1");
+    params.set("crs_incr_enabled", if incr_enabled { "true" } else { "false" });
+    let proc_state = Arc::clone(state);
+    let proc_main: orte::job::ProcMain = Arc::new(move |ctx: LaunchCtx| {
+        let fw = crs_framework(SelfCallbacks::new());
+        ctx.container
+            .set_crs(Arc::from(fw.select(&ctx.params).unwrap()));
+        let rank = ctx.name.rank.index();
+        let st = Arc::clone(&proc_state);
+        ctx.container
+            .register_capture(
+                "app",
+                Arc::new(move || Ok(st[rank].lock().expect("state lock").clone())),
+            );
+        ctx.container
+            .install_opal_inc(LayerInc::new("opal", ctx.runtime.tracer().clone()));
+        ctx.container.enable_checkpointing();
+        while !ctx.terminate.load(std::sync::atomic::Ordering::SeqCst) {
+            ctx.container.gate().checkpoint_point();
+            std::thread::yield_now();
+        }
+        ctx.container.gate().retire();
+    });
+    let handle = launch(rt, JobSpec::new(NPROCS, params, proc_main)).expect("launch");
+    for r in 0..NPROCS {
+        while handle.container(cr_core::Rank(r)).crs().is_none() {
+            std::thread::yield_now();
+        }
+    }
+    handle
+}
+
+/// Run the two-interval schedule (full baseline, then a 10%-dirty
+/// interval) and return both outcomes.
+fn two_intervals(base: &std::path::Path, incr_enabled: bool) -> (CheckpointOutcome, CheckpointOutcome) {
+    let rt = Runtime::new(Topology::uniform(NODES, LinkSpec::gigabit_ethernet()), base)
+        .expect("runtime");
+    let state = fresh_state();
+    let handle = launch_job(&rt, &state, incr_enabled);
+    let first = handle.checkpoint(&CheckpointOptions::tool()).expect("interval 0");
+    dirty_state(&state, 1);
+    let second = handle.checkpoint(&CheckpointOptions::tool()).expect("interval 1");
+    handle.request_terminate();
+    handle.join().expect("join");
+    rt.drain_writebehind();
+    rt.shutdown();
+    (first, second)
+}
+
+fn write_json(path: &str, full: &CheckpointOutcome, incr: &CheckpointOutcome) {
+    let json = format!(
+        "{{\n  \"state_bytes_per_rank\": {},\n  \"ranks\": {},\n  \"dirty_fraction_pct\": {},\n  \
+         \"full\": {{ \"bytes_moved\": {}, \"sim_ns\": {} }},\n  \
+         \"incremental\": {{ \"bytes_moved\": {}, \"sim_ns\": {} }},\n  \
+         \"bytes_ratio\": {:.4},\n  \"sim_ratio\": {:.4}\n}}\n",
+        RANK_STATE_BYTES,
+        NPROCS,
+        DIRTY_FRACTION_PCT,
+        full.bytes_moved,
+        full.sim_ns,
+        incr.bytes_moved,
+        incr.sim_ns,
+        incr.bytes_moved as f64 / full.bytes_moved as f64,
+        incr.sim_ns as f64 / full.sim_ns as f64,
+    );
+    std::fs::write(path, json).expect("write BENCH_ckpt.json");
+    println!("ckpt_incremental: wrote {path}");
+}
+
+fn ckpt_incremental(c: &mut Criterion) {
+    let base = std::env::temp_dir().join(format!("bench_ckpt_incremental_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let (_, full_second) = two_intervals(&base.join("full"), false);
+    let (incr_first, incr_second) = two_intervals(&base.join("incr"), true);
+
+    // Interval 0 is a full image in both configurations; interval 1 is
+    // where the pipelines diverge. Both runs captured identical state.
+    println!(
+        "ckpt_incremental: full interval moved {} bytes (sim {} ns), \
+         incremental interval moved {} bytes (sim {} ns)",
+        full_second.bytes_moved, full_second.sim_ns,
+        incr_second.bytes_moved, incr_second.sim_ns
+    );
+    assert!(
+        incr_second.bytes_moved * 4 < full_second.bytes_moved,
+        "a 10%-dirty incremental interval must move < 25% of the full-image bytes \
+         (incremental={}, full={})",
+        incr_second.bytes_moved,
+        full_second.bytes_moved
+    );
+    assert!(
+        incr_second.sim_ns < full_second.sim_ns,
+        "simulated incremental checkpoint time must be strictly below the \
+         full-image time (incremental={} ns, full={} ns)",
+        incr_second.sim_ns,
+        full_second.sim_ns
+    );
+    // The incremental run's own interval 0 is a full image: its cost must
+    // sit in the full-image regime, not the delta regime.
+    assert!(
+        incr_first.bytes_moved * 2 > full_second.bytes_moved,
+        "the incremental run's base interval must still be a full image \
+         (base={}, full={})",
+        incr_first.bytes_moved,
+        full_second.bytes_moved
+    );
+
+    if let Ok(path) = std::env::var("BENCH_CKPT_JSON") {
+        write_json(&path, &full_second, &incr_second);
+    }
+
+    if std::env::var("CKPT_INCREMENTAL_SMOKE").is_ok() {
+        println!("ckpt_incremental smoke: assertions passed (criterion sampling skipped)");
+        return;
+    }
+
+    let mut group = c.benchmark_group("ckpt_incremental");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("full_interval", |b| {
+        b.iter(|| two_intervals(&base.join("bench_full"), false))
+    });
+    group.bench_function("incremental_interval", |b| {
+        b.iter(|| two_intervals(&base.join("bench_incr"), true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ckpt_incremental);
+criterion_main!(benches);

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod chunk;
 pub mod crc32;
 pub mod error;
 pub mod frame;
@@ -53,6 +54,7 @@ pub mod meta;
 pub mod varint;
 
 pub use binary::{from_bytes, to_bytes};
+pub use chunk::{changed_chunks, chunk_digest, ChunkManifest, ChunkRecord, SectionManifest};
 pub use error::{Error, Result};
 pub use frame::{read_frame, write_frame};
 pub use meta::MetaDoc;

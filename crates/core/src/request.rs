@@ -77,6 +77,12 @@ pub struct CheckpointOutcome {
     pub interval: u64,
     /// Number of local snapshots aggregated.
     pub ranks: u32,
+    /// Context-file bytes the gather phase actually moved off the compute
+    /// nodes. With incremental checkpointing enabled this is the delta
+    /// payload, not the full image size — the paper's motivating metric.
+    pub bytes_moved: u64,
+    /// Simulated wall time the gather phase charged (nanoseconds).
+    pub sim_ns: u64,
 }
 
 impl fmt::Display for CheckpointOutcome {
@@ -112,6 +118,8 @@ mod tests {
             global_snapshot: PathBuf::from("/stable/ompi_global_snapshot_1.ckpt"),
             interval: 2,
             ranks: 8,
+            bytes_moved: 4096,
+            sim_ns: 0,
         };
         let s = out.to_string();
         assert!(s.contains("interval 2"));

@@ -370,10 +370,104 @@ impl GlobalSnapshot {
             .unwrap_or_default()
     }
 
+    /// Record each rank's incremental-chain links for `interval`: what
+    /// kind of context it wrote (`full`/`delta`) and, for deltas, the
+    /// interval of the chain's full base and of the immediate predecessor.
+    ///
+    /// Ranks that wrote full images are not recorded — an absent entry
+    /// means full, which keeps snapshots taken with incremental mode off
+    /// byte-identical to the pre-incremental format.
+    pub fn record_ckpt_chain(
+        &mut self,
+        interval: u64,
+        entries: &[(Rank, &str, u64, u64)],
+    ) -> Result<(), CrError> {
+        let section = format!("incr_{interval}");
+        let mut dirty = false;
+        for (rank, kind, base, prev) in entries {
+            if *kind == "full" {
+                continue;
+            }
+            self.meta
+                .set(&section, &format!("rank_{}_kind", rank.0), kind.to_string());
+            self.meta
+                .set(&section, &format!("rank_{}_base", rank.0), base.to_string());
+            self.meta
+                .set(&section, &format!("rank_{}_prev", rank.0), prev.to_string());
+            dirty = true;
+        }
+        if dirty {
+            self.save_meta()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Context kind rank `rank` wrote at `interval`: `"delta"` when the
+    /// chain metadata says so, `"full"` otherwise (including snapshots
+    /// that predate incremental checkpointing).
+    pub fn ckpt_kind(&self, interval: u64, rank: Rank) -> &str {
+        self.meta
+            .get(&format!("incr_{interval}"), &format!("rank_{}_kind", rank.0))
+            .unwrap_or("full")
+    }
+
+    /// Intervals needed to restore `rank` at `interval`, oldest (the full
+    /// base) first and `interval` itself last. A rank that wrote a full
+    /// image has the single-element chain `[interval]`. Errors on a
+    /// corrupt chain (missing or non-decreasing predecessor links).
+    pub fn ckpt_chain(&self, interval: u64, rank: Rank) -> Result<Vec<u64>, CrError> {
+        let mut chain = vec![interval];
+        let mut cur = interval;
+        while self.ckpt_kind(cur, rank) == "delta" {
+            let prev = self
+                .meta
+                .get(&format!("incr_{cur}"), &format!("rank_{}_prev", rank.0))
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| CrError::BadSnapshot {
+                    detail: format!(
+                        "interval {cur} rank {rank} is a delta with no predecessor link"
+                    ),
+                })?;
+            if prev >= cur {
+                return Err(CrError::BadSnapshot {
+                    detail: format!(
+                        "corrupt delta chain at rank {rank}: interval {cur} links to \
+                         {prev}, which is not older"
+                    ),
+                });
+            }
+            chain.push(prev);
+            cur = prev;
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
     /// Retire a committed interval: delete its on-disk directory and drop
     /// its metadata (interval listing, per-rank references, replica
-    /// locations). Used to expire superseded checkpoints.
+    /// locations, chain links). Used to expire superseded checkpoints.
+    ///
+    /// Refused when a newer committed interval's delta chain still passes
+    /// through `interval` — retiring the base (or any mid-chain link)
+    /// would leave those deltas unrestorable. Retire the dependents first,
+    /// newest-to-oldest, or wait for the next full interval.
     pub fn retire_interval(&mut self, interval: u64) -> Result<(), CrError> {
+        for other in self.intervals() {
+            if other <= interval {
+                continue; // chains only reference older intervals
+            }
+            for r in 0..self.nprocs() {
+                if self.ckpt_chain(other, Rank(r))?.contains(&interval) {
+                    return Err(CrError::BadSnapshot {
+                        detail: format!(
+                            "cannot retire interval {interval}: rank {r}'s delta chain \
+                             for interval {other} still depends on it"
+                        ),
+                    });
+                }
+            }
+        }
         let dir = self.interval_dir(interval);
         if dir.exists() {
             fs::remove_dir_all(&dir).map_err(|e| CrError::io(dir.display().to_string(), &e))?;
@@ -382,6 +476,7 @@ impl GlobalSnapshot {
             .remove_value("global", "interval", &interval.to_string());
         self.meta.remove_section(&format!("interval_{interval}"));
         self.meta.remove_section(&format!("replica_{interval}"));
+        self.meta.remove_section(&format!("incr_{interval}"));
         self.save_meta()
     }
 
@@ -624,6 +719,82 @@ mod tests {
         // Interval 1 untouched.
         assert_eq!(global.local_snapshots(1).unwrap().len(), 2);
         assert_eq!(global.replica_holders(1, Rank(0)), vec![0, 1]);
+    }
+
+    /// Commit `intervals` empty committed intervals on a fresh global.
+    fn committed_global(tag: &str, nprocs: u32, intervals: u64) -> GlobalSnapshot {
+        let base = tmpdir(tag);
+        let mut global = GlobalSnapshot::create(&base, JobId(11), nprocs).unwrap();
+        for _ in 0..intervals {
+            let (interval, dir) = global.begin_interval().unwrap();
+            for r in 0..nprocs {
+                LocalSnapshot::create(&dir, Rank(r), "self", interval, "node00").unwrap();
+            }
+            let info: Vec<(Rank, String)> =
+                (0..nprocs).map(|r| (Rank(r), "node00".into())).collect();
+            global.commit_interval(interval, &info).unwrap();
+        }
+        global
+    }
+
+    #[test]
+    fn ckpt_chain_defaults_to_full_and_walks_deltas() {
+        let mut global = committed_global("chain", 2, 4);
+        // Rank 0: full at 0, deltas at 1..=3. Rank 1: all full (no entry).
+        global
+            .record_ckpt_chain(1, &[(Rank(0), "delta", 0, 0), (Rank(1), "full", 1, 1)])
+            .unwrap();
+        global.record_ckpt_chain(2, &[(Rank(0), "delta", 0, 1)]).unwrap();
+        global.record_ckpt_chain(3, &[(Rank(0), "delta", 0, 2)]).unwrap();
+
+        let reopened = GlobalSnapshot::open(global.dir()).unwrap();
+        assert_eq!(reopened.ckpt_kind(3, Rank(0)), "delta");
+        assert_eq!(reopened.ckpt_kind(3, Rank(1)), "full");
+        assert_eq!(reopened.ckpt_chain(3, Rank(0)).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(reopened.ckpt_chain(2, Rank(0)).unwrap(), vec![0, 1, 2]);
+        assert_eq!(reopened.ckpt_chain(3, Rank(1)).unwrap(), vec![3]);
+        assert_eq!(reopened.ckpt_chain(0, Rank(0)).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn retire_refuses_base_of_live_delta_chain() {
+        let mut global = committed_global("retirechain", 1, 3);
+        global.record_ckpt_chain(1, &[(Rank(0), "delta", 0, 0)]).unwrap();
+        global.record_ckpt_chain(2, &[(Rank(0), "delta", 0, 1)]).unwrap();
+
+        // Both the base and the mid-chain link are pinned.
+        let err = global.retire_interval(0).unwrap_err();
+        assert!(err.to_string().contains("delta chain"), "got: {err}");
+        let err = global.retire_interval(1).unwrap_err();
+        assert!(err.to_string().contains("depends on it"), "got: {err}");
+        assert_eq!(global.intervals(), vec![0, 1, 2]);
+
+        // Newest-first retirement unwinds cleanly and drops chain metadata.
+        global.retire_interval(2).unwrap();
+        global.retire_interval(1).unwrap();
+        global.retire_interval(0).unwrap();
+        assert!(global.intervals().is_empty());
+        assert_eq!(global.ckpt_kind(2, Rank(0)), "full");
+    }
+
+    #[test]
+    fn corrupt_chain_links_error_out() {
+        let mut global = committed_global("corruptchain", 1, 2);
+        // Delta pointing forward (not older) is corrupt.
+        global.record_ckpt_chain(1, &[(Rank(0), "delta", 1, 1)]).unwrap();
+        let err = global.ckpt_chain(1, Rank(0)).unwrap_err();
+        assert!(err.to_string().contains("not older"), "got: {err}");
+    }
+
+    #[test]
+    fn all_full_chain_recording_is_a_metadata_noop() {
+        let mut global = committed_global("noopchain", 2, 1);
+        let before = fs::read_to_string(global.dir().join(GLOBAL_META_FILE)).unwrap();
+        global
+            .record_ckpt_chain(0, &[(Rank(0), "full", 0, 0), (Rank(1), "full", 0, 0)])
+            .unwrap();
+        let after = fs::read_to_string(global.dir().join(GLOBAL_META_FILE)).unwrap();
+        assert_eq!(before, after);
     }
 
     #[test]

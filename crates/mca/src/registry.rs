@@ -84,6 +84,21 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         default: Some("0"),
         help: "fault injection: fail every Nth local checkpoint (0 = never)",
     },
+    ParamDef {
+        key: "crs_incr_enabled",
+        default: Some("false"),
+        help: "incremental checkpointing: ship only dirty chunks per interval",
+    },
+    ParamDef {
+        key: "crs_incr_chunk_kb",
+        default: Some("4"),
+        help: "incremental checkpointing: chunk size in KiB for change detection",
+    },
+    ParamDef {
+        key: "crs_incr_full_every",
+        default: Some("16"),
+        help: "incremental checkpointing: force a full image every N intervals (caps delta-chain length)",
+    },
     // PLM component tunables.
     ParamDef {
         key: "plm_map_by",

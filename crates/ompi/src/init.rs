@@ -518,63 +518,80 @@ pub fn restart_from_with_source<A: MpiApp>(
                 detail: format!("placement has no node for rank {rank}"),
             })
     };
-    let dest_of = |rank: cr_core::Rank, node: netsim::NodeId| {
+    let dest_of = |rank: cr_core::Rank, node: netsim::NodeId, chain_interval: u64| {
         runtime
             .node_dir(node)
             .join("restart")
             .join(format!("{job}"))
-            .join(format!("interval_{interval}"))
+            .join(format!("interval_{chain_interval}"))
             .join(cr_core::snapshot::local_dir_name(rank))
     };
 
-    // Phase 1 — peer memory: pull each rank's image from the first
-    // surviving replica holder recorded in the snapshot metadata.
-    // Snapshots gathered without the replica component have no holder
-    // records, so every rank simply misses and phase 2 does all the work.
-    let mut dirs: std::collections::HashMap<u32, std::path::PathBuf> =
-        std::collections::HashMap::with_capacity(nprocs as usize);
+    // With incremental checkpointing an interval's context may be a delta
+    // whose restore needs its full-image base plus every delta in between:
+    // the chain walk reads the links the coordinator recorded at commit.
+    // Fully-full intervals yield single-element chains and behave exactly
+    // as before.
+    let chains: Vec<Vec<u64>> = (0..nprocs)
+        .map(|r| global.ckpt_chain(interval, cr_core::Rank(r)))
+        .collect::<Result<_, _>>()?;
+    let chain_images: usize = chains.iter().map(|c| c.len()).sum();
+
+    // Phase 1 — peer memory: pull every needed (rank, chain interval)
+    // image from the first surviving replica holder recorded in the
+    // snapshot metadata. Snapshots gathered without the replica component
+    // have no holder records, so every image simply misses and phase 2
+    // does all the work.
+    let mut dirs: std::collections::HashMap<(u32, u64), std::path::PathBuf> =
+        std::collections::HashMap::with_capacity(chain_images);
     let mut replica_hits = 0u32;
     if source != RestartSource::Stable {
         let mut replica_cost = netsim::SimTime::ZERO;
         let mut replica_bytes = 0u64;
-        for r in 0..nprocs {
-            let rank = cr_core::Rank(r);
-            let holders = global.replica_holders(interval, rank);
-            if holders.is_empty() {
-                continue;
-            }
-            if let Some((image, cost)) =
-                orte::replica::fetch_image(runtime, job, interval, rank, &holders)
-            {
-                let dest = dest_of(rank, node_for(rank)?);
-                replica_bytes += image.total_bytes();
-                replica_cost += cost;
-                image.write_to(&dest)?;
-                dirs.insert(r, dest);
-                replica_hits += 1;
+        for (r, chain) in chains.iter().enumerate() {
+            let rank = cr_core::Rank(r as u32);
+            for &ci in chain {
+                let holders = global.replica_holders(ci, rank);
+                if holders.is_empty() {
+                    continue;
+                }
+                if let Some((image, cost)) =
+                    orte::replica::fetch_image(runtime, job, ci, rank, &holders)
+                {
+                    let dest = dest_of(rank, node_for(rank)?, ci);
+                    replica_bytes += image.total_bytes();
+                    replica_cost += cost;
+                    image.write_to(&dest)?;
+                    dirs.insert((rank.0, ci), dest);
+                    replica_hits += 1;
+                }
             }
         }
         if replica_hits > 0 {
             runtime.tracer().record(
                 "filem.replica.preload",
                 &format!(
-                    "{replica_hits} ranks, {replica_bytes} bytes, sim {replica_cost}"
+                    "{replica_hits} images, {replica_bytes} bytes, sim {replica_cost}"
                 ),
             );
         }
     }
 
     // Phase 2 — stable storage: whatever peer memory could not serve.
-    let missing: Vec<cr_core::Rank> = (0..nprocs)
-        .filter(|r| !dirs.contains_key(r))
-        .map(cr_core::Rank)
-        .collect();
+    let mut missing: Vec<(cr_core::Rank, u64)> = Vec::new();
+    for (r, chain) in chains.iter().enumerate() {
+        for &ci in chain {
+            if !dirs.contains_key(&(r as u32, ci)) {
+                missing.push((cr_core::Rank(r as u32), ci));
+            }
+        }
+    }
     if !missing.is_empty() {
         if source == RestartSource::Replica {
             return Err(CrError::BadSnapshot {
                 detail: format!(
-                    "replica-only restart impossible: {} of {nprocs} ranks have no \
-                     surviving replica holder",
+                    "replica-only restart impossible: {} of {chain_images} needed \
+                     images have no surviving replica holder",
                     missing.len()
                 ),
             });
@@ -582,17 +599,17 @@ pub fn restart_from_with_source<A: MpiApp>(
         // Never race an in-flight write-behind drain to the files.
         runtime.drain_writebehind();
         let mut preload_batch = Vec::with_capacity(missing.len());
-        for rank in &missing {
-            let local = global.local_snapshot(interval, *rank)?;
+        for (rank, ci) in &missing {
+            let local = global.local_snapshot(*ci, *rank)?;
             let node = node_for(*rank)?;
-            let dest = dest_of(*rank, node);
+            let dest = dest_of(*rank, node, *ci);
             preload_batch.push(orte::filem::CopyRequest {
                 src: local.dir().to_path_buf(),
                 src_node: netsim::NodeId(0), // stable storage is served by the head node
                 dest: dest.clone(),
                 dest_node: node,
             });
-            dirs.insert(rank.0, dest);
+            dirs.insert((rank.0, *ci), dest);
         }
         let report = filem.copy_all(runtime.topology(), &preload_batch)?;
         runtime.tracer().record(
@@ -604,26 +621,33 @@ pub fn restart_from_with_source<A: MpiApp>(
         );
     }
 
-    // Rebuild every rank's process image — from its node-local copy —
-    // with the CRS component named in its local snapshot metadata (which
-    // may differ from the restart-time selection parameters).
-    let preloaded_dirs: Vec<std::path::PathBuf> = (0..nprocs)
-        .map(|r| {
-            dirs.remove(&r).ok_or_else(|| CrError::BadSnapshot {
-                detail: format!("rank {r} has no restart image"),
-            })
-        })
-        .collect::<Result<_, _>>()?;
+    // Rebuild every rank's process image from its node-local copies.
+    // Single-element chains restore through the CRS component named in the
+    // local snapshot metadata (which may differ from the restart-time
+    // selection parameters); delta chains replay base + deltas and verify
+    // the reassembled image against the newest context's chunk manifest.
     let crs_fw = crs_framework(SelfCallbacks::new());
-    let mut images = Vec::with_capacity(preloaded_dirs.len());
-    for dir in &preloaded_dirs {
-        let local = cr_core::LocalSnapshot::open(dir)?;
-        let crs = crs_fw
-            .instantiate(local.crs_component(), &params)
-            .map_err(|e| CrError::Unsupported {
-                detail: e.to_string(),
+    let mut images = Vec::with_capacity(nprocs as usize);
+    let mut preloaded_dirs: Vec<std::path::PathBuf> = Vec::with_capacity(chain_images);
+    for (r, chain) in chains.iter().enumerate() {
+        let mut locals = Vec::with_capacity(chain.len());
+        for ci in chain {
+            let dir = dirs.remove(&(r as u32, *ci)).ok_or_else(|| CrError::BadSnapshot {
+                detail: format!("rank {r} has no restart image for interval {ci}"),
             })?;
-        images.push(crs.restart(&local)?);
+            locals.push(cr_core::LocalSnapshot::open(&dir)?);
+            preloaded_dirs.push(dir);
+        }
+        if let [local] = locals.as_slice() {
+            let crs = crs_fw
+                .instantiate(local.crs_component(), &params)
+                .map_err(|e| CrError::Unsupported {
+                    detail: e.to_string(),
+                })?;
+            images.push(crs.restart(local)?);
+        } else {
+            images.push(opal::incr::reassemble(&locals)?);
+        }
     }
     // The preloaded scratch copies served their purpose (FILEM remove).
     for dir in &preloaded_dirs {
@@ -632,7 +656,7 @@ pub fn restart_from_with_source<A: MpiApp>(
     runtime.tracer().record(
         "ompi.restart",
         &format!(
-            "{} ranks from {} interval {interval} ({replica_hits} from peer memory)",
+            "{} ranks from {} interval {interval} ({replica_hits} images from peer memory)",
             images.len(),
             global_ref.display()
         ),

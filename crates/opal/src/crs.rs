@@ -28,6 +28,7 @@ use cr_core::snapshot::LocalSnapshot;
 use cr_core::{CrError, FtEventState};
 
 use crate::image::ProcessImage;
+use crate::incr::IncrEngine;
 
 /// Callback the application may register through the SELF component.
 pub type SelfCallback = Box<dyn FnMut() -> Result<(), CrError> + Send>;
@@ -103,6 +104,9 @@ pub struct BlcrSim {
     /// Excluded state must be reconstructible by its owner at restart —
     /// the classic use is scratch buffers the application can recompute.
     exclude: Vec<String>,
+    /// Context encoder: full images, or dirty-chunk deltas when
+    /// `crs_incr_enabled` is set (see [`crate::incr`]).
+    incr: IncrEngine,
 }
 
 impl BlcrSim {
@@ -124,6 +128,7 @@ impl BlcrSim {
                 .unwrap_or(0),
             attempts: Mutex::new(0),
             exclude,
+            incr: IncrEngine::from_params(params),
         }
     }
 }
@@ -163,7 +168,7 @@ impl CrsComponent for BlcrSim {
             }
             pruned
         };
-        snapshot.write_context(&image.to_bytes()?)?;
+        self.incr.write_image(&image, snapshot)?;
         snapshot.set_param("sections", &image.names().join(","))?;
         if !self.exclude.is_empty() {
             snapshot.set_param("excluded", &self.exclude.join(","))?;
@@ -172,7 +177,7 @@ impl CrsComponent for BlcrSim {
     }
 
     fn restart(&self, snapshot: &LocalSnapshot) -> Result<ProcessImage, CrError> {
-        ProcessImage::from_bytes(&snapshot.read_context()?)
+        crate::incr::read_full_image(snapshot)
     }
 }
 
@@ -184,12 +189,24 @@ impl CrsComponent for BlcrSim {
 /// capture that otherwise matches `blcr_sim`'s on-disk format.
 pub struct SelfCrs {
     callbacks: Arc<SelfCallbacks>,
+    incr: IncrEngine,
 }
 
 impl SelfCrs {
-    /// Build over a process's callback registry.
+    /// Build over a process's callback registry (incremental mode off).
     pub fn new(callbacks: Arc<SelfCallbacks>) -> Self {
-        SelfCrs { callbacks }
+        SelfCrs {
+            callbacks,
+            incr: IncrEngine::disabled(),
+        }
+    }
+
+    /// Build with the incremental engine configured from MCA parameters.
+    pub fn from_params(callbacks: Arc<SelfCallbacks>, params: &McaParams) -> Self {
+        SelfCrs {
+            callbacks,
+            incr: IncrEngine::from_params(params),
+        }
     }
 }
 
@@ -204,13 +221,13 @@ impl CrsComponent for SelfCrs {
         snapshot: &mut LocalSnapshot,
     ) -> Result<(), CrError> {
         SelfCallbacks::fire(&self.callbacks.on_checkpoint)?;
-        snapshot.write_context(&image.to_bytes()?)?;
+        self.incr.write_image(image, snapshot)?;
         snapshot.set_param("sections", &image.names().join(","))?;
         Ok(())
     }
 
     fn restart(&self, snapshot: &LocalSnapshot) -> Result<ProcessImage, CrError> {
-        ProcessImage::from_bytes(&snapshot.read_context()?)
+        crate::incr::read_full_image(snapshot)
     }
 
     fn post_event(&self, state: FtEventState) -> Result<(), CrError> {
@@ -273,7 +290,7 @@ pub fn crs_framework(callbacks: Arc<SelfCallbacks>) -> Framework<dyn CrsComponen
         "self",
         10,
         "application-level checkpointing callbacks",
-        move |_params| Box::new(SelfCrs::new(Arc::clone(&cbs))),
+        move |params| Box::new(SelfCrs::from_params(Arc::clone(&cbs), params)),
     );
     fw.register("none", -1, "no checkpoint support", |_params| {
         Box::new(NoneCrs)

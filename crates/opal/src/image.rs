@@ -76,6 +76,13 @@ impl ProcessImage {
         self.sections.iter().map(|s| s.name.as_str()).collect()
     }
 
+    /// Iterate `(name, bytes)` pairs in image order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.sections
+            .iter()
+            .map(|s| (s.name.as_str(), s.bytes.as_slice()))
+    }
+
     /// Number of sections.
     pub fn len(&self) -> usize {
         self.sections.len()

@@ -1,0 +1,596 @@
+//! Incremental checkpoint engine: ship only dirty chunks per interval.
+//!
+//! Full checkpoints scale with total state size even when the application
+//! mutates a tiny working set between intervals. This module gives every
+//! CRS component a chunk-level incremental mode: each [`ProcessImage`]
+//! section is cut into fixed-size chunks ([`codec::chunk`]), digested, and
+//! compared against the manifest of the previous interval (cached in the
+//! engine, which lives in the per-rank CRS instance inside the daemon's
+//! process container). Only chunks whose digest changed are written, as a
+//! *delta context* that records its base and predecessor intervals; the
+//! snapshot metadata carries the kind, the chain links, and the full
+//! manifest of the image the delta reconstructs to.
+//!
+//! A full image is forced whenever no usable base exists (first interval,
+//! fresh restart, or a retried interval number) and every
+//! `crs_incr_full_every` intervals, bounding chain length. Restart replays
+//! the chain oldest-first ([`reassemble`]) and verifies the reassembled
+//! bytes against the newest manifest's chunk digests before handing the
+//! image to the component's `restart` — a truncated or corrupted delta
+//! fails loudly instead of resuming a silently wrong process.
+
+use codec::chunk::ChunkManifest;
+use mca::McaParams;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use cr_core::snapshot::LocalSnapshot;
+use cr_core::CrError;
+
+use crate::image::ProcessImage;
+
+/// Snapshot metadata key: `"full"` or `"delta"`.
+pub const PARAM_KIND: &str = "ckpt_kind";
+/// Snapshot metadata key: interval of the chain's full base image.
+pub const PARAM_BASE: &str = "base_interval";
+/// Snapshot metadata key: interval this delta applies on top of.
+pub const PARAM_PREV: &str = "prev_interval";
+/// Snapshot metadata key: rendered [`ChunkManifest`] of the image this
+/// snapshot reconstructs to (only written when incremental mode is on).
+pub const PARAM_MANIFEST: &str = "manifest";
+
+/// What a checkpoint wrote: a complete image or only dirty chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptKind {
+    /// Complete image; restores on its own.
+    Full,
+    /// Dirty chunks only; restores by replaying base + delta chain.
+    Delta,
+}
+
+impl CkptKind {
+    /// Metadata string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CkptKind::Full => "full",
+            CkptKind::Delta => "delta",
+        }
+    }
+}
+
+/// Dirty chunks of one section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaSection {
+    /// Section name.
+    pub name: String,
+    /// Section length this interval (the reassembled buffer is resized to
+    /// this before chunks are applied, handling growth and shrinkage).
+    pub total_len: u64,
+    /// `(chunk id, bytes)` of every chunk that changed since the previous
+    /// interval, id-ascending.
+    pub chunks: Vec<(u32, Vec<u8>)>,
+}
+
+/// The payload of a delta context file.
+///
+/// Sections list *every* current image section (possibly with zero dirty
+/// chunks); a section present at the previous interval but absent here was
+/// dropped from the image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaContext {
+    /// Chunk size the ids refer to.
+    pub chunk_bytes: u32,
+    /// Interval of the chain's full base image.
+    pub base_interval: u64,
+    /// Interval this delta applies on top of.
+    pub prev_interval: u64,
+    /// Per-section dirty chunks, in image order.
+    pub sections: Vec<DeltaSection>,
+}
+
+/// Incremental-checkpoint knobs (see `mca::registry`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrConfig {
+    /// Master switch (`crs_incr_enabled`, default off).
+    pub enabled: bool,
+    /// Chunk size in bytes (`crs_incr_chunk_kb` × 1024).
+    pub chunk_bytes: usize,
+    /// Force a full image every N intervals (`crs_incr_full_every`),
+    /// bounding delta-chain length. Values ≤ 1 disable deltas entirely.
+    pub full_every: u64,
+}
+
+impl IncrConfig {
+    /// Read the knobs from MCA parameters (defaults mirror the registry).
+    pub fn from_params(params: &McaParams) -> Self {
+        IncrConfig {
+            enabled: params.get_bool_or("crs_incr_enabled", false).unwrap_or(false),
+            chunk_bytes: params
+                .get_parsed_or("crs_incr_chunk_kb", 4u64)
+                .unwrap_or(4)
+                .max(1) as usize
+                * 1024,
+            full_every: params
+                .get_parsed_or("crs_incr_full_every", 16u64)
+                .unwrap_or(16),
+        }
+    }
+
+    /// Incremental mode off (the default-constructed engine).
+    pub fn disabled() -> Self {
+        IncrConfig {
+            enabled: false,
+            chunk_bytes: 4 * 1024,
+            full_every: 16,
+        }
+    }
+}
+
+/// Previous interval's manifest, cached per rank inside the CRS instance.
+struct IncrCache {
+    /// Interval of the newest snapshot this rank wrote.
+    interval: u64,
+    /// Interval of the chain's full base.
+    base_interval: u64,
+    /// Deltas written since that base (bounds chain length).
+    deltas_since_full: u64,
+    /// Manifest of the image at `interval`.
+    manifest: ChunkManifest,
+}
+
+/// The per-rank incremental checkpoint writer CRS components delegate
+/// their context encoding to.
+pub struct IncrEngine {
+    config: IncrConfig,
+    cache: Mutex<Option<IncrCache>>,
+}
+
+impl IncrEngine {
+    /// Engine configured from MCA parameters.
+    pub fn from_params(params: &McaParams) -> Self {
+        IncrEngine {
+            config: IncrConfig::from_params(params),
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// Engine with incremental mode off: every checkpoint is a full image,
+    /// byte-identical to the pre-incremental format.
+    pub fn disabled() -> Self {
+        IncrEngine {
+            config: IncrConfig::disabled(),
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> IncrConfig {
+        self.config
+    }
+
+    /// Write `image` into `snapshot` as either a full context or a delta
+    /// against the cached previous interval, and record kind/chain/manifest
+    /// metadata. Returns what was written.
+    ///
+    /// A full image is forced when incremental mode is off, no cache
+    /// exists (first interval of this process incarnation), the chain
+    /// would exceed `full_every`, or the cached interval is not strictly
+    /// older than `snapshot`'s — the latter covers a failed-and-retried
+    /// interval number, where a delta against state the coordinator never
+    /// committed would corrupt the chain.
+    pub fn write_image(
+        &self,
+        image: &ProcessImage,
+        snapshot: &mut LocalSnapshot,
+    ) -> Result<CkptKind, CrError> {
+        let interval = snapshot.interval();
+        let manifest = ChunkManifest::of_sections(image.iter(), self.config.chunk_bytes);
+        let mut cache = self.cache.lock();
+        let base = cache.as_ref().filter(|c| {
+            self.config.enabled
+                && self.config.full_every > 1
+                && c.interval < interval
+                && c.deltas_since_full + 1 < self.config.full_every
+        });
+        let kind = match base {
+            Some(prev) => {
+                let ctx = build_delta(image, &manifest, &prev.manifest, self.config.chunk_bytes)
+                    .with_chain(prev.base_interval, prev.interval);
+                snapshot.write_context(&codec::to_bytes(&ctx)?)?;
+                snapshot.set_param(PARAM_BASE, &ctx.base_interval.to_string())?;
+                snapshot.set_param(PARAM_PREV, &ctx.prev_interval.to_string())?;
+                CkptKind::Delta
+            }
+            None => {
+                snapshot.write_context(&image.to_bytes()?)?;
+                snapshot.set_param(PARAM_BASE, &interval.to_string())?;
+                snapshot.set_param(PARAM_PREV, &interval.to_string())?;
+                CkptKind::Full
+            }
+        };
+        snapshot.set_param(PARAM_KIND, kind.as_str())?;
+        if self.config.enabled {
+            snapshot.set_param(PARAM_MANIFEST, &manifest.render())?;
+        }
+        let (base_interval, deltas_since_full) = match (kind, cache.as_ref()) {
+            (CkptKind::Delta, Some(prev)) => (prev.base_interval, prev.deltas_since_full + 1),
+            _ => (interval, 0),
+        };
+        *cache = Some(IncrCache {
+            interval,
+            base_interval,
+            deltas_since_full,
+            manifest,
+        });
+        Ok(kind)
+    }
+}
+
+/// Compute the delta of `image` against the previous interval's manifest.
+fn build_delta(
+    image: &ProcessImage,
+    manifest: &ChunkManifest,
+    prev: &ChunkManifest,
+    chunk_bytes: usize,
+) -> DeltaContext {
+    let sections = image
+        .iter()
+        .map(|(name, bytes)| {
+            let dirty = match manifest.section(name) {
+                Some(cur) => codec::changed_chunks(prev.section(name), cur),
+                None => Vec::new(), // unreachable: manifest was built from image
+            };
+            DeltaSection {
+                name: name.to_string(),
+                total_len: bytes.len() as u64,
+                chunks: dirty
+                    .into_iter()
+                    .map(|id| {
+                        let start = id as usize * chunk_bytes;
+                        let end = (start + chunk_bytes).min(bytes.len());
+                        (id, bytes.get(start..end).unwrap_or(&[]).to_vec())
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    DeltaContext {
+        chunk_bytes: chunk_bytes as u32,
+        base_interval: 0,
+        prev_interval: 0,
+        sections,
+    }
+}
+
+impl DeltaContext {
+    fn with_chain(mut self, base: u64, prev: u64) -> Self {
+        self.base_interval = base;
+        self.prev_interval = prev;
+        self
+    }
+
+    /// Payload bytes of the dirty chunks (the delta's data volume).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.sections
+            .iter()
+            .flat_map(|s| s.chunks.iter())
+            .map(|(_, b)| b.len() as u64)
+            .sum()
+    }
+}
+
+/// Decode a *full* snapshot's context, refusing delta contexts with a
+/// clear error instead of a deserialization failure.
+pub fn read_full_image(snapshot: &LocalSnapshot) -> Result<ProcessImage, CrError> {
+    if snapshot.param(PARAM_KIND) == Some(CkptKind::Delta.as_str()) {
+        return Err(CrError::BadSnapshot {
+            detail: format!(
+                "rank {} interval {} holds a delta context; restart must replay \
+                 its base + delta chain (restart_from does this automatically)",
+                snapshot.rank(),
+                snapshot.interval()
+            ),
+        });
+    }
+    ProcessImage::from_bytes(&snapshot.read_context()?)
+}
+
+/// Apply one delta on top of `prev`, producing the next interval's image.
+///
+/// The reassembled image takes the delta's section list and order; chunk
+/// offsets past the resized section are a corrupt chain and error out.
+pub fn apply_delta(prev: &ProcessImage, delta: &DeltaContext) -> Result<ProcessImage, CrError> {
+    let chunk_bytes = delta.chunk_bytes.max(1) as usize;
+    let mut next = ProcessImage::new();
+    for section in &delta.sections {
+        let mut buf = prev
+            .section(&section.name)
+            .map(<[u8]>::to_vec)
+            .unwrap_or_default();
+        buf.resize(section.total_len as usize, 0);
+        for (id, bytes) in &section.chunks {
+            let start = *id as usize * chunk_bytes;
+            let end = start + bytes.len();
+            let slot = buf.get_mut(start..end).ok_or_else(|| CrError::BadSnapshot {
+                detail: format!(
+                    "delta chunk {id} of section {:?} spans {start}..{end} but the \
+                     section is only {} bytes — corrupt or truncated delta",
+                    section.name, section.total_len
+                ),
+            })?;
+            slot.copy_from_slice(bytes);
+        }
+        next.insert(section.name.clone(), buf);
+    }
+    Ok(next)
+}
+
+/// Replay a rank's snapshot chain — full base first, then each delta in
+/// interval order — and verify the reassembled image against the newest
+/// snapshot's chunk manifest before returning it.
+pub fn reassemble(chain: &[LocalSnapshot]) -> Result<ProcessImage, CrError> {
+    let (base, deltas) = chain.split_first().ok_or_else(|| CrError::BadSnapshot {
+        detail: "empty snapshot chain".into(),
+    })?;
+    let mut image = read_full_image(base)?;
+    for snapshot in deltas {
+        if snapshot.param(PARAM_KIND) != Some(CkptKind::Delta.as_str()) {
+            return Err(CrError::BadSnapshot {
+                detail: format!(
+                    "interval {} appears mid-chain but is not a delta",
+                    snapshot.interval()
+                ),
+            });
+        }
+        let delta: DeltaContext = codec::from_bytes(&snapshot.read_context()?)?;
+        image = apply_delta(&image, &delta)?;
+    }
+    if let Some(newest) = chain.last() {
+        verify_manifest(newest, &image)?;
+    }
+    Ok(image)
+}
+
+/// Check `image` against the manifest recorded in `snapshot`'s metadata;
+/// snapshots without one (incremental mode off) pass vacuously.
+pub fn verify_manifest(snapshot: &LocalSnapshot, image: &ProcessImage) -> Result<(), CrError> {
+    let Some(rendered) = snapshot.param(PARAM_MANIFEST) else {
+        return Ok(());
+    };
+    let manifest = ChunkManifest::parse(rendered)?;
+    if let Some(detail) = manifest.mismatch(image.iter()) {
+        return Err(CrError::BadSnapshot {
+            detail: format!(
+                "rank {} interval {} failed manifest verification after chain \
+                 replay: {detail}",
+                snapshot.rank(),
+                snapshot.interval()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::Rank;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "opal_incr_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn incr_params(chunk_kb: u64, full_every: u64) -> McaParams {
+        let params = McaParams::new();
+        params.set("crs_incr_enabled", "true");
+        params.set("crs_incr_chunk_kb", &chunk_kb.to_string());
+        params.set("crs_incr_full_every", &full_every.to_string());
+        params
+    }
+
+    fn image_of(sections: &[(&str, Vec<u8>)]) -> ProcessImage {
+        let mut img = ProcessImage::new();
+        for (name, bytes) in sections {
+            img.insert(*name, bytes.clone());
+        }
+        img
+    }
+
+    fn snap(dir: &std::path::Path, interval: u64) -> LocalSnapshot {
+        LocalSnapshot::create(dir, Rank(0), "blcr_sim", interval, "node00").unwrap()
+    }
+
+    #[test]
+    fn config_defaults_match_registry() {
+        let cfg = IncrConfig::from_params(&McaParams::new());
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.chunk_bytes, 4096);
+        assert_eq!(cfg.full_every, 16);
+    }
+
+    #[test]
+    fn first_interval_is_full_then_deltas_shrink() {
+        let dir = tmpdir("shrink");
+        let engine = IncrEngine::from_params(&incr_params(1, 16));
+        let mut state = vec![0u8; 64 * 1024];
+        let img = image_of(&[("app", state.clone())]);
+        let mut s0 = snap(&dir.join("i0"), 0);
+        assert_eq!(engine.write_image(&img, &mut s0).unwrap(), CkptKind::Full);
+        assert_eq!(s0.param(PARAM_KIND), Some("full"));
+
+        // Dirty one chunk: the delta must be tiny relative to the image.
+        state[10_000] ^= 0xFF;
+        let img = image_of(&[("app", state.clone())]);
+        let mut s1 = snap(&dir.join("i1"), 1);
+        assert_eq!(engine.write_image(&img, &mut s1).unwrap(), CkptKind::Delta);
+        assert_eq!(s1.param(PARAM_KIND), Some("delta"));
+        assert_eq!(s1.param(PARAM_BASE), Some("0"));
+        assert_eq!(s1.param(PARAM_PREV), Some("0"));
+        let delta: DeltaContext = codec::from_bytes(&s1.read_context().unwrap()).unwrap();
+        assert_eq!(delta.dirty_bytes(), 1024);
+        assert!(s1.size_bytes().unwrap() < s0.size_bytes().unwrap() / 4);
+
+        // Replaying the chain reproduces the current image exactly.
+        let rebuilt = reassemble(&[
+            LocalSnapshot::open(s0.dir()).unwrap(),
+            LocalSnapshot::open(s1.dir()).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(rebuilt, img);
+    }
+
+    #[test]
+    fn full_every_bounds_the_chain() {
+        let dir = tmpdir("fullevery");
+        let engine = IncrEngine::from_params(&incr_params(1, 3));
+        let img = image_of(&[("app", vec![9u8; 4096])]);
+        let mut kinds = Vec::new();
+        for interval in 0..7 {
+            let mut s = snap(&dir.join(format!("i{interval}")), interval);
+            kinds.push(engine.write_image(&img, &mut s).unwrap());
+        }
+        // full, delta, delta, full, delta, delta, full
+        assert_eq!(
+            kinds,
+            vec![
+                CkptKind::Full,
+                CkptKind::Delta,
+                CkptKind::Delta,
+                CkptKind::Full,
+                CkptKind::Delta,
+                CkptKind::Delta,
+                CkptKind::Full,
+            ]
+        );
+    }
+
+    #[test]
+    fn retried_interval_number_forces_full() {
+        // If interval N failed at another rank and is retried as N again,
+        // a delta against the aborted attempt would corrupt the chain.
+        let dir = tmpdir("retry");
+        let engine = IncrEngine::from_params(&incr_params(1, 16));
+        let img = image_of(&[("app", vec![1u8; 2048])]);
+        let mut s = snap(&dir.join("a"), 5);
+        assert_eq!(engine.write_image(&img, &mut s).unwrap(), CkptKind::Full);
+        let mut s = snap(&dir.join("b"), 5);
+        assert_eq!(engine.write_image(&img, &mut s).unwrap(), CkptKind::Full);
+        let mut s = snap(&dir.join("c"), 6);
+        assert_eq!(engine.write_image(&img, &mut s).unwrap(), CkptKind::Delta);
+    }
+
+    #[test]
+    fn disabled_engine_always_writes_plain_full_images() {
+        let dir = tmpdir("disabled");
+        let engine = IncrEngine::disabled();
+        let img = image_of(&[("app", vec![3u8; 1024])]);
+        for interval in 0..3 {
+            let mut s = snap(&dir.join(format!("i{interval}")), interval);
+            assert_eq!(engine.write_image(&img, &mut s).unwrap(), CkptKind::Full);
+            assert!(s.param(PARAM_MANIFEST).is_none());
+            // The context is a plain image, readable by the legacy path.
+            assert_eq!(
+                ProcessImage::from_bytes(&s.read_context().unwrap()).unwrap(),
+                img
+            );
+        }
+    }
+
+    #[test]
+    fn sections_can_appear_grow_shrink_and_vanish() {
+        let dir = tmpdir("reshape");
+        let engine = IncrEngine::from_params(&incr_params(1, 16));
+        let mut s0 = snap(&dir.join("i0"), 0);
+        engine
+            .write_image(&image_of(&[("app", vec![1u8; 3000]), ("pml", vec![2u8; 500])]), &mut s0)
+            .unwrap();
+        // pml vanishes, app shrinks, coll appears.
+        let img1 = image_of(&[("app", vec![1u8; 1200]), ("coll", vec![4u8; 64])]);
+        let mut s1 = snap(&dir.join("i1"), 1);
+        assert_eq!(engine.write_image(&img1, &mut s1).unwrap(), CkptKind::Delta);
+        // app grows again.
+        let img2 = image_of(&[("app", vec![5u8; 4096]), ("coll", vec![4u8; 64])]);
+        let mut s2 = snap(&dir.join("i2"), 2);
+        assert_eq!(engine.write_image(&img2, &mut s2).unwrap(), CkptKind::Delta);
+
+        let chain: Vec<LocalSnapshot> = [&s0, &s1, &s2]
+            .iter()
+            .map(|s| LocalSnapshot::open(s.dir()).unwrap())
+            .collect();
+        assert_eq!(reassemble(&chain).unwrap(), img2);
+        assert_eq!(reassemble(&chain[..2]).unwrap(), img1);
+    }
+
+    #[test]
+    fn read_full_image_refuses_delta_contexts() {
+        let dir = tmpdir("refuse");
+        let engine = IncrEngine::from_params(&incr_params(1, 16));
+        let img = image_of(&[("app", vec![1u8; 2048])]);
+        let mut s0 = snap(&dir.join("i0"), 0);
+        engine.write_image(&img, &mut s0).unwrap();
+        let mut s1 = snap(&dir.join("i1"), 1);
+        engine.write_image(&img, &mut s1).unwrap();
+        let err = read_full_image(&s1).unwrap_err();
+        assert!(err.to_string().contains("delta"), "got: {err}");
+        assert!(read_full_image(&s0).is_ok());
+    }
+
+    #[test]
+    fn truncated_delta_chunk_fails_reassembly_loudly() {
+        let dir = tmpdir("truncate");
+        let engine = IncrEngine::from_params(&incr_params(1, 16));
+        let mut state = vec![0u8; 8192];
+        let mut s0 = snap(&dir.join("i0"), 0);
+        engine
+            .write_image(&image_of(&[("app", state.clone())]), &mut s0)
+            .unwrap();
+        state[5000] = 7;
+        let mut s1 = snap(&dir.join("i1"), 1);
+        engine
+            .write_image(&image_of(&[("app", state.clone())]), &mut s1)
+            .unwrap();
+
+        // Corrupt the delta: drop half of its dirty chunk's bytes and
+        // rewrite the context (valid frame, wrong content).
+        let mut delta: DeltaContext = codec::from_bytes(&s1.read_context().unwrap()).unwrap();
+        let kept = delta.sections[0].chunks[0].1[..512].to_vec();
+        delta.sections[0].chunks[0].1 = kept;
+        s1.write_context(&codec::to_bytes(&delta).unwrap()).unwrap();
+
+        let chain = vec![
+            LocalSnapshot::open(s0.dir()).unwrap(),
+            LocalSnapshot::open(s1.dir()).unwrap(),
+        ];
+        let err = reassemble(&chain).unwrap_err();
+        assert!(
+            err.to_string().contains("manifest verification"),
+            "truncation must be caught by the digest check, got: {err}"
+        );
+    }
+
+    #[test]
+    fn mid_chain_full_snapshot_is_rejected() {
+        let dir = tmpdir("midchain");
+        let engine = IncrEngine::from_params(&incr_params(1, 16));
+        let img = image_of(&[("app", vec![1u8; 512])]);
+        let mut s0 = snap(&dir.join("i0"), 0);
+        engine.write_image(&img, &mut s0).unwrap();
+        let other = IncrEngine::from_params(&incr_params(1, 16));
+        let mut s1 = snap(&dir.join("i1"), 1);
+        other.write_image(&img, &mut s1).unwrap(); // fresh engine → full
+        let err = reassemble(&[
+            LocalSnapshot::open(s0.dir()).unwrap(),
+            LocalSnapshot::open(s1.dir()).unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("not a delta"), "got: {err}");
+    }
+}

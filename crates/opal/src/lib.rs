@@ -18,6 +18,10 @@
 //!   (system-level style, no application cooperation), `self` (application
 //!   callbacks, as in LAM/MPI and Open MPI), and `none` (declares the
 //!   process non-checkpointable).
+//! * [`incr`] — the chunk-level incremental checkpoint engine the
+//!   checkpointing components delegate context encoding to: full images by
+//!   default, dirty-chunks-only deltas when `crs_incr_enabled` is set,
+//!   with manifest-verified chain replay at restart.
 //! * [`container::ProcessContainer`] — per-process control plane: the
 //!   checkpoint window (enabled after `MPI_Init`, disabled at
 //!   `MPI_Finalize`), capture-section registry, INC registry, and the
@@ -33,10 +37,12 @@ pub mod container;
 pub mod crs;
 pub mod gate;
 pub mod image;
+pub mod incr;
 pub mod progress;
 
 pub use container::{OpalCtrl, ProcessContainer};
 pub use crs::{crs_framework, CrsComponent, SelfCallbacks};
+pub use incr::{CkptKind, IncrConfig, IncrEngine};
 pub use gate::SafePointGate;
 pub use image::ProcessImage;
 pub use progress::ProgressEngine;

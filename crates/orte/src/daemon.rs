@@ -27,7 +27,7 @@ use cr_core::{CrError, JobId, Rank, Tracer};
 use opal::container::{CkptReply, OpalCtrl};
 use opal::ProcessContainer;
 
-use crate::oob::{recv_oob, send_oob, DaemonMsg, DaemonReply};
+use crate::oob::{recv_oob, send_oob, DaemonMsg, DaemonReply, RankCkpt};
 use crate::replica::ReplicaStore;
 
 /// Pending per-rank checkpoint completions (phase 1 output of a local
@@ -296,7 +296,7 @@ impl Orted {
         &self,
         job: JobId,
         interval: u64,
-    ) -> Result<Vec<(u32, PathBuf, u64)>, CrError> {
+    ) -> Result<Vec<RankCkpt>, CrError> {
         let waits = self.notify_local(job, interval)?;
         self.collect_local(interval, waits)
     }
@@ -310,7 +310,7 @@ impl Orted {
         interval: u64,
         children: &[crate::oob::TreeSpec],
         endpoint: &netsim::Endpoint,
-    ) -> Result<Vec<(u32, u32, PathBuf, u64)>, CrError> {
+    ) -> Result<Vec<(u32, RankCkpt)>, CrError> {
         for child in children {
             send_oob(
                 &self.fabric,
@@ -329,10 +329,10 @@ impl Orted {
             );
         }
         let waits = self.notify_local(job, interval)?;
-        let mut results: Vec<(u32, u32, PathBuf, u64)> = self
+        let mut results: Vec<(u32, RankCkpt)> = self
             .collect_local(interval, waits)?
             .into_iter()
-            .map(|(rank, dir, size)| (self.node.0, rank, dir, size))
+            .map(|ckpt| (self.node.0, ckpt))
             .collect();
         let mut failures = Vec::new();
         for _ in children {
@@ -413,7 +413,7 @@ impl Orted {
         &self,
         interval: u64,
         waits: PendingLocal,
-    ) -> Result<Vec<(u32, PathBuf, u64)>, CrError> {
+    ) -> Result<Vec<RankCkpt>, CrError> {
         let mut results = Vec::with_capacity(waits.len());
         let mut failures = Vec::new();
         for (rank, rrx) in waits {
@@ -421,7 +421,14 @@ impl Orted {
                 Ok(Ok(reply)) => {
                     self.tracer
                         .record("snapc.app.done", &format!("rank {rank}"));
-                    results.push((rank.0, reply.snapshot_dir, reply.size_bytes));
+                    results.push(RankCkpt {
+                        rank: rank.0,
+                        dir: reply.snapshot_dir,
+                        bytes: reply.size_bytes,
+                        kind: reply.ckpt_kind,
+                        base_interval: reply.base_interval,
+                        prev_interval: reply.prev_interval,
+                    });
                 }
                 Ok(Err(e)) => failures.push(format!("rank {rank}: {e}")),
                 Err(_) => failures.push(format!("rank {rank}: notification thread died")),
@@ -521,9 +528,11 @@ mod tests {
             DaemonReply::LocalDone { node, results } => {
                 assert_eq!(node, 1);
                 assert_eq!(results.len(), 3);
-                for (rank, dir, size) in &results {
-                    assert!(dir.exists(), "rank {rank} snapshot missing");
-                    assert!(*size > 0);
+                for ckpt in &results {
+                    assert!(ckpt.dir.exists(), "rank {} snapshot missing", ckpt.rank);
+                    assert!(ckpt.bytes > 0);
+                    assert_eq!(ckpt.kind, "full");
+                    assert_eq!(ckpt.base_interval, 0);
                 }
             }
             other => panic!("unexpected reply {other:?}"),

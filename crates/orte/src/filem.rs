@@ -22,6 +22,11 @@
 //!
 //! All components physically copy files on the host filesystem (the trees
 //! are real); only the *cost* is simulated, via the topology's link model.
+//!
+//! FILEM is deliberately payload-agnostic: with incremental checkpointing
+//! enabled the gathered context files are delta contexts holding only the
+//! dirty chunks, so the reported bytes and simulated wire time shrink
+//! proportionally without any FILEM-side special casing.
 
 use std::fs;
 use std::path::{Path, PathBuf};

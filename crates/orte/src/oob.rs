@@ -29,6 +29,25 @@ pub struct TreeSpec {
     pub children: Vec<TreeSpec>,
 }
 
+/// One rank's completed local checkpoint as reported by its daemon:
+/// where the local snapshot lives, how big it is, and — for incremental
+/// checkpointing — how it chains back to its full-image base.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankCkpt {
+    /// The rank.
+    pub rank: u32,
+    /// Local snapshot directory on the compute node.
+    pub dir: PathBuf,
+    /// Bytes on disk (delta payload size for incremental checkpoints).
+    pub bytes: u64,
+    /// `"full"` or `"delta"`.
+    pub kind: String,
+    /// Interval of the full image this context chains back to.
+    pub base_interval: u64,
+    /// Immediately preceding interval in the chain.
+    pub prev_interval: u64,
+}
+
 /// Requests the global coordinator (HNP) sends to a daemon.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DaemonMsg {
@@ -134,16 +153,16 @@ pub enum DaemonReply {
     TreeDone {
         /// Subtree root's node id.
         node: u32,
-        /// `(rank, local snapshot dir, bytes)` for every rank in the
-        /// subtree, paired with the node that produced it.
-        results: Vec<(u32, u32, PathBuf, u64)>,
+        /// Per-rank checkpoint descriptions for every rank in the
+        /// subtree, paired with the node that produced each.
+        results: Vec<(u32, RankCkpt)>,
     },
     /// All local checkpoints of one node completed.
     LocalDone {
         /// Daemon's node id.
         node: u32,
-        /// `(rank, local snapshot dir, bytes)` per local rank.
-        results: Vec<(u32, PathBuf, u64)>,
+        /// Per-rank checkpoint descriptions for the local ranks.
+        results: Vec<RankCkpt>,
     },
     /// The daemon could not complete the request.
     Error {
@@ -251,7 +270,14 @@ mod tests {
 
         let reply = DaemonReply::LocalDone {
             node: 1,
-            results: vec![(0, PathBuf::from("/tmp/snap"), 1024)],
+            results: vec![RankCkpt {
+                rank: 0,
+                dir: PathBuf::from("/tmp/snap"),
+                bytes: 1024,
+                kind: "full".into(),
+                base_interval: 2,
+                prev_interval: 2,
+            }],
         };
         send_oob(&fabric, daemon.id(), hnp.id(), &reply).unwrap();
         let received: DaemonReply = recv_oob(&hnp).unwrap();

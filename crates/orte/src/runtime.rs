@@ -9,6 +9,12 @@
 //!   `stable/` directory (the RAID/NFS stable storage of paper §5.2),
 //! * the per-node daemons, created on demand, and
 //! * the [`Modex`] rendezvous store and job-id allocation.
+//!
+//! Nothing here knows about checkpoint *contents*: the write-behind drain
+//! and the per-node scratch trees move whatever SNAPC committed, so with
+//! incremental checkpointing enabled the drained interval directories
+//! hold small delta contexts and stable storage grows by the delta size,
+//! not the full image size, per interval.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};

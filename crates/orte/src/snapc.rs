@@ -36,7 +36,7 @@ use opal::container::OpalCtrl;
 
 use crate::filem::{filem_framework, CopyRequest};
 use crate::job::JobHandle;
-use crate::oob::{recv_oob_timeout, send_oob, DaemonMsg, DaemonReply};
+use crate::oob::{recv_oob_timeout, send_oob, DaemonMsg, DaemonReply, RankCkpt};
 use crate::runtime::Runtime;
 
 /// How long the global coordinator waits for daemon replies.
@@ -106,10 +106,27 @@ fn cleanup_scratch(
     Ok(())
 }
 
+/// What the gather phase moved along the critical path: the metric the
+/// incremental-checkpoint ablation compares across full and delta
+/// intervals.
+struct GatherStats {
+    /// Context-file bytes shipped off the compute nodes.
+    bytes: u64,
+    /// Simulated wall time charged (nanoseconds).
+    sim_ns: u64,
+}
+
 /// Gather/commit/cleanup tail shared by the `full` and `tree` components.
 ///
-/// `results` is the flat `(node, rank, local snapshot dir, bytes)` listing
-/// the daemons reported. With any classic FILEM component the tail is the
+/// `results` is the flat `(node, per-rank checkpoint)` listing the daemons
+/// reported. Each entry carries the context kind (`full`/`delta`) and
+/// chain links, which are recorded in the global metadata at commit so
+/// restart knows which intervals to replay and retirement knows which
+/// bases are still referenced. Because a delta's local snapshot directory
+/// holds only the dirty chunks, both the wire cost here and the replica
+/// memory footprint scale with the delta size, not the full image size.
+///
+/// With any classic FILEM component the tail is the
 /// paper's Figure 1-F: synchronously copy every local snapshot to stable
 /// storage, commit the interval, then remove the scratch copies.
 ///
@@ -126,9 +143,9 @@ fn gather_commit_cleanup(
     job: &JobHandle,
     interval: u64,
     interval_dir: &std::path::Path,
-    results: &[(u32, u32, PathBuf, u64)],
+    results: &[(u32, RankCkpt)],
     tag: &str,
-) -> Result<(), CrError> {
+) -> Result<GatherStats, CrError> {
     let runtime = job.runtime();
     let tracer = runtime.tracer();
     let params = job.params();
@@ -148,10 +165,10 @@ fn gather_commit_cleanup(
 
     let batch: Vec<CopyRequest> = results
         .iter()
-        .map(|(node, rank, local_dir, _)| CopyRequest {
-            src: local_dir.clone(),
+        .map(|(node, ckpt)| CopyRequest {
+            src: ckpt.dir.clone(),
             src_node: NodeId(*node),
-            dest: interval_dir.join(cr_core::snapshot::local_dir_name(Rank(*rank))),
+            dest: interval_dir.join(cr_core::snapshot::local_dir_name(Rank(ckpt.rank))),
             dest_node: NodeId(0),
         })
         .collect();
@@ -161,6 +178,10 @@ fn gather_commit_cleanup(
             let rank = Rank(r);
             (rank, runtime.topology().hostname(job.node_of(rank)).to_string())
         })
+        .collect();
+    let chain_info: Vec<(Rank, &str, u64, u64)> = results
+        .iter()
+        .map(|(_, c)| (Rank(c.rank), c.kind.as_str(), c.base_interval, c.prev_interval))
         .collect();
 
     if selection == "replica" {
@@ -172,7 +193,7 @@ fn gather_commit_cleanup(
             .unwrap_or(true);
         let images: Vec<(Rank, u32, PathBuf)> = results
             .iter()
-            .map(|(node, rank, dir, _)| (Rank(*rank), *node, dir.clone()))
+            .map(|(node, c)| (Rank(c.rank), *node, c.dir.clone()))
             .collect();
         let outcome = crate::replica::replicate(runtime, job_id, interval, &images, factor)?;
         tracer.record(
@@ -185,6 +206,7 @@ fn gather_commit_cleanup(
         {
             let mut global = job.global_snapshot()?;
             global.record_replica_holders(interval, &outcome.holders)?;
+            global.record_ckpt_chain(interval, &chain_info)?;
             global.commit_interval(interval, &ranks_info)?;
         }
         // Write-behind: the stable-storage copy (and the scratch cleanup
@@ -218,7 +240,10 @@ fn gather_commit_cleanup(
         } else {
             drain();
         }
-        return Ok(());
+        return Ok(GatherStats {
+            bytes: outcome.bytes,
+            sim_ns: outcome.sim_cost.as_nanos(),
+        });
     }
 
     // Classic path: synchronous gather to stable storage (Figure 1-F),
@@ -233,9 +258,14 @@ fn gather_commit_cleanup(
     );
     {
         let mut global = job.global_snapshot()?;
+        global.record_ckpt_chain(interval, &chain_info)?;
         global.commit_interval(interval, &ranks_info)?;
     }
-    cleanup_scratch(runtime, job_id, interval, &nodes)
+    cleanup_scratch(runtime, job_id, interval, &nodes)?;
+    Ok(GatherStats {
+        bytes: report.bytes,
+        sim_ns: report.sim_cost.as_nanos(),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -336,7 +366,7 @@ impl SnapcComponent for FullSnapc {
         }
 
         // Monitor progress: collect one LocalDone per node.
-        let mut per_node: BTreeMap<u32, Vec<(u32, std::path::PathBuf, u64)>> = BTreeMap::new();
+        let mut per_node: BTreeMap<u32, Vec<RankCkpt>> = BTreeMap::new();
         let mut failures = Vec::new();
         for _ in &nodes {
             match recv_oob_timeout::<DaemonReply>(&hnp, OOB_TIMEOUT)? {
@@ -361,20 +391,18 @@ impl SnapcComponent for FullSnapc {
 
         // Aggregate, commit, and clean up (peer-memory first with
         // `filem=replica`, synchronous stable-storage gather otherwise).
-        let flat: Vec<(u32, u32, std::path::PathBuf, u64)> = per_node
+        let flat: Vec<(u32, RankCkpt)> = per_node
             .iter()
-            .flat_map(|(node, results)| {
-                results
-                    .iter()
-                    .map(|(rank, dir, size)| (*node, *rank, dir.clone(), *size))
-            })
+            .flat_map(|(node, results)| results.iter().map(|c| (*node, c.clone())))
             .collect();
-        gather_commit_cleanup(job, interval, &interval_dir, &flat, "")?;
+        let stats = gather_commit_cleanup(job, interval, &interval_dir, &flat, "")?;
 
         Ok(CheckpointOutcome {
             global_snapshot: job.global_snapshot_path(),
             interval,
             ranks: job.nprocs(),
+            bytes_moved: stats.bytes,
+            sim_ns: stats.sim_ns,
         })
     }
 }
@@ -475,7 +503,7 @@ impl SnapcComponent for TreeSnapc {
         )?;
 
         // One aggregated reply.
-        let all_results: Vec<(u32, u32, std::path::PathBuf, u64)> =
+        let all_results: Vec<(u32, RankCkpt)> =
             match recv_oob_timeout::<DaemonReply>(&hnp, OOB_TIMEOUT)? {
                 DaemonReply::TreeDone { results, .. } => results,
                 DaemonReply::Error { node, detail } => {
@@ -501,12 +529,14 @@ impl SnapcComponent for TreeSnapc {
         }
 
         // Gather and commit exactly as the full component does.
-        gather_commit_cleanup(job, interval, &interval_dir, &all_results, " (tree)")?;
+        let stats = gather_commit_cleanup(job, interval, &interval_dir, &all_results, " (tree)")?;
 
         Ok(CheckpointOutcome {
             global_snapshot: job.global_snapshot_path(),
             interval,
             ranks: job.nprocs(),
+            bytes_moved: stats.bytes,
+            sim_ns: stats.sim_ns,
         })
     }
 }
@@ -564,9 +594,10 @@ impl SnapcComponent for DirectSnapc {
             waits.push((rank, rrx));
         }
         let mut failures = Vec::new();
+        let mut replies: Vec<(Rank, opal::container::CkptReply)> = Vec::new();
         for (rank, rrx) in waits {
             match rrx.recv() {
-                Ok(Ok(_)) => {}
+                Ok(Ok(reply)) => replies.push((rank, reply)),
                 Ok(Err(e)) => failures.push(format!("rank {rank}: {e}")),
                 Err(_) => failures.push(format!("rank {rank}: notification thread died")),
             }
@@ -586,14 +617,24 @@ impl SnapcComponent for DirectSnapc {
                 (rank, job.runtime().topology().hostname(node).to_string())
             })
             .collect();
+        let chain_info: Vec<(Rank, &str, u64, u64)> = replies
+            .iter()
+            .map(|(r, reply)| (*r, reply.ckpt_kind.as_str(), reply.base_interval, reply.prev_interval))
+            .collect();
+        // Every rank wrote straight to stable storage, so bytes moved is
+        // the sum of what landed there; there is no simulated fabric leg.
+        let bytes_moved: u64 = replies.iter().map(|(_, reply)| reply.size_bytes).sum();
         {
             let mut global = job.global_snapshot()?;
+            global.record_ckpt_chain(interval, &chain_info)?;
             global.commit_interval(interval, &ranks_info)?;
         }
         Ok(CheckpointOutcome {
             global_snapshot: job.global_snapshot_path(),
             interval,
             ranks: job.nprocs(),
+            bytes_moved,
+            sim_ns: 0,
         })
     }
 }

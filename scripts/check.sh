@@ -12,6 +12,12 @@ cargo run --release -q -p lint --bin cr-lint
 # bench itself asserts the simulated memory cost is strictly below disk.
 RESTART_LATENCY_SMOKE=1 cargo bench -q -p bench --bench restart_latency
 
+# Incremental-checkpoint smoke: the bench asserts a 10%-dirty interval
+# moves < 25% of the full-image bytes and costs strictly less simulated
+# time, and writes the machine-readable comparison to BENCH_ckpt.json.
+CKPT_INCREMENTAL_SMOKE=1 BENCH_CKPT_JSON="$PWD/BENCH_ckpt.json" \
+  cargo bench -q -p bench --bench ckpt_incremental
+
 # Ratchet: the cr-lint baseline may shrink but never grow.
 baseline_lines=$(grep -cv '^#' lint.allow)
 baseline_sites=$(grep -v '^#' lint.allow | awk -F'\t' '{s+=$3} END {print s}')

@@ -1,0 +1,355 @@
+//! Tentpole acceptance for chunk-level incremental checkpointing: delta
+//! intervals record base→delta chain links at commit, restart replays the
+//! chain from peer memory or stable storage back into the byte-identical
+//! full image, retirement refuses to drop a base a live chain still
+//! references, and a tampered delta chunk fails restart loudly through
+//! the manifest digest check.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cr_core::inc::LayerInc;
+use cr_core::request::CheckpointOptions;
+use cr_core::{GlobalSnapshot, Rank};
+use mca::McaParams;
+use ompi::{mpirun, restart_from_with_source, RestartSource, RunConfig};
+use ompi_cr::{scratch_dir, test_runtime};
+use opal::crs::{crs_framework, SelfCallbacks};
+use orte::job::{launch, JobSpec, LaunchCtx};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use workloads::ring::RingApp;
+
+/// Every test spins a multi-rank job; running them concurrently on a
+/// small host starves the spinning ranks until OOB replies time out.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+type SharedState = Arc<Vec<Mutex<Vec<u8>>>>;
+
+const STATE_BYTES: usize = 32 * 1024;
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn fresh_state(nprocs: u32, seed: &mut u64) -> SharedState {
+    Arc::new(
+        (0..nprocs)
+            .map(|_| Mutex::new((0..STATE_BYTES).map(|_| lcg(seed) as u8).collect()))
+            .collect(),
+    )
+}
+
+fn incr_params(chunk_kb: u32, full_every: u64) -> Arc<McaParams> {
+    let params = Arc::new(McaParams::new());
+    params.set("filem", "replica");
+    params.set("filem_replica_factor", "1");
+    params.set("crs_incr_enabled", "true");
+    params.set("crs_incr_chunk_kb", &chunk_kb.to_string());
+    params.set("crs_incr_full_every", &full_every.to_string());
+    params
+}
+
+/// Spinning checkpointable job whose `app` capture section serves the
+/// shared per-rank buffers (orte-level; no PML, so sections are exactly
+/// the buffers and byte comparisons are direct).
+fn launch_state_job(
+    rt: &orte::Runtime,
+    nprocs: u32,
+    state: &SharedState,
+    params: Arc<McaParams>,
+) -> orte::JobHandle {
+    let proc_state = Arc::clone(state);
+    let proc_main: orte::job::ProcMain = Arc::new(move |ctx: LaunchCtx| {
+        let fw = crs_framework(SelfCallbacks::new());
+        ctx.container
+            .set_crs(Arc::from(fw.select(&ctx.params).unwrap()));
+        let rank = ctx.name.rank.index();
+        let st = Arc::clone(&proc_state);
+        ctx.container
+            .register_capture("app", Arc::new(move || Ok(st[rank].lock().clone())));
+        ctx.container
+            .install_opal_inc(LayerInc::new("opal", ctx.runtime.tracer().clone()));
+        ctx.container.enable_checkpointing();
+        while !ctx.terminate.load(std::sync::atomic::Ordering::SeqCst) {
+            ctx.container.gate().checkpoint_point();
+            std::thread::yield_now();
+        }
+        ctx.container.gate().retire();
+    });
+    let handle = launch(rt, JobSpec::new(nprocs, params, proc_main)).unwrap();
+    for r in 0..nprocs {
+        while handle.container(Rank(r)).crs().is_none() {
+            std::thread::yield_now();
+        }
+    }
+    handle
+}
+
+/// Mutate 1–4 random ranges of every rank's buffer.
+fn mutate_state(state: &SharedState, seed: &mut u64) {
+    for cell in state.iter() {
+        let mut buf = cell.lock();
+        for _ in 0..(1 + lcg(seed) as usize % 4) {
+            let len = 1 + lcg(seed) as usize % 4096;
+            let start = lcg(seed) as usize % (STATE_BYTES - len);
+            for b in &mut buf[start..start + len] {
+                *b = b.wrapping_add(1 + (*seed >> 7) as u8);
+            }
+        }
+    }
+}
+
+/// Reassemble rank `rank` at `interval` from the recorded chain, pulling
+/// each link's local snapshot through `open_link`.
+fn reassemble_via(
+    global: &GlobalSnapshot,
+    interval: u64,
+    rank: Rank,
+    mut open_link: impl FnMut(u64) -> cr_core::LocalSnapshot,
+) -> Vec<u8> {
+    let chain = global.ckpt_chain(interval, rank).unwrap();
+    let locals: Vec<cr_core::LocalSnapshot> = chain.iter().map(|ci| open_link(*ci)).collect();
+    let image = if locals.len() == 1 {
+        opal::incr::read_full_image(&locals[0]).unwrap()
+    } else {
+        opal::incr::reassemble(&locals).unwrap()
+    };
+    image.require_section("app").unwrap().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 3,
+        max_shrink_iters: 0, // each case is a full multi-interval job
+        .. ProptestConfig::default()
+    })]
+
+    /// For any random section-mutation sequence, replaying base + delta
+    /// chain — from stable storage AND from peer-memory replicas — is
+    /// byte-identical to the state a full checkpoint captured at the same
+    /// interval.
+    #[test]
+    fn chain_replay_matches_full_state(seed in any::<u64>()) {
+        let _serial = serial();
+        let mut rng = seed;
+        let nprocs = 2u32;
+        let intervals = 4u64;
+        let tag = format!("incr_prop_{seed:x}");
+        let rt = test_runtime(&tag, 2);
+        let state = fresh_state(nprocs, &mut rng);
+        let handle = launch_state_job(&rt, nprocs, &state, incr_params(1, 16));
+
+        // Checkpoint, mutate, checkpoint, ... recording the exact state
+        // every interval captured.
+        let mut expected: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut snapshot_path = None;
+        for i in 0..intervals {
+            if i > 0 {
+                mutate_state(&state, &mut rng);
+            }
+            let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+            prop_assert_eq!(outcome.interval, i);
+            snapshot_path = Some(outcome.global_snapshot);
+            expected.push(state.iter().map(|c| c.lock().clone()).collect());
+        }
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.drain_writebehind();
+
+        let global = GlobalSnapshot::open(&snapshot_path.unwrap()).unwrap();
+        let job_id = global.job();
+        // The schedule produced real deltas, not disguised fulls.
+        prop_assert_eq!(global.ckpt_kind(intervals - 1, Rank(0)), "delta");
+
+        for i in 0..intervals {
+            for r in 0..nprocs {
+                let rank = Rank(r);
+                let want = &expected[i as usize][r as usize];
+
+                // Stable-storage chain replay.
+                let got = reassemble_via(&global, i, rank, |ci| {
+                    global.local_snapshot(ci, rank).unwrap()
+                });
+                prop_assert_eq!(&got, want, "stable chain, interval {}, rank {}", i, r);
+
+                // Peer-memory chain replay: fetch every link's replica
+                // image into a scratch dir and replay from there.
+                let scratch = scratch_dir(&format!("{tag}_replica_{i}_{r}"));
+                let got = reassemble_via(&global, i, rank, |ci| {
+                    let holders = global.replica_holders(ci, rank);
+                    let (image, _) =
+                        orte::replica::fetch_image(&rt, job_id, ci, rank, &holders)
+                            .expect("replica image held");
+                    let dest = scratch.join(format!("link_{ci}"));
+                    image.write_to(&dest).unwrap();
+                    cr_core::LocalSnapshot::open(&dest).unwrap()
+                });
+                prop_assert_eq!(&got, want, "replica chain, interval {}, rank {}", i, r);
+            }
+        }
+        rt.shutdown();
+    }
+}
+
+/// End-to-end `ompi-restart` over a delta interval, from both sources:
+/// the restart machinery walks the chain, fetches every link, reassembles,
+/// and relaunches a job that runs to completion.
+#[test]
+fn incremental_restart_end_to_end_both_sources() {
+    let _serial = serial();
+    let rt = test_runtime("incr_e2e", 4);
+    let app = Arc::new(RingApp { rounds: 1_000_000 });
+    let job = mpirun(
+        &rt,
+        Arc::clone(&app),
+        RunConfig {
+            nprocs: 4,
+            params: incr_params(1, 16),
+        },
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    job.checkpoint(&CheckpointOptions::tool()).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let outcome = job
+        .checkpoint(&CheckpointOptions::tool().and_terminate())
+        .unwrap();
+    job.wait().unwrap();
+    assert_eq!(outcome.interval, 1);
+
+    let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+    assert_eq!(global.ckpt_kind(1, Rank(0)), "delta");
+    assert_eq!(global.ckpt_chain(1, Rank(0)).unwrap(), vec![0, 1]);
+
+    // Replica source: both chain links come from daemon peer memory.
+    rt.tracer().clear();
+    let restarted = restart_from_with_source(
+        &rt,
+        Arc::clone(&app),
+        &outcome.global_snapshot,
+        Some(1),
+        RestartSource::Replica,
+    )
+    .unwrap();
+    restarted.handle().request_terminate();
+    assert_eq!(restarted.wait().unwrap().len(), 4);
+    assert!(rt.tracer().count_prefix("filem.replica.preload") > 0);
+    assert_eq!(rt.tracer().count_prefix("filem.preload"), 0);
+
+    // Stable source: both links come from the drained global snapshot.
+    rt.drain_writebehind();
+    rt.tracer().clear();
+    let restarted = restart_from_with_source(
+        &rt,
+        Arc::clone(&app),
+        &outcome.global_snapshot,
+        Some(1),
+        RestartSource::Stable,
+    )
+    .unwrap();
+    restarted.handle().request_terminate();
+    assert_eq!(restarted.wait().unwrap().len(), 4);
+    assert_eq!(rt.tracer().count_prefix("filem.replica.preload"), 0);
+    assert!(rt.tracer().count_prefix("filem.preload") > 0);
+    rt.shutdown();
+}
+
+/// Retiring a base (or mid-chain link) that a live delta chain still
+/// references must refuse; newest-first retirement unwinds cleanly.
+#[test]
+fn retiring_referenced_base_is_refused() {
+    let _serial = serial();
+    let mut rng = 7u64;
+    let rt = test_runtime("incr_retire", 2);
+    let state = fresh_state(2, &mut rng);
+    let handle = launch_state_job(&rt, 2, &state, incr_params(1, 16));
+    let mut snapshot_path = None;
+    for i in 0..3u64 {
+        if i > 0 {
+            mutate_state(&state, &mut rng);
+        }
+        let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        snapshot_path = Some(outcome.global_snapshot);
+    }
+    handle.request_terminate();
+    handle.join().unwrap();
+    rt.drain_writebehind();
+
+    let mut global = GlobalSnapshot::open(&snapshot_path.unwrap()).unwrap();
+    assert_eq!(global.ckpt_chain(2, Rank(0)).unwrap(), vec![0, 1, 2]);
+
+    let err = global.retire_interval(0).unwrap_err();
+    assert!(err.to_string().contains("delta chain"), "{err}");
+    let err = global.retire_interval(1).unwrap_err();
+    assert!(err.to_string().contains("depends on it"), "{err}");
+    assert_eq!(global.intervals(), vec![0, 1, 2]);
+
+    global.retire_interval(2).unwrap();
+    global.retire_interval(1).unwrap();
+    global.retire_interval(0).unwrap();
+    assert!(global.intervals().is_empty());
+    rt.shutdown();
+}
+
+/// A corrupted delta chunk on stable storage must fail the restart loudly
+/// through the chunk-manifest digest check — never restore silently-wrong
+/// bytes.
+#[test]
+fn tampered_delta_chunk_fails_restart_loudly() {
+    let _serial = serial();
+    let mut rng = 11u64;
+    let rt = test_runtime("incr_tamper", 2);
+    let state = fresh_state(2, &mut rng);
+    let handle = launch_state_job(&rt, 2, &state, incr_params(1, 16));
+    handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+    mutate_state(&state, &mut rng);
+    let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+    handle.request_terminate();
+    handle.join().unwrap();
+    rt.drain_writebehind();
+    assert_eq!(outcome.interval, 1);
+
+    // Flip the bytes of the first dirty chunk of rank 0's delta context
+    // on stable storage (a well-framed write, so this models corruption
+    // the transport checksum cannot see).
+    let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+    assert_eq!(global.ckpt_kind(1, Rank(0)), "delta");
+    let local = global.local_snapshot(1, Rank(0)).unwrap();
+    let mut delta: opal::incr::DeltaContext =
+        codec::from_bytes(&local.read_context().unwrap()).unwrap();
+    let chunk = delta
+        .sections
+        .iter_mut()
+        .flat_map(|s| s.chunks.iter_mut())
+        .next()
+        .expect("the mutated interval has at least one dirty chunk");
+    for b in &mut chunk.1 {
+        *b ^= 0xA5;
+    }
+    local.write_context(&codec::to_bytes(&delta).unwrap()).unwrap();
+
+    let err = reassemble_err(&global);
+    assert!(
+        err.to_string().contains("manifest verification"),
+        "corruption must surface as a manifest failure, got: {err}"
+    );
+    rt.shutdown();
+}
+
+/// Replay interval 1's stable chain and return the error it must produce.
+fn reassemble_err(global: &GlobalSnapshot) -> cr_core::CrError {
+    let chain = global.ckpt_chain(1, Rank(0)).unwrap();
+    let locals: Vec<cr_core::LocalSnapshot> = chain
+        .iter()
+        .map(|ci| global.local_snapshot(*ci, Rank(0)).unwrap())
+        .collect();
+    opal::incr::reassemble(&locals).expect_err("tampered chain must not reassemble")
+}
