@@ -1,16 +1,22 @@
 //! Ablation A4: cost of the coordinated protocol's channel drain as a
 //! function of in-flight traffic at checkpoint time. The bookmark
 //! exchange itself is O(peers); the drain is O(in-flight messages).
+//!
+//! A second group prices the FILEM write-behind drain (scratch → stable)
+//! at 1 vs 4 gather workers, reporting both the serialized wire cost and
+//! the critical-path (wall clock over the pool) cost.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cr_core::Tracer;
-use netsim::{Fabric, LinkSpec, NodeId, Topology};
+use mca::McaParams;
+use netsim::{Fabric, LinkSpec, NetView, NodeId, Topology};
 use ompi::crcp::{CoordCrcp, CrcpComponent};
 use ompi::pml::PmlShared;
 use opal::SafePointGate;
+use orte::filem::{copy_all_parallel, CopyRequest, RshSimFilem};
 
 fn mesh(n: u32) -> Vec<Arc<PmlShared>> {
     let fabric = Fabric::new(Topology::uniform(1, LinkSpec::gigabit_ethernet()));
@@ -69,5 +75,46 @@ fn drain_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, drain_cost);
+/// FILEM write-behind drain: 8 per-rank scratch trees pulled to stable
+/// storage over 1 vs 4 gather workers. Serialized cost is identical;
+/// the worker pool only shortens the critical path.
+fn filem_drain_cost(c: &mut Criterion) {
+    let topo = Topology::uniform(4, LinkSpec::gigabit_ethernet());
+    let net = NetView::uncontended(&topo);
+    let filem = RshSimFilem::from_params(&McaParams::new());
+    let base = std::env::temp_dir().join(format!("bench_filem_drain_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut batch = Vec::new();
+    for r in 0..8u32 {
+        let src = base.join(format!("scratch_rank{r}"));
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("ompi_context.bin"), vec![0xCD; 128 << 10]).unwrap();
+        batch.push(CopyRequest {
+            src,
+            src_node: NodeId(r % 4),
+            dest: base.join(format!("stable_rank{r}")),
+            dest_node: NodeId(0),
+        });
+    }
+    for &workers in &[1usize, 4] {
+        let report = copy_all_parallel(&filem, net, &batch, workers).unwrap();
+        println!(
+            "filem drain workers={workers}: serialized={} critical_path={}",
+            report.serialized_cost, report.critical_path_cost
+        );
+        assert!(report.critical_path_cost <= report.serialized_cost);
+    }
+    let mut group = c.benchmark_group("filem_drain_workers");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &workers in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| b.iter(|| copy_all_parallel(&filem, net, &batch, workers).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, drain_cost, filem_drain_cost);
 criterion_main!(benches);

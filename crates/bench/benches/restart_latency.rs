@@ -113,11 +113,11 @@ fn disk_sim_cost(
             dest_node: NodeId(r % NODES),
         });
     }
-    let report = filem.copy_all(rt.topology(), &batch).expect("preload");
+    let report = filem.copy_all(rt.netview(), &batch).expect("preload");
     for req in &batch {
         filem.remove_tree(&req.dest).expect("cleanup");
     }
-    report.sim_cost
+    report.serialized_cost
 }
 
 fn restart_latency(c: &mut Criterion) {

@@ -33,6 +33,6 @@ pub use error::CrError;
 pub use ids::{JobId, ProcessName, Rank};
 pub use inc::IncRegistry;
 pub use request::{CheckpointOptions, CheckpointOutcome};
-pub use snapshot::{GlobalSnapshot, LocalSnapshot};
+pub use snapshot::{CommitState, GlobalSnapshot, LocalSnapshot};
 pub use state::{FtEvent, FtEventState};
 pub use trace::Tracer;

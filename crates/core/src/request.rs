@@ -5,6 +5,8 @@ use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
+use crate::snapshot::CommitState;
+
 /// Who initiated a checkpoint request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CheckpointOrigin {
@@ -81,8 +83,15 @@ pub struct CheckpointOutcome {
     /// nodes. With incremental checkpointing enabled this is the delta
     /// payload, not the full image size — the paper's motivating metric.
     pub bytes_moved: u64,
-    /// Simulated wall time the gather phase charged (nanoseconds).
+    /// Simulated wall time the gather phase charged (nanoseconds). With
+    /// early release this is the app-visible stall only — the gather
+    /// itself keeps running after the request returns.
     pub sim_ns: u64,
+    /// Commit progress at the time the request returned:
+    /// `GlobalCommitted` for the classic blocking commit,
+    /// `LocalCommitted` when early release handed the gather to the
+    /// write-behind pool.
+    pub commit: CommitState,
 }
 
 impl fmt::Display for CheckpointOutcome {
@@ -120,6 +129,7 @@ mod tests {
             ranks: 8,
             bytes_moved: 4096,
             sim_ns: 0,
+            commit: CommitState::GlobalCommitted,
         };
         let s = out.to_string();
         assert!(s.contains("interval 2"));

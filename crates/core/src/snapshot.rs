@@ -204,6 +204,40 @@ impl LocalSnapshot {
 // Global snapshot reference
 // ---------------------------------------------------------------------------
 
+/// Commit progress of one checkpoint interval — a small lattice, ordered
+/// `Uncommitted < LocalCommitted < GlobalCommitted`.
+///
+/// With pipelined commit, SNAPC first records that every rank's capture
+/// landed on node-local disk (*local commit*: the application may resume,
+/// but node failure can still lose the interval) and only after the FILEM
+/// gather reaches stable storage promotes the interval to *global commit*
+/// (restorable after any failure). Restart-facing accessors
+/// ([`GlobalSnapshot::intervals`], [`GlobalSnapshot::latest_interval`],
+/// [`GlobalSnapshot::local_snapshots`]) see only globally committed
+/// intervals, so a restart can never read a partially gathered one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CommitState {
+    /// Begun but not yet recorded anywhere durable.
+    Uncommitted,
+    /// Every rank's capture is on node-local disk; the gather to stable
+    /// storage is still in flight.
+    LocalCommitted,
+    /// Fully gathered to stable storage (or equivalently durable peer
+    /// memory); restorable.
+    GlobalCommitted,
+}
+
+impl std::fmt::Display for CommitState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CommitState::Uncommitted => "uncommitted",
+            CommitState::LocalCommitted => "local-committed",
+            CommitState::GlobalCommitted => "global-committed",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// A job-wide snapshot: a directory aggregating one local snapshot per rank
 /// for each checkpoint interval, plus job-level metadata.
 #[derive(Debug, Clone)]
@@ -294,8 +328,14 @@ impl GlobalSnapshot {
     /// [`GlobalSnapshot::commit_interval`] runs — a crash mid-checkpoint
     /// must never leave a half-written interval looking restorable.
     pub fn begin_interval(&mut self) -> Result<(u64, PathBuf), CrError> {
+        // Number past locally committed intervals too: with early release a
+        // new interval can begin while the previous one's gather is still
+        // in flight, and the two must never collide.
         let next = self
-            .latest_interval()
+            .intervals()
+            .into_iter()
+            .chain(self.local_committed_intervals())
+            .max()
             .map(|n| n + 1)
             .unwrap_or_else(|| self.resume_floor());
         let dir = self.interval_dir(next);
@@ -332,6 +372,70 @@ impl GlobalSnapshot {
         }
         self.meta.append("global", "interval", interval.to_string());
         self.save_meta()
+    }
+
+    /// Locally commit an interval: record each rank's local reference and
+    /// hostname exactly as [`GlobalSnapshot::commit_interval`] would, but
+    /// list the interval as *locally* committed only. It stays invisible
+    /// to restart-facing accessors until
+    /// [`GlobalSnapshot::promote_interval`] marks the gather complete; a
+    /// failure mid-gather therefore falls back to the newest globally
+    /// committed interval.
+    pub fn local_commit_interval(
+        &mut self,
+        interval: u64,
+        ranks: &[(Rank, String)],
+    ) -> Result<(), CrError> {
+        let section = format!("interval_{interval}");
+        for (rank, hostname) in ranks {
+            self.meta
+                .append(&section, &format!("rank_{}_ref", rank.0), local_dir_name(*rank));
+            self.meta
+                .append(&section, &format!("rank_{}_host", rank.0), hostname.clone());
+        }
+        self.meta
+            .append("global", "local_interval", interval.to_string());
+        self.save_meta()
+    }
+
+    /// Promote a locally committed interval to globally committed, once
+    /// its gather has fully landed on stable storage.
+    pub fn promote_interval(&mut self, interval: u64) -> Result<(), CrError> {
+        if !self.local_committed_intervals().contains(&interval) {
+            return Err(CrError::BadSnapshot {
+                detail: format!(
+                    "cannot promote interval {interval}: it was never locally committed"
+                ),
+            });
+        }
+        self.meta
+            .remove_value("global", "local_interval", &interval.to_string());
+        self.meta.append("global", "interval", interval.to_string());
+        self.save_meta()
+    }
+
+    /// Intervals recorded as locally committed but not yet promoted,
+    /// ascending.
+    pub fn local_committed_intervals(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .meta
+            .get_all("global", "local_interval")
+            .into_iter()
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Commit progress of `interval` (see [`CommitState`]).
+    pub fn commit_state(&self, interval: u64) -> CommitState {
+        if self.intervals().contains(&interval) {
+            CommitState::GlobalCommitted
+        } else if self.local_committed_intervals().contains(&interval) {
+            CommitState::LocalCommitted
+        } else {
+            CommitState::Uncommitted
+        }
     }
 
     /// Record which nodes hold in-memory replicas of each rank's image for
@@ -474,6 +578,8 @@ impl GlobalSnapshot {
         }
         self.meta
             .remove_value("global", "interval", &interval.to_string());
+        self.meta
+            .remove_value("global", "local_interval", &interval.to_string());
         self.meta.remove_section(&format!("interval_{interval}"));
         self.meta.remove_section(&format!("replica_{interval}"));
         self.meta.remove_section(&format!("incr_{interval}"));
@@ -795,6 +901,80 @@ mod tests {
             .unwrap();
         let after = fs::read_to_string(global.dir().join(GLOBAL_META_FILE)).unwrap();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn commit_state_lattice_orders() {
+        assert!(CommitState::Uncommitted < CommitState::LocalCommitted);
+        assert!(CommitState::LocalCommitted < CommitState::GlobalCommitted);
+        assert_eq!(CommitState::LocalCommitted.to_string(), "local-committed");
+    }
+
+    #[test]
+    fn local_commit_is_invisible_until_promoted() {
+        let base = tmpdir("localcommit");
+        let mut global = GlobalSnapshot::create(&base, JobId(6), 1).unwrap();
+        let (interval, dir) = global.begin_interval().unwrap();
+        assert_eq!(global.commit_state(interval), CommitState::Uncommitted);
+        LocalSnapshot::create(&dir, Rank(0), "self", interval, "node00").unwrap();
+        global
+            .local_commit_interval(interval, &[(Rank(0), "node00".into())])
+            .unwrap();
+
+        // Locally committed: recorded, but no restart-facing accessor
+        // may surface it.
+        let reopened = GlobalSnapshot::open(global.dir()).unwrap();
+        assert_eq!(reopened.commit_state(interval), CommitState::LocalCommitted);
+        assert_eq!(reopened.local_committed_intervals(), vec![interval]);
+        assert!(reopened.intervals().is_empty());
+        assert_eq!(reopened.latest_interval(), None);
+        assert!(reopened.local_snapshots(interval).is_err());
+
+        let mut global = reopened;
+        global.promote_interval(interval).unwrap();
+        assert_eq!(global.commit_state(interval), CommitState::GlobalCommitted);
+        assert!(global.local_committed_intervals().is_empty());
+        assert_eq!(global.intervals(), vec![interval]);
+        assert_eq!(global.local_snapshots(interval).unwrap().len(), 1);
+        // Per-rank metadata is identical to a direct commit's.
+        assert_eq!(global.rank_hostname(interval, Rank(0)), Some("node00"));
+    }
+
+    #[test]
+    fn promote_requires_prior_local_commit() {
+        let base = tmpdir("promotebad");
+        let mut global = GlobalSnapshot::create(&base, JobId(6), 1).unwrap();
+        let (interval, _dir) = global.begin_interval().unwrap();
+        let err = global.promote_interval(interval).unwrap_err();
+        assert!(err.to_string().contains("never locally committed"));
+    }
+
+    #[test]
+    fn begin_interval_numbers_past_local_commits() {
+        let base = tmpdir("numbering");
+        let mut global = GlobalSnapshot::create(&base, JobId(6), 1).unwrap();
+        let (i0, d0) = global.begin_interval().unwrap();
+        LocalSnapshot::create(&d0, Rank(0), "self", i0, "node00").unwrap();
+        global
+            .local_commit_interval(i0, &[(Rank(0), "node00".into())])
+            .unwrap();
+        // Gather for i0 still in flight; a new interval must not collide.
+        let (i1, _d1) = global.begin_interval().unwrap();
+        assert_eq!(i1, i0 + 1);
+    }
+
+    #[test]
+    fn retire_drops_local_commit_record() {
+        let base = tmpdir("retirelocal");
+        let mut global = GlobalSnapshot::create(&base, JobId(6), 1).unwrap();
+        let (interval, dir) = global.begin_interval().unwrap();
+        LocalSnapshot::create(&dir, Rank(0), "self", interval, "node00").unwrap();
+        global
+            .local_commit_interval(interval, &[(Rank(0), "node00".into())])
+            .unwrap();
+        global.retire_interval(interval).unwrap();
+        assert_eq!(global.commit_state(interval), CommitState::Uncommitted);
+        assert!(global.local_committed_intervals().is_empty());
     }
 
     #[test]

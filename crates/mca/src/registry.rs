@@ -125,6 +125,22 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         default: Some("500"),
         help: "slurm launcher: simulated allocation setup time",
     },
+    // SNAPC commit-pipeline tunables.
+    ParamDef {
+        key: "snapc_early_release",
+        default: Some("false"),
+        help: "release ranks at local commit and gather to stable storage in the background",
+    },
+    ParamDef {
+        key: "snapc_gather_workers",
+        default: Some("4"),
+        help: "bounded worker pool size for the parallel FILEM gather/drain",
+    },
+    ParamDef {
+        key: "snapc_gather_delay_ms",
+        default: Some("0"),
+        help: "fault-injection delay before the early-release gather starts (widens the local-committed window)",
+    },
     // FILEM component tunables.
     ParamDef {
         key: "filem_rsh_sim_session_ms",

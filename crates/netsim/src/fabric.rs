@@ -8,12 +8,143 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::NetError;
 use crate::stats::{EndpointStats, FabricStats};
 use crate::time::SimTime;
 use crate::topology::{NodeId, Topology};
+
+/// Tracks how many bulk transfers currently occupy each link, so
+/// concurrent transfers sharing a wire are each charged a fair (~1/N)
+/// slice of its bandwidth. Links are keyed by unordered node pair;
+/// loopback paths use the `(n, n)` key. Cheap to clone; clones share
+/// the counters.
+#[derive(Clone, Default)]
+pub struct LinkMeter {
+    inflight: Arc<Mutex<HashMap<(NodeId, NodeId), u32>>>,
+}
+
+impl fmt::Debug for LinkMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let map = self.inflight.lock();
+        f.debug_struct("LinkMeter")
+            .field("busy_links", &map.len())
+            .finish()
+    }
+}
+
+fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl LinkMeter {
+    /// A meter with no transfers in flight.
+    pub fn new() -> Self {
+        LinkMeter::default()
+    }
+
+    /// Mark a bulk transfer as occupying the `a`—`b` link. The returned
+    /// guard releases the link share when dropped.
+    pub fn begin(&self, a: NodeId, b: NodeId) -> LinkSlot {
+        let key = link_key(a, b);
+        *self.inflight.lock().entry(key).or_insert(0) += 1;
+        LinkSlot {
+            meter: self.clone(),
+            key,
+        }
+    }
+
+    /// Number of bulk transfers currently occupying the `a`—`b` link.
+    pub fn inflight(&self, a: NodeId, b: NodeId) -> u32 {
+        self.inflight
+            .lock()
+            .get(&link_key(a, b))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// RAII share of a link held by one in-flight bulk transfer; dropping it
+/// returns the bandwidth slice to the link.
+#[derive(Debug)]
+pub struct LinkSlot {
+    meter: LinkMeter,
+    key: (NodeId, NodeId),
+}
+
+impl Drop for LinkSlot {
+    fn drop(&mut self) {
+        let mut map = self.meter.inflight.lock();
+        if let Some(count) = map.get_mut(&self.key) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                map.remove(&self.key);
+            }
+        }
+    }
+}
+
+/// A read-only view of the network used to price bulk transfers: a
+/// topology plus (optionally) the live contention meter. Components that
+/// move checkpoint data take a `NetView` instead of a bare [`Topology`],
+/// so the same code prices transfers honestly whether or not anything
+/// else is on the wire.
+#[derive(Clone, Copy)]
+pub struct NetView<'a> {
+    topology: &'a Topology,
+    meter: Option<&'a LinkMeter>,
+}
+
+impl fmt::Debug for NetView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetView")
+            .field("nodes", &self.topology.len())
+            .field("metered", &self.meter.is_some())
+            .finish()
+    }
+}
+
+impl<'a> NetView<'a> {
+    /// A view that ignores contention (legacy cost model).
+    pub fn uncontended(topology: &'a Topology) -> Self {
+        NetView {
+            topology,
+            meter: None,
+        }
+    }
+
+    /// A view that prices transfers against the live link meter.
+    pub fn contended(topology: &'a Topology, meter: &'a LinkMeter) -> Self {
+        NetView {
+            topology,
+            meter: Some(meter),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'a Topology {
+        self.topology
+    }
+
+    /// Price moving `bytes` from `a` to `b` given the current number of
+    /// transfers sharing the link (at least this one).
+    pub fn cost(&self, a: NodeId, b: NodeId, bytes: usize) -> SimTime {
+        let share = self.meter.map_or(1, |m| m.inflight(a, b).max(1));
+        self.topology.contended_cost(a, b, bytes, share)
+    }
+
+    /// Occupy the `a`—`b` link for the duration of a bulk transfer, if
+    /// this view meters contention. Hold the returned slot while copying
+    /// so concurrent transfers see each other.
+    pub fn begin_transfer(&self, a: NodeId, b: NodeId) -> Option<LinkSlot> {
+        self.meter.map(|m| m.begin(a, b))
+    }
+}
 
 /// Identifier of a registered endpoint (one per simulated process, daemon,
 /// or tool connection).
@@ -49,6 +180,7 @@ struct FabricInner {
     next_id: AtomicU64,
     mailboxes: RwLock<HashMap<EndpointId, Mailbox>>,
     stats: RwLock<FabricStats>,
+    link_meter: LinkMeter,
 }
 
 /// Handle to the simulated network. Cheap to clone; all clones share state.
@@ -76,6 +208,7 @@ impl Fabric {
                 next_id: AtomicU64::new(1),
                 mailboxes: RwLock::new(HashMap::new()),
                 stats: RwLock::new(FabricStats::default()),
+                link_meter: LinkMeter::new(),
             }),
         }
     }
@@ -83,6 +216,18 @@ impl Fabric {
     /// The topology this fabric runs over.
     pub fn topology(&self) -> &Topology {
         &self.inner.topology
+    }
+
+    /// The shared per-link contention meter. Bulk-transfer machinery
+    /// (FILEM gathers) registers its in-flight copies here; messages sent
+    /// through the fabric are charged the contended cost of their link.
+    pub fn link_meter(&self) -> &LinkMeter {
+        &self.inner.link_meter
+    }
+
+    /// A contention-aware pricing view over this fabric's topology.
+    pub fn netview(&self) -> NetView<'_> {
+        NetView::contended(&self.inner.topology, &self.inner.link_meter)
     }
 
     /// Register a new endpoint on `node`, returning its receive handle.
@@ -136,7 +281,17 @@ impl Fabric {
             .map(|m| m.node)
             .ok_or(NetError::SenderDead { src })?;
         let mbox = boxes.get(&dst).ok_or(NetError::Unreachable { dst })?;
-        let wire_time = self.inner.topology.cost(src_node, mbox.node, payload.len());
+        // Messages share the wire with any in-flight bulk transfers: a
+        // FILEM gather streaming over this link slows OOB traffic down.
+        let share = self
+            .inner
+            .link_meter
+            .inflight(src_node, mbox.node)
+            .saturating_add(1);
+        let wire_time =
+            self.inner
+                .topology
+                .contended_cost(src_node, mbox.node, payload.len(), share);
         let bytes = payload.len() as u64;
         let delivery = Delivery {
             src,
@@ -437,6 +592,53 @@ mod tests {
         }
         producer.join().unwrap();
         drop(a);
+    }
+
+    #[test]
+    fn link_meter_counts_and_releases() {
+        let meter = LinkMeter::new();
+        assert_eq!(meter.inflight(NodeId(0), NodeId(1)), 0);
+        let s1 = meter.begin(NodeId(0), NodeId(1));
+        let s2 = meter.begin(NodeId(1), NodeId(0)); // same unordered link
+        assert_eq!(meter.inflight(NodeId(0), NodeId(1)), 2);
+        assert_eq!(meter.inflight(NodeId(1), NodeId(0)), 2);
+        drop(s1);
+        assert_eq!(meter.inflight(NodeId(0), NodeId(1)), 1);
+        drop(s2);
+        assert_eq!(meter.inflight(NodeId(0), NodeId(1)), 0);
+        // Other links are unaffected.
+        let _s3 = meter.begin(NodeId(2), NodeId(3));
+        assert_eq!(meter.inflight(NodeId(0), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn netview_prices_by_inflight_share() {
+        let topo = Topology::uniform(2, LinkSpec::gigabit_ethernet());
+        let meter = LinkMeter::new();
+        let view = NetView::contended(&topo, &meter);
+        let base = view.cost(NodeId(0), NodeId(1), 1 << 20);
+        assert_eq!(base, topo.cost(NodeId(0), NodeId(1), 1 << 20));
+        let _a = view.begin_transfer(NodeId(0), NodeId(1));
+        let _b = view.begin_transfer(NodeId(0), NodeId(1));
+        let contended = view.cost(NodeId(0), NodeId(1), 1 << 20);
+        assert_eq!(contended, topo.contended_cost(NodeId(0), NodeId(1), 1 << 20, 2));
+        assert!(contended > base);
+        // Uncontended views never meter.
+        let flat = NetView::uncontended(&topo);
+        assert!(flat.begin_transfer(NodeId(0), NodeId(1)).is_none());
+        assert_eq!(flat.cost(NodeId(0), NodeId(1), 1 << 20), base);
+    }
+
+    #[test]
+    fn sends_slow_down_under_bulk_transfers() {
+        let fabric = two_node_fabric();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        let payload = Bytes::from(vec![0u8; 65536]);
+        let quiet = a.send_to(b.id(), 0, payload.clone()).unwrap();
+        let _slot = fabric.link_meter().begin(NodeId(0), NodeId(1));
+        let busy = a.send_to(b.id(), 0, payload).unwrap();
+        assert!(busy > quiet);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod time;
 pub mod topology;
 
 pub use error::NetError;
-pub use fabric::{Delivery, Endpoint, EndpointId, Fabric};
+pub use fabric::{Delivery, Endpoint, EndpointId, Fabric, LinkMeter, LinkSlot, NetView};
 pub use stats::{EndpointStats, FabricStats};
 pub use time::SimTime;
 pub use topology::{LinkSpec, NodeId, Topology};

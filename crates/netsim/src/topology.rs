@@ -52,12 +52,20 @@ impl LinkSpec {
 
     /// Simulated wire time for a message of `bytes` over this link.
     pub fn transfer_cost(&self, bytes: usize) -> SimTime {
+        self.contended_transfer_cost(bytes, 1)
+    }
+
+    /// Simulated wire time for a message of `bytes` when `share` transfers
+    /// (including this one) occupy the link concurrently: each sees ~1/share
+    /// of the bandwidth, so serialization time scales by `share`. Latency is
+    /// propagation delay and is not shared. `share == 0` is treated as 1.
+    pub fn contended_transfer_cost(&self, bytes: usize, share: u32) -> SimTime {
         let serialization_ns = if self.bandwidth_bytes_per_sec == 0 {
             0
         } else {
             (bytes as u128 * 1_000_000_000 / self.bandwidth_bytes_per_sec as u128) as u64
         };
-        self.latency + SimTime::from_nanos(serialization_ns)
+        self.latency + SimTime::from_nanos(serialization_ns) * u64::from(share.max(1))
     }
 }
 
@@ -145,6 +153,12 @@ impl Topology {
     pub fn cost(&self, a: NodeId, b: NodeId, bytes: usize) -> SimTime {
         self.link(a, b).transfer_cost(bytes)
     }
+
+    /// Simulated cost of moving `bytes` from `a` to `b` while `share`
+    /// transfers (including this one) contend for the link.
+    pub fn contended_cost(&self, a: NodeId, b: NodeId, bytes: usize, share: u32) -> SimTime {
+        self.link(a, b).contended_transfer_cost(bytes, share)
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +216,34 @@ mod tests {
         assert_eq!(t.link(NodeId(0), NodeId(2)), fast);
         assert_eq!(t.link(NodeId(2), NodeId(0)), fast);
         assert_eq!(t.link(NodeId(0), NodeId(1)), LinkSpec::gigabit_ethernet());
+    }
+
+    #[test]
+    fn contended_cost_scales_serialization_only() {
+        let link = LinkSpec {
+            latency: SimTime::from_micros(10),
+            bandwidth_bytes_per_sec: 1_000_000_000, // 1 ns/byte
+        };
+        for k in 1..=8u32 {
+            assert_eq!(
+                link.contended_transfer_cost(1000, k),
+                SimTime::from_micros(10) + SimTime::from_nanos(1000) * u64::from(k)
+            );
+        }
+        // share 0 behaves like an uncontended link
+        assert_eq!(
+            link.contended_transfer_cost(1000, 0),
+            link.transfer_cost(1000)
+        );
+    }
+
+    #[test]
+    fn uncontended_share_matches_transfer_cost() {
+        let t = Topology::uniform(2, LinkSpec::gigabit_ethernet());
+        assert_eq!(
+            t.contended_cost(NodeId(0), NodeId(1), 1 << 20, 1),
+            t.cost(NodeId(0), NodeId(1), 1 << 20)
+        );
     }
 
     #[test]

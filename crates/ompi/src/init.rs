@@ -475,6 +475,14 @@ pub fn restart_from_with_source<A: MpiApp>(
     interval: Option<u64>,
     source: RestartSource,
 ) -> Result<MpiJob<A::State>, CrError> {
+    if source != RestartSource::Replica {
+        // Join any in-flight early-release gather first: either it
+        // promotes its interval to globally committed (and we restart
+        // from it) or it failed (and the interval stays invisible, so we
+        // fall back to the newest globally committed one). Restart never
+        // reads a partially gathered interval either way.
+        runtime.drain_writebehind();
+    }
     let global = GlobalSnapshot::open(global_ref)?;
     let interval = match interval {
         Some(i) => i,
@@ -611,12 +619,12 @@ pub fn restart_from_with_source<A: MpiApp>(
             });
             dirs.insert((rank.0, *ci), dest);
         }
-        let report = filem.copy_all(runtime.topology(), &preload_batch)?;
+        let report = filem.copy_all(runtime.netview(), &preload_batch)?;
         runtime.tracer().record(
             "filem.preload",
             &format!(
                 "{} files, {} bytes, sim {}",
-                report.files, report.bytes, report.sim_cost
+                report.files, report.bytes, report.serialized_cost
             ),
         );
     }

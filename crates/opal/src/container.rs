@@ -253,6 +253,12 @@ impl ProcessContainer {
             &self.hostname,
         )?;
         crs.checkpoint(&image, &mut snapshot)?;
+        // The capture is durable on node-local disk from here on: this is
+        // the local-commit point SNAPC's early release pivots on.
+        self.tracer.record(
+            "opal.crs.local_commit",
+            &format!("{} ({} bytes)", self.name, snapshot.size_bytes().unwrap_or(0)),
+        );
         self.pending
             .lock()
             .as_mut()

@@ -30,29 +30,60 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mca::{Framework, McaParams};
-use netsim::{NodeId, SimTime, Topology};
+use netsim::{NetView, NodeId, SimTime};
 
 use cr_core::CrError;
 
 /// Outcome of one FILEM operation.
+///
+/// Parallel gathers make "the cost" two different numbers: the total
+/// simulated transfer time summed over every copy (the work the cluster
+/// did), and the simulated wall-clock span of the operation (what the
+/// caller waited). Sequential operations report the same value for both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FilemReport {
     /// Files moved.
     pub files: u64,
     /// Payload bytes moved.
     pub bytes: u64,
-    /// Simulated transfer time.
-    pub sim_cost: SimTime,
+    /// Total simulated transfer time summed over every copy, as if they
+    /// ran back to back.
+    pub serialized_cost: SimTime,
+    /// Simulated wall-clock span: with parallel lanes, the longest lane.
+    pub critical_path_cost: SimTime,
 }
 
 impl FilemReport {
-    /// Accumulate another report.
+    /// A report for one indivisible operation costing `cost` of both
+    /// serialized and wall-clock time.
+    pub fn single(files: u64, bytes: u64, cost: SimTime) -> Self {
+        FilemReport {
+            files,
+            bytes,
+            serialized_cost: cost,
+            critical_path_cost: cost,
+        }
+    }
+
+    /// Accumulate a report that ran *after* this one (sequential
+    /// composition): both cost figures add.
     pub fn merge(&mut self, other: FilemReport) {
         self.files += other.files;
         self.bytes += other.bytes;
-        self.sim_cost += other.sim_cost;
+        self.serialized_cost += other.serialized_cost;
+        self.critical_path_cost += other.critical_path_cost;
+    }
+
+    /// Accumulate a report that ran *concurrently* with this one:
+    /// serialized cost adds, wall clock is the longer of the two.
+    pub fn merge_parallel(&mut self, other: FilemReport) {
+        self.files += other.files;
+        self.bytes += other.bytes;
+        self.serialized_cost += other.serialized_cost;
+        self.critical_path_cost = self.critical_path_cost.max(other.critical_path_cost);
     }
 }
 
@@ -75,17 +106,18 @@ pub trait FilemComponent: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Copy a batch of trees. The default walks the batch sequentially;
-    /// components may reorder or group to optimize.
-    fn copy_all(&self, topology: &Topology, batch: &[CopyRequest]) -> Result<FilemReport, CrError> {
+    /// components may reorder or group to optimize. Use
+    /// [`copy_all_parallel`] to run a batch over a bounded worker pool.
+    fn copy_all(&self, net: NetView<'_>, batch: &[CopyRequest]) -> Result<FilemReport, CrError> {
         let mut total = FilemReport::default();
         for req in batch {
-            total.merge(self.copy_tree(topology, req)?);
+            total.merge(self.copy_tree(net, req)?);
         }
         Ok(total)
     }
 
     /// Copy one tree.
-    fn copy_tree(&self, topology: &Topology, req: &CopyRequest) -> Result<FilemReport, CrError>;
+    fn copy_tree(&self, net: NetView<'_>, req: &CopyRequest) -> Result<FilemReport, CrError>;
 
     /// Remove a tree (cleanup of preloaded/scratch data).
     fn remove_tree(&self, path: &Path) -> Result<(), CrError> {
@@ -94,6 +126,58 @@ pub trait FilemComponent: Send + Sync {
         }
         Ok(())
     }
+}
+
+/// Copy a batch over a bounded pool of `workers` threads, charging link
+/// contention honestly: every in-flight copy holds a [`netsim::LinkSlot`]
+/// on its link for its duration, so lanes sharing a wire each see ~1/N of
+/// its bandwidth (and slow down concurrent OOB traffic). Returns the
+/// combined report — serialized cost sums every copy, critical-path cost
+/// is the longest lane. The first copy error is returned after all lanes
+/// finish (no partially abandoned transfers).
+pub fn copy_all_parallel(
+    filem: &dyn FilemComponent,
+    net: NetView<'_>,
+    batch: &[CopyRequest],
+    workers: usize,
+) -> Result<FilemReport, CrError> {
+    if workers <= 1 || batch.len() <= 1 {
+        return filem.copy_all(net, batch);
+    }
+    let lanes = workers.min(batch.len());
+    let next = AtomicUsize::new(0);
+    let lane_results: Vec<Result<FilemReport, CrError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..lanes)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut lane = FilemReport::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(req) = batch.get(i) else {
+                            return Ok(lane);
+                        };
+                        // Hold the link share for the duration of the copy
+                        // so concurrent lanes (and the fabric) see it.
+                        let _slot = net.begin_transfer(req.src_node, req.dest_node);
+                        lane.merge(filem.copy_tree(net, req)?);
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(CrError::protocol("FILEM gather worker panicked"))
+                })
+            })
+            .collect()
+    });
+    let mut total = FilemReport::default();
+    for lane in lane_results {
+        total.merge_parallel(lane?);
+    }
+    Ok(total)
 }
 
 /// Recursively copy `src` to `dest`, returning per-file sizes.
@@ -138,19 +222,15 @@ impl FilemComponent for RshSimFilem {
         "rsh_sim"
     }
 
-    fn copy_tree(&self, topology: &Topology, req: &CopyRequest) -> Result<FilemReport, CrError> {
+    fn copy_tree(&self, net: NetView<'_>, req: &CopyRequest) -> Result<FilemReport, CrError> {
         let sizes = copy_tree_files(&req.src, &req.dest)?;
         let mut cost = SimTime::ZERO;
         let mut bytes = 0u64;
         for size in &sizes {
-            cost += self.session + topology.cost(req.src_node, req.dest_node, *size as usize);
+            cost += self.session + net.cost(req.src_node, req.dest_node, *size as usize);
             bytes += size;
         }
-        Ok(FilemReport {
-            files: sizes.len() as u64,
-            bytes,
-            sim_cost: cost,
-        })
+        Ok(FilemReport::single(sizes.len() as u64, bytes, cost))
     }
 }
 
@@ -174,15 +254,11 @@ impl FilemComponent for OobStreamFilem {
         "oob_stream"
     }
 
-    fn copy_tree(&self, topology: &Topology, req: &CopyRequest) -> Result<FilemReport, CrError> {
+    fn copy_tree(&self, net: NetView<'_>, req: &CopyRequest) -> Result<FilemReport, CrError> {
         let sizes = copy_tree_files(&req.src, &req.dest)?;
         let bytes: u64 = sizes.iter().sum();
-        let cost = self.session + topology.cost(req.src_node, req.dest_node, bytes as usize);
-        Ok(FilemReport {
-            files: sizes.len() as u64,
-            bytes,
-            sim_cost: cost,
-        })
+        let cost = self.session + net.cost(req.src_node, req.dest_node, bytes as usize);
+        Ok(FilemReport::single(sizes.len() as u64, bytes, cost))
     }
 }
 
@@ -210,15 +286,11 @@ impl FilemComponent for ReplicaFilem {
         "replica"
     }
 
-    fn copy_tree(&self, topology: &Topology, req: &CopyRequest) -> Result<FilemReport, CrError> {
+    fn copy_tree(&self, net: NetView<'_>, req: &CopyRequest) -> Result<FilemReport, CrError> {
         let sizes = copy_tree_files(&req.src, &req.dest)?;
         let bytes: u64 = sizes.iter().sum();
-        let cost = self.session + topology.cost(req.src_node, req.dest_node, bytes as usize);
-        Ok(FilemReport {
-            files: sizes.len() as u64,
-            bytes,
-            sim_cost: cost,
-        })
+        let cost = self.session + net.cost(req.src_node, req.dest_node, bytes as usize);
+        Ok(FilemReport::single(sizes.len() as u64, bytes, cost))
     }
 }
 
@@ -247,7 +319,7 @@ pub fn filem_framework() -> Framework<dyn FilemComponent> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::LinkSpec;
+    use netsim::{LinkMeter, LinkSpec, Topology};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -281,7 +353,7 @@ mod tests {
         let filem = RshSimFilem::from_params(&McaParams::new());
         let report = filem
             .copy_tree(
-                &topo(),
+                NetView::uncontended(&topo()),
                 &CopyRequest {
                     src: src.clone(),
                     src_node: NodeId(1),
@@ -292,7 +364,8 @@ mod tests {
             .unwrap();
         assert_eq!(report.files, 3);
         assert_eq!(report.bytes, expected_bytes);
-        assert!(report.sim_cost > SimTime::ZERO);
+        assert!(report.serialized_cost > SimTime::ZERO);
+        assert_eq!(report.serialized_cost, report.critical_path_cost);
         assert_eq!(fs::read(dest.join("context.bin")).unwrap(), vec![0u8; 4096]);
         assert_eq!(
             fs::read(dest.join("sub").join("extra")).unwrap(),
@@ -310,7 +383,7 @@ mod tests {
         let filem = OobStreamFilem::from_params(&McaParams::new());
         let report = filem
             .copy_tree(
-                &topo(),
+                NetView::uncontended(&topo()),
                 &CopyRequest {
                     src,
                     src_node: NodeId(0),
@@ -330,7 +403,7 @@ mod tests {
         let filem = RshSimFilem::from_params(&McaParams::new());
         let err = filem
             .copy_tree(
-                &topo(),
+                NetView::uncontended(&topo()),
                 &CopyRequest {
                     src: base.join("nope"),
                     src_node: NodeId(0),
@@ -361,10 +434,10 @@ mod tests {
             dest: base.join(dest),
             dest_node: NodeId(0),
         };
-        let rsh_report = rsh.copy_tree(&topo(), &req("rsh_out")).unwrap();
-        let stream_report = stream.copy_tree(&topo(), &req("stream_out")).unwrap();
+        let rsh_report = rsh.copy_tree(NetView::uncontended(&topo()), &req("rsh_out")).unwrap();
+        let stream_report = stream.copy_tree(NetView::uncontended(&topo()), &req("stream_out")).unwrap();
         assert_eq!(rsh_report.bytes, stream_report.bytes);
-        assert!(rsh_report.sim_cost > stream_report.sim_cost * 5);
+        assert!(rsh_report.serialized_cost > stream_report.serialized_cost * 5);
     }
 
     #[test]
@@ -382,7 +455,7 @@ mod tests {
             });
         }
         let filem = RshSimFilem::from_params(&McaParams::new());
-        let report = filem.copy_all(&topo(), &batch).unwrap();
+        let report = filem.copy_all(NetView::uncontended(&topo()), &batch).unwrap();
         assert_eq!(report.files, 9);
         for i in 0..3 {
             assert!(base.join(format!("dest{i}")).join("context.bin").is_file());
@@ -405,6 +478,97 @@ mod tests {
     }
 
     #[test]
+    fn merge_sequential_vs_parallel_cost_composition() {
+        let a = FilemReport::single(1, 100, SimTime::from_millis(10));
+        let b = FilemReport::single(2, 200, SimTime::from_millis(30));
+        let mut seq = a;
+        seq.merge(b);
+        assert_eq!(seq.files, 3);
+        assert_eq!(seq.bytes, 300);
+        assert_eq!(seq.serialized_cost, SimTime::from_millis(40));
+        assert_eq!(seq.critical_path_cost, SimTime::from_millis(40));
+        let mut par = a;
+        par.merge_parallel(b);
+        assert_eq!(par.files, 3);
+        assert_eq!(par.bytes, 300);
+        assert_eq!(par.serialized_cost, SimTime::from_millis(40));
+        assert_eq!(par.critical_path_cost, SimTime::from_millis(30));
+    }
+
+    fn parallel_batch(base: &Path, n: u32) -> (Vec<CopyRequest>, u64) {
+        let mut batch = Vec::new();
+        let mut total = 0u64;
+        for i in 0..n {
+            let src = base.join(format!("psrc{i}"));
+            total += make_tree(&src);
+            batch.push(CopyRequest {
+                src,
+                src_node: NodeId(i % 3),
+                dest: base.join(format!("pdest{i}")),
+                dest_node: NodeId(0),
+            });
+        }
+        (batch, total)
+    }
+
+    #[test]
+    fn copy_all_parallel_moves_everything() {
+        let base = tmpdir("par");
+        let (batch, total_bytes) = parallel_batch(&base, 6);
+        let filem = OobStreamFilem::from_params(&McaParams::new());
+        let topo = topo();
+        let report = copy_all_parallel(&filem, NetView::uncontended(&topo), &batch, 4).unwrap();
+        assert_eq!(report.files, 18);
+        assert_eq!(report.bytes, total_bytes);
+        // Wall clock can't exceed total work, and a 4-lane run over 6 trees
+        // must finish in less serialized time than it spent in total.
+        assert!(report.critical_path_cost <= report.serialized_cost);
+        for i in 0..6 {
+            assert!(base.join(format!("pdest{i}")).join("context.bin").is_file());
+        }
+        // workers=1 degenerates to the sequential walk, costs equal.
+        let seq = filem.copy_all(NetView::uncontended(&topo), &batch).unwrap();
+        assert_eq!(seq.serialized_cost, seq.critical_path_cost);
+        assert_eq!(seq.bytes, report.bytes);
+    }
+
+    #[test]
+    fn copy_all_parallel_charges_contention_when_metered() {
+        let base = tmpdir("par_meter");
+        let (batch, total_bytes) = parallel_batch(&base, 6);
+        let filem = OobStreamFilem::from_params(&McaParams::new());
+        let topo = topo();
+        let meter = LinkMeter::new();
+        let report =
+            copy_all_parallel(&filem, NetView::contended(&topo, &meter), &batch, 4).unwrap();
+        assert_eq!(report.bytes, total_bytes);
+        // All slots were released when the gather finished.
+        for a in topo.nodes() {
+            assert_eq!(meter.inflight(a, NodeId(0)), 0);
+        }
+        // Contended serialization can only make copies costlier than the
+        // uncontended sequential walk's per-copy prices.
+        let quiet = filem.copy_all(NetView::uncontended(&topo), &batch).unwrap();
+        assert!(report.serialized_cost >= quiet.serialized_cost);
+    }
+
+    #[test]
+    fn copy_all_parallel_reports_first_error() {
+        let base = tmpdir("par_err");
+        let (mut batch, _) = parallel_batch(&base, 3);
+        batch.push(CopyRequest {
+            src: base.join("does-not-exist"),
+            src_node: NodeId(1),
+            dest: base.join("err_out"),
+            dest_node: NodeId(0),
+        });
+        let filem = OobStreamFilem::from_params(&McaParams::new());
+        let topo = topo();
+        let err = copy_all_parallel(&filem, NetView::uncontended(&topo), &batch, 4).unwrap_err();
+        assert!(matches!(err, CrError::Io { .. }));
+    }
+
+    #[test]
     fn replica_session_is_cheapest() {
         // The drain streams from memory: its per-tree session setup must
         // undercut even oob_stream's connection establishment.
@@ -420,10 +584,10 @@ mod tests {
             dest: base.join(dest),
             dest_node: NodeId(0),
         };
-        let s = stream.copy_tree(&topo(), &req("stream_out")).unwrap();
-        let r = replica.copy_tree(&topo(), &req("replica_out")).unwrap();
+        let s = stream.copy_tree(NetView::uncontended(&topo()), &req("stream_out")).unwrap();
+        let r = replica.copy_tree(NetView::uncontended(&topo()), &req("replica_out")).unwrap();
         assert_eq!(s.bytes, r.bytes);
-        assert!(r.sim_cost < s.sim_cost);
+        assert!(r.serialized_cost < s.serialized_cost);
         assert!(base.join("replica_out").join("context.bin").is_file());
     }
 }

@@ -97,7 +97,10 @@ pub struct JobHandle {
     placement: Placement,
     procs: Vec<ProcEntry>,
     terminate: Arc<AtomicBool>,
-    global_snapshot: Mutex<Option<GlobalSnapshot>>,
+    /// Shared with early-release gather threads: promotions must go
+    /// through the same cached document a later interval's commit will
+    /// write, or a save via a stale copy would lose the promotion.
+    global_snapshot: Arc<Mutex<Option<GlobalSnapshot>>>,
     resume_floor: Option<u64>,
     /// Serializes distributed checkpoint requests: overlapping requests
     /// would interleave at the daemons in inconsistent orders across
@@ -178,6 +181,14 @@ impl JobHandle {
         Ok(parking_lot::MutexGuard::map(guard, |g| {
             g.as_mut().expect("just initialized")
         }))
+    }
+
+    /// The shared global-snapshot cell, for write-behind gather threads
+    /// that outlive this handle's borrow: promoting an interval after the
+    /// asynchronous gather lands must mutate the same cached metadata
+    /// document subsequent commits save through.
+    pub fn global_snapshot_cell(&self) -> Arc<Mutex<Option<GlobalSnapshot>>> {
+        Arc::clone(&self.global_snapshot)
     }
 
     /// Request a distributed checkpoint through the selected SNAPC
@@ -323,7 +334,7 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
         placement,
         procs,
         terminate,
-        global_snapshot: Mutex::new(None),
+        global_snapshot: Arc::new(Mutex::new(None)),
         resume_floor: spec.resume_floor,
         checkpoint_serial: Mutex::new(()),
     })

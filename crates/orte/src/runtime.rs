@@ -16,12 +16,12 @@
 //! hold small delta contexts and stable storage grows by the delta size,
 //! not the full image size, per interval.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use netsim::{Fabric, NodeId, Topology};
+use netsim::{Fabric, NetView, NodeId, Topology};
 use parking_lot::Mutex;
 
 use cr_core::{CrError, JobId, Tracer};
@@ -37,6 +37,7 @@ struct RtInner {
     next_job: AtomicU32,
     daemons: Mutex<HashMap<NodeId, Arc<Orted>>>,
     drains: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    failed: Mutex<HashSet<NodeId>>,
 }
 
 /// Cheap-to-clone handle to the simulated cluster environment.
@@ -68,6 +69,7 @@ impl Runtime {
                 next_job: AtomicU32::new(1),
                 daemons: Mutex::new(HashMap::new()),
                 drains: Mutex::new(Vec::new()),
+                failed: Mutex::new(HashSet::new()),
             }),
         })
     }
@@ -80,6 +82,13 @@ impl Runtime {
     /// The cluster topology.
     pub fn topology(&self) -> &Topology {
         self.inner.fabric.topology()
+    }
+
+    /// Contention-aware pricing view over the fabric: bulk transfers
+    /// registered here share link bandwidth with each other and with OOB
+    /// traffic.
+    pub fn netview(&self) -> NetView<'_> {
+        self.inner.fabric.netview()
     }
 
     /// The rendezvous store.
@@ -114,6 +123,7 @@ impl Runtime {
 
     /// The daemon of `node`, starting it if necessary.
     pub fn ensure_daemon(&self, node: NodeId) -> Arc<Orted> {
+        self.inner.failed.lock().remove(&node);
         let mut daemons = self.inner.daemons.lock();
         Arc::clone(daemons.entry(node).or_insert_with(|| {
             self.inner.tracer.record("orte.daemon.spawn", &node.to_string());
@@ -140,11 +150,20 @@ impl Runtime {
     /// Node-local scratch files are left behind, as a dead node's disk
     /// would be — unreachable until the "node" comes back.
     pub fn kill_daemon(&self, node: NodeId) {
+        self.inner.failed.lock().insert(node);
         let daemon = self.inner.daemons.lock().remove(&node);
         if let Some(daemon) = daemon {
             self.inner.tracer.record("orte.daemon.kill", &node.to_string());
             daemon.shutdown();
         }
+    }
+
+    /// True when `node` was killed and has not been brought back. In-flight
+    /// gathers consult this: a dead node's local scratch is unreachable,
+    /// so copies sourced from it must fail rather than silently read the
+    /// host filesystem.
+    pub fn node_failed(&self, node: NodeId) -> bool {
+        self.inner.failed.lock().contains(&node)
     }
 
     /// Track a write-behind drain thread (FILEM `replica`'s asynchronous
@@ -237,6 +256,23 @@ mod tests {
         assert_eq!(rt.daemons().len(), 2);
         rt.shutdown();
         assert!(rt.daemons().is_empty());
+    }
+
+    #[test]
+    fn killed_nodes_are_marked_failed_until_respawned() {
+        let rt = Runtime::new(
+            Topology::uniform(2, LinkSpec::gigabit_ethernet()),
+            tmpbase("failed"),
+        )
+        .unwrap();
+        rt.ensure_daemon(NodeId(1));
+        assert!(!rt.node_failed(NodeId(1)));
+        rt.kill_daemon(NodeId(1));
+        assert!(rt.node_failed(NodeId(1)));
+        assert!(!rt.node_failed(NodeId(0)));
+        rt.ensure_daemon(NodeId(1));
+        assert!(!rt.node_failed(NodeId(1)));
+        rt.shutdown();
     }
 
     #[test]

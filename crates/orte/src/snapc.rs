@@ -31,10 +31,10 @@ use mca::Framework;
 use netsim::NodeId;
 
 use cr_core::request::{CheckpointOptions, CheckpointOutcome};
-use cr_core::{CrError, JobId, Rank};
+use cr_core::{CommitState, CrError, JobId, Rank};
 use opal::container::OpalCtrl;
 
-use crate::filem::{filem_framework, CopyRequest};
+use crate::filem::{copy_all_parallel, filem_framework, CopyRequest};
 use crate::job::JobHandle;
 use crate::oob::{recv_oob_timeout, send_oob, DaemonMsg, DaemonReply, RankCkpt};
 use crate::runtime::Runtime;
@@ -112,8 +112,11 @@ fn cleanup_scratch(
 struct GatherStats {
     /// Context-file bytes shipped off the compute nodes.
     bytes: u64,
-    /// Simulated wall time charged (nanoseconds).
+    /// Simulated wall time charged to the *caller* (nanoseconds): the
+    /// gather's critical path when blocking, ~0 under early release.
     sim_ns: u64,
+    /// Commit progress when the request returned.
+    commit: CommitState,
 }
 
 /// Gather/commit/cleanup tail shared by the `full` and `tree` components.
@@ -127,8 +130,15 @@ struct GatherStats {
 /// memory footprint scale with the delta size, not the full image size.
 ///
 /// With any classic FILEM component the tail is the
-/// paper's Figure 1-F: synchronously copy every local snapshot to stable
-/// storage, commit the interval, then remove the scratch copies.
+/// paper's Figure 1-F: copy every local snapshot to stable storage over a
+/// bounded worker pool (`snapc_gather_workers`), commit the interval,
+/// then remove the scratch copies. `snapc_early_release=true` pipelines
+/// this commit: the interval is *locally* committed (every capture on
+/// node-local disk), the request returns immediately, and the gather,
+/// promotion to global commit, and scratch cleanup run on a registered
+/// write-behind thread concurrently with resumed application progress. A
+/// node failure mid-gather leaves the interval local-committed — invisible
+/// to restart, which falls back to the newest globally committed one.
 ///
 /// With `filem=replica` the durable commit happens into *peer memory*
 /// first: every rank's image is ring-replicated into `k + 1` daemons'
@@ -162,6 +172,15 @@ fn gather_commit_cleanup(
     let filem = filem_fw.select(params).map_err(|e| CrError::Unsupported {
         detail: e.to_string(),
     })?;
+
+    // Bounded gather pool shared by every commit flavour below.
+    let workers = params
+        .get_parsed_or("snapc_gather_workers", 4usize)
+        .unwrap_or(4)
+        .max(1);
+    let early_release = params
+        .get_bool_or("snapc_early_release", false)
+        .unwrap_or(false);
 
     let batch: Vec<CopyRequest> = results
         .iter()
@@ -210,16 +229,20 @@ fn gather_commit_cleanup(
             global.commit_interval(interval, &ranks_info)?;
         }
         // Write-behind: the stable-storage copy (and the scratch cleanup
-        // behind it) runs off the critical path.
+        // behind it) runs off the critical path, over the bounded gather
+        // pool so the drain itself shares links fairly.
         let drain_rt = runtime.clone();
         let drain = move || {
-            match filem.copy_all(drain_rt.topology(), &batch) {
+            match copy_all_parallel(&*filem, drain_rt.netview(), &batch, workers) {
                 Ok(report) => {
                     drain_rt.tracer().record(
                         "filem.drain",
                         &format!(
-                            "{} files, {} bytes, sim {}",
-                            report.files, report.bytes, report.sim_cost
+                            "{} files, {} bytes, sim {} (critical path {})",
+                            report.files,
+                            report.bytes,
+                            report.serialized_cost,
+                            report.critical_path_cost
                         ),
                     );
                     if let Err(e) = cleanup_scratch(&drain_rt, job_id, interval, &nodes) {
@@ -240,20 +263,117 @@ fn gather_commit_cleanup(
         } else {
             drain();
         }
+        // Peer memory *is* the durable commit for the replica component.
         return Ok(GatherStats {
             bytes: outcome.bytes,
             sim_ns: outcome.sim_cost.as_nanos(),
+            commit: CommitState::GlobalCommitted,
         });
     }
 
-    // Classic path: synchronous gather to stable storage (Figure 1-F),
-    // processes already resumed.
-    let report = filem.copy_all(runtime.topology(), &batch)?;
+    if early_release {
+        // Pipelined commit: the ranks already resumed at their quiesce
+        // gates; record the interval as locally committed and hand the
+        // gather to a write-behind worker. Restart cannot see the
+        // interval until the promotion below lands.
+        {
+            let mut global = job.global_snapshot()?;
+            global.record_ckpt_chain(interval, &chain_info)?;
+            global.local_commit_interval(interval, &ranks_info)?;
+        }
+        tracer.record(
+            "snapc.global.local_commit",
+            &format!("interval {interval}{tag}"),
+        );
+        let bytes: u64 = results.iter().map(|(_, c)| c.bytes).sum();
+        let delay_ms = params
+            .get_parsed_or("snapc_gather_delay_ms", 0u64)
+            .unwrap_or(0);
+        let cell = job.global_snapshot_cell();
+        let src_nodes: Vec<NodeId> = batch.iter().map(|r| r.src_node).collect();
+        let drain_rt = runtime.clone();
+        let tag = tag.to_string();
+        let gather = move || {
+            if delay_ms > 0 {
+                // Fault-window knob for tests/ablation: widens the span in
+                // which the interval is local-committed only.
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+            }
+            // A dead source node's local scratch is unreachable; its
+            // interval must stay local-committed (restart falls back).
+            if let Some(dead) = src_nodes.iter().find(|n| drain_rt.node_failed(**n)) {
+                drain_rt.tracer().record(
+                    "filem.gather.error",
+                    &format!(
+                        "interval {interval}: source {dead} failed mid-gather; \
+                         interval stays local-committed"
+                    ),
+                );
+                return;
+            }
+            match copy_all_parallel(&*filem, drain_rt.netview(), &batch, workers) {
+                Ok(report) => {
+                    let promoted = match cell.lock().as_mut() {
+                        Some(global) => global.promote_interval(interval),
+                        None => Err(CrError::protocol(
+                            "global snapshot cell empty during promotion",
+                        )),
+                    };
+                    match promoted {
+                        Ok(()) => {
+                            drain_rt.tracer().record(
+                                "filem.gather",
+                                &format!(
+                                    "{} files, {} bytes, sim {} (critical path {}){tag}",
+                                    report.files,
+                                    report.bytes,
+                                    report.serialized_cost,
+                                    report.critical_path_cost
+                                ),
+                            );
+                            if let Err(e) =
+                                cleanup_scratch(&drain_rt, job_id, interval, &nodes)
+                            {
+                                drain_rt
+                                    .tracer()
+                                    .record("filem.gather.error", &e.to_string());
+                            }
+                            drain_rt.tracer().record(
+                                "snapc.global.global_commit",
+                                &format!("interval {interval}"),
+                            );
+                        }
+                        Err(e) => drain_rt
+                            .tracer()
+                            .record("filem.gather.error", &e.to_string()),
+                    }
+                }
+                Err(e) => drain_rt.tracer().record(
+                    "filem.gather.error",
+                    &format!("interval {interval}: {e}"),
+                ),
+            }
+        };
+        let handle = std::thread::Builder::new()
+            .name("filem-gather".into())
+            .spawn(gather)
+            .map_err(|e| CrError::protocol(format!("spawn gather thread: {e}")))?;
+        runtime.register_drain(handle);
+        return Ok(GatherStats {
+            bytes,
+            sim_ns: 0,
+            commit: CommitState::LocalCommitted,
+        });
+    }
+
+    // Classic path: blocking gather to stable storage (Figure 1-F) over
+    // the bounded worker pool, processes already resumed.
+    let report = copy_all_parallel(&*filem, runtime.netview(), &batch, workers)?;
     tracer.record(
         "filem.gather",
         &format!(
-            "{} files, {} bytes, sim {}{tag}",
-            report.files, report.bytes, report.sim_cost
+            "{} files, {} bytes, sim {} (critical path {}){tag}",
+            report.files, report.bytes, report.serialized_cost, report.critical_path_cost
         ),
     );
     {
@@ -264,7 +384,8 @@ fn gather_commit_cleanup(
     cleanup_scratch(runtime, job_id, interval, &nodes)?;
     Ok(GatherStats {
         bytes: report.bytes,
-        sim_ns: report.sim_cost.as_nanos(),
+        sim_ns: report.critical_path_cost.as_nanos(),
+        commit: CommitState::GlobalCommitted,
     })
 }
 
@@ -403,6 +524,7 @@ impl SnapcComponent for FullSnapc {
             ranks: job.nprocs(),
             bytes_moved: stats.bytes,
             sim_ns: stats.sim_ns,
+            commit: stats.commit,
         })
     }
 }
@@ -537,6 +659,7 @@ impl SnapcComponent for TreeSnapc {
             ranks: job.nprocs(),
             bytes_moved: stats.bytes,
             sim_ns: stats.sim_ns,
+            commit: stats.commit,
         })
     }
 }
@@ -635,6 +758,7 @@ impl SnapcComponent for DirectSnapc {
             ranks: job.nprocs(),
             bytes_moved,
             sim_ns: 0,
+            commit: CommitState::GlobalCommitted,
         })
     }
 }
@@ -704,6 +828,7 @@ mod tests {
         let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
         assert_eq!(outcome.ranks, 4);
         assert_eq!(outcome.interval, 0);
+        assert_eq!(outcome.commit, CommitState::GlobalCommitted);
 
         let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
         assert_eq!(global.intervals(), vec![0]);
@@ -808,6 +933,71 @@ mod tests {
         tracer.assert_order("snapc.app.done", "snapc.local.done");
         tracer.assert_order("snapc.local.done", "filem.gather");
         tracer.assert_order("filem.gather", "snapc.global.reference_returned");
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn early_release_returns_before_gather_and_promotes_after_drain() {
+        let rt = runtime("early", 2);
+        let params = Arc::new(McaParams::new());
+        params.set("snapc_early_release", "true");
+        params.set("snapc_gather_delay_ms", "150");
+        let handle = launch_spinning(&rt, 4, params);
+        rt.tracer().clear();
+        let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        // The request came back with only the local commit done and no
+        // gather wall time charged to the app.
+        assert_eq!(outcome.commit, CommitState::LocalCommitted);
+        assert_eq!(outcome.sim_ns, 0);
+        {
+            let global = handle.global_snapshot().unwrap();
+            assert_eq!(global.commit_state(0), CommitState::LocalCommitted);
+        }
+        rt.tracer()
+            .assert_order("snapc.global.local_commit", "snapc.global.reference_returned");
+
+        // Joining the write-behind gather promotes the interval.
+        rt.drain_writebehind();
+        {
+            let global = handle.global_snapshot().unwrap();
+            assert_eq!(global.commit_state(0), CommitState::GlobalCommitted);
+        }
+        // The gather ran after the reference was already returned.
+        rt.tracer()
+            .assert_order("snapc.global.reference_returned", "filem.gather");
+        rt.tracer()
+            .assert_order("filem.gather", "snapc.global.global_commit");
+
+        // A fresh reader sees a complete, restorable interval.
+        let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
+        assert_eq!(global.intervals(), vec![0]);
+        assert_eq!(global.local_snapshots(0).unwrap().len(), 4);
+
+        handle.request_terminate();
+        handle.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn early_release_intervals_do_not_collide() {
+        let rt = runtime("early_seq", 2);
+        let params = Arc::new(McaParams::new());
+        params.set("snapc_early_release", "true");
+        params.set("snapc_gather_delay_ms", "100");
+        let handle = launch_spinning(&rt, 2, params);
+        // Second request fires while the first interval is still only
+        // locally committed; numbering must still advance.
+        let first = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        let second = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
+        assert_eq!(first.interval, 0);
+        assert_eq!(second.interval, 1);
+        rt.drain_writebehind();
+        let global = GlobalSnapshot::open(&handle.global_snapshot_path()).unwrap();
+        assert_eq!(global.intervals(), vec![0, 1]);
+        assert_eq!(global.commit_state(0), CommitState::GlobalCommitted);
+        assert_eq!(global.commit_state(1), CommitState::GlobalCommitted);
         handle.request_terminate();
         handle.join().unwrap();
         rt.shutdown();

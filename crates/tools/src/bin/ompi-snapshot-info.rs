@@ -33,11 +33,20 @@ fn run() -> Result<(), String> {
     println!("  ranks:     {}", global.nprocs());
     let intervals = global.intervals();
     println!("  intervals: {intervals:?}");
+    let pending = global.local_committed_intervals();
+    if !pending.is_empty() {
+        // Early-release gathers still in flight (or stranded by a
+        // mid-gather failure): visible for diagnosis, unusable for restart.
+        println!("  local-committed (not restartable): {pending:?}");
+    }
     for interval in &intervals {
         let size = global
             .interval_size_bytes(*interval)
             .map_err(|e| e.to_string())?;
-        println!("  interval {interval}: {size} bytes on stable storage");
+        println!(
+            "  interval {interval}: {size} bytes on stable storage ({})",
+            global.commit_state(*interval)
+        );
         for r in 0..global.nprocs() {
             let local = global
                 .local_snapshot(*interval, Rank(r))

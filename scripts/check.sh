@@ -18,6 +18,13 @@ RESTART_LATENCY_SMOKE=1 cargo bench -q -p bench --bench restart_latency
 CKPT_INCREMENTAL_SMOKE=1 BENCH_CKPT_JSON="$PWD/BENCH_ckpt.json" \
   cargo bench -q -p bench --bench ckpt_incremental
 
+# Pipelined-commit smoke: the bench asserts the early-release stall is
+# ≤ 50% of the blocking stall at 8 ranks and that k concurrent transfers
+# on one shared link are each charged ~1/k bandwidth, and writes the
+# machine-readable comparison to BENCH_commit.json.
+CKPT_OVERLAP_SMOKE=1 BENCH_COMMIT_JSON="$PWD/BENCH_commit.json" \
+  cargo bench -q -p bench --bench ckpt_overlap
+
 # Ratchet: the cr-lint baseline may shrink but never grow.
 baseline_lines=$(grep -cv '^#' lint.allow)
 baseline_sites=$(grep -v '^#' lint.allow | awk -F'\t' '{s+=$3} END {print s}')

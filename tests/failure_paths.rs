@@ -5,11 +5,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cr_core::request::CheckpointOptions;
-use cr_core::{CrError, GlobalSnapshot};
+use cr_core::{CommitState, CrError, GlobalSnapshot};
 use mca::McaParams;
+use netsim::NodeId;
 use ompi::app::RunEnd;
 use ompi::{mpirun, restart_from, RunConfig};
 use ompi_cr::test_runtime;
+use proptest::prelude::*;
 use workloads::ring::{reference_checksums, RingApp};
 
 #[test]
@@ -142,6 +144,105 @@ fn restart_from_nonexistent_reference_fails_loudly() {
     };
     assert!(matches!(err, CrError::BadSnapshot { .. }));
     rt.shutdown();
+}
+
+#[test]
+fn mid_gather_node_failure_falls_back_to_last_global_commit() {
+    // Early-release pipeline: interval 0 is fully gathered (globally
+    // committed), interval 1's gather loses a source node between local
+    // and global commit. Restart must ignore interval 1 and restore the
+    // newest globally committed interval, 0.
+    let rt = test_runtime("mid_gather", 2);
+    let rounds = 150_000;
+    let app = Arc::new(RingApp { rounds });
+    let params = Arc::new(McaParams::new());
+    params.set("snapc_early_release", "true");
+    params.set("snapc_gather_delay_ms", "400"); // fault window for the kill below
+    let job = mpirun(
+        &rt,
+        Arc::clone(&app),
+        RunConfig {
+            nprocs: 4,
+            params,
+        },
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+
+    let first = job.checkpoint(&CheckpointOptions::tool()).unwrap();
+    assert_eq!(first.commit, CommitState::LocalCommitted);
+    rt.drain_writebehind(); // interval 0 reaches stable storage
+
+    let second = job
+        .checkpoint(&CheckpointOptions::tool().and_terminate())
+        .unwrap();
+    assert_eq!(second.interval, first.interval + 1);
+    job.wait().unwrap();
+    // Node 1 dies inside the gather's fault window: rank scratch on it is
+    // now unreachable, so interval 1 can never be promoted.
+    rt.kill_daemon(NodeId(1));
+
+    // `restart_from` first joins the in-flight gather (which aborts on
+    // the dead source), then selects the newest *globally* committed
+    // interval.
+    let restarted = restart_from(&rt, Arc::clone(&app), &second.global_snapshot, None).unwrap();
+    let results = restarted.wait().unwrap();
+
+    let global = GlobalSnapshot::open(&second.global_snapshot).unwrap();
+    assert_eq!(global.intervals(), vec![first.interval]);
+    assert_eq!(global.commit_state(first.interval), CommitState::GlobalCommitted);
+    assert_eq!(global.commit_state(second.interval), CommitState::LocalCommitted);
+    assert!(rt.tracer().count_prefix("filem.gather.error") > 0);
+
+    // The restart restored interval 0 and still computed the fault-free
+    // answer.
+    let expected = reference_checksums(4, rounds);
+    for (r, (state, end)) in results.iter().enumerate() {
+        assert_eq!(*end, RunEnd::Completed, "rank {r}");
+        assert_eq!(state.checksum, expected[r], "rank {r} checksum");
+    }
+    rt.shutdown();
+}
+
+proptest! {
+    /// Early release never lets a restart read a partially gathered
+    /// interval: whatever mix of promoted and local-only intervals exists,
+    /// the restart-facing accessors expose exactly the promoted ones.
+    #[test]
+    fn restart_never_sees_partially_gathered_intervals(promotions in proptest::collection::vec(any::<bool>(), 1..8)) {
+        let dir = std::env::temp_dir().join(format!(
+            "failure_paths_prop_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut global = GlobalSnapshot::create(&dir, cr_core::JobId(9), 2).unwrap();
+        let mut promoted = Vec::new();
+        let mut local_only = Vec::new();
+        for promote in &promotions {
+            let (interval, _) = global.begin_interval().unwrap();
+            global.local_commit_interval(interval, &[]).unwrap();
+            if *promote {
+                global.promote_interval(interval).unwrap();
+                promoted.push(interval);
+            } else {
+                local_only.push(interval);
+            }
+        }
+        prop_assert_eq!(global.intervals(), promoted.clone());
+        prop_assert_eq!(global.latest_interval(), promoted.last().copied());
+        prop_assert_eq!(global.local_committed_intervals(), local_only.clone());
+        for interval in &local_only {
+            prop_assert_eq!(global.commit_state(*interval), CommitState::LocalCommitted);
+            let err = global.local_snapshots(*interval).unwrap_err();
+            prop_assert!(err.to_string().contains("never committed"));
+        }
+        for interval in &promoted {
+            prop_assert_eq!(global.commit_state(*interval), CommitState::GlobalCommitted);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]
