@@ -16,12 +16,16 @@
 //! * [`ids`] — job / process naming shared across layers.
 //! * [`trace`] — an event tracer used by tests and benchmarks to assert the
 //!   coordination orderings shown in the paper's Figures 1 and 2.
+//! * [`events`] — the trace-event registry: every phase string recorded in
+//!   production code, enforced by the `cr-lint` `trace-keys` rule the same
+//!   way `mca::registry::KNOWN_PARAMS` backs the `mca-keys` rule.
 //! * [`error`] — the common error type.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod events;
 pub mod ids;
 pub mod inc;
 pub mod request;
@@ -30,6 +34,7 @@ pub mod state;
 pub mod trace;
 
 pub use error::CrError;
+pub use events::{is_known_event, TraceEventDef, KNOWN_TRACE_EVENTS};
 pub use ids::{JobId, ProcessName, Rank};
 pub use inc::IncRegistry;
 pub use request::{CheckpointOptions, CheckpointOutcome};

@@ -215,6 +215,15 @@ impl LocalSnapshot {
 /// ([`GlobalSnapshot::intervals`], [`GlobalSnapshot::latest_interval`],
 /// [`GlobalSnapshot::local_snapshots`]) see only globally committed
 /// intervals, so a restart can never read a partially gathered one.
+///
+/// This module is the lattice's single authority: components change a
+/// commit state only through [`GlobalSnapshot::commit_interval`],
+/// [`GlobalSnapshot::local_commit_interval`], and
+/// [`GlobalSnapshot::promote_interval`], and read it back with
+/// [`GlobalSnapshot::commit_state`] — the `commit-state` cr-lint rule
+/// rejects `CommitState` values minted anywhere else, and the `cr-model`
+/// `commit` model verifies the protocol's promotion monotonicity under
+/// every interleaving (DESIGN.md §2.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CommitState {
     /// Begun but not yet recorded anywhere durable.

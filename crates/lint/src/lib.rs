@@ -3,12 +3,15 @@
 //! The compiler cannot see the C/R protocol: that `FtEvent` handlers must
 //! consider all four protocol states, that the INC/coordinator/PML mutexes
 //! must be acquired in one global order, that the fault-tolerance path must
-//! not contain hidden aborts, and that every `--mca` key a component reads
-//! is registered for `ompi-info` to enumerate. `cr-lint` walks the
-//! workspace's Rust sources with a lightweight tokenizer (no syntax tree,
-//! no external dependencies) and enforces those four invariants; see
-//! DESIGN.md section "Static analysis" for the rationale and ROADMAP.md for
-//! its place in the tier-1 checks.
+//! not contain hidden aborts, that every `--mca` key a component reads is
+//! registered for `ompi-info` to enumerate, that `CommitState` values are
+//! minted only by the snapshot authority (`cr_core::snapshot`), and that
+//! every trace-event phase recorded is registered in
+//! `cr_core::events::KNOWN_TRACE_EVENTS`. `cr-lint` walks the workspace's
+//! Rust sources with a lightweight tokenizer (no syntax tree, no external
+//! dependencies) and enforces those six invariants; see DESIGN.md section
+//! "Static analysis" for the rationale and ROADMAP.md for its place in the
+//! tier-1 checks.
 //!
 //! Scope: `src/` of every workspace member under `crates/`, plus the root
 //! package's `src/`. The `shims/` crates are vendored stand-ins for
@@ -32,7 +35,8 @@ use report::{Finding, Rule};
 /// Everything one lint run produces.
 #[derive(Debug)]
 pub struct LintRun {
-    /// Hard findings (lock-order, ft-event, mca-keys): always violations.
+    /// Hard findings (lock-order, ft-event, mca-keys, commit-state,
+    /// trace-keys): always violations.
     pub hard: Vec<Finding>,
     /// Baselined findings (panic-path): all sites, pre-ratchet.
     pub baselined: Vec<Finding>,
@@ -68,13 +72,19 @@ pub fn analyze_sources(sources: &[(String, String)], baseline: &Baseline) -> Lin
 
     let mut registered: BTreeSet<String> = BTreeSet::new();
     let mut uses = Vec::new();
+    let mut trace_registered: BTreeSet<String> = BTreeSet::new();
+    let mut trace_uses = Vec::new();
     for m in &models {
         rules::ft_event::check(m, &mut hard);
         rules::panic_path::check(m, &mut baselined);
+        rules::commit_state::check(m, &mut hard);
         rules::mca_keys::collect_registered(m, &mut registered);
         rules::mca_keys::collect_uses(m, &mut uses);
+        rules::trace_keys::collect_registered(m, &mut trace_registered);
+        rules::trace_keys::collect_uses(m, &mut trace_uses);
     }
     rules::mca_keys::check(&registered, &uses, &mut hard);
+    rules::trace_keys::check(&trace_registered, &trace_uses, &mut hard);
 
     let baseline_check = baseline.check(&baselined);
     LintRun {
@@ -159,4 +169,10 @@ pub fn summary_line(run: &LintRun) -> String {
 pub use report::{render_human, render_json};
 
 /// Which rules are hard (non-baselined). Exposed for documentation tests.
-pub const HARD_RULES: [Rule; 3] = [Rule::LockOrder, Rule::FtEvent, Rule::McaKeys];
+pub const HARD_RULES: [Rule; 5] = [
+    Rule::LockOrder,
+    Rule::FtEvent,
+    Rule::McaKeys,
+    Rule::CommitState,
+    Rule::TraceKeys,
+];

@@ -13,6 +13,10 @@ pub enum Rule {
     PanicPath,
     /// MCA parameter keys used must be registered.
     McaKeys,
+    /// `CommitState` values minted only by `cr_core::snapshot`.
+    CommitState,
+    /// Trace-event phase strings recorded must be registered.
+    TraceKeys,
 }
 
 impl Rule {
@@ -23,6 +27,8 @@ impl Rule {
             Rule::FtEvent => "ft-event",
             Rule::PanicPath => "panic-path",
             Rule::McaKeys => "mca-keys",
+            Rule::CommitState => "commit-state",
+            Rule::TraceKeys => "trace-keys",
         }
     }
 }

@@ -1,0 +1,98 @@
+//! Rule `trace-keys`: trace-event phase strings must be registered.
+//!
+//! Tests and benchmarks assert the paper's coordination orderings via
+//! `Tracer` phase strings (`snapc.*`, `opal.crs.*`, `ompi.crcp.*`, …), so
+//! a typo'd phase at a `record` site silently breaks an ordering
+//! assertion instead of failing loudly.  Mirroring the `mca-keys` rule:
+//! every string literal passed as the first argument of a `.record(...)`
+//! call in non-test code must appear as a `phase: "..."` row of
+//! `cr_core::events::KNOWN_TRACE_EVENTS` (in `crates/core/src/events.rs`).
+//!
+//! Phases built at runtime (`format!`, variables) are outside a token
+//! lint's reach and are skipped; doc-comment examples are stripped by the
+//! lexer; test code is exempt by construction.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use crate::report::{Finding, Rule};
+
+/// The registration site scanned for `phase: "..."` rows.
+const REGISTRY_FILE: &str = "core/src/events.rs";
+
+/// A trace-record site observed in non-test code.
+#[derive(Debug)]
+pub struct UseSite {
+    /// The phase string.
+    pub phase: String,
+    /// File.
+    pub file: String,
+    /// Line.
+    pub line: u32,
+}
+
+/// Collect registered phases from one file (the events registry).
+pub fn collect_registered(file: &FileModel, registered: &mut BTreeSet<String>) {
+    if !file.rel.ends_with(REGISTRY_FILE) {
+        return;
+    }
+    let toks = &file.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        // `phase: "..."` rows of the KNOWN_TRACE_EVENTS table.
+        if toks.get(i).is_some_and(|t| t.is_ident("phase"))
+            && toks.get(i + 1).is_some_and(|p| p.is_punct(':'))
+        {
+            if let Some(k) = toks.get(i + 2).filter(|k| k.kind == TokKind::Str) {
+                registered.insert(k.text.clone());
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collect literal-phase `.record("...")` sites from non-test functions.
+pub fn collect_uses(file: &FileModel, uses: &mut Vec<UseSite>) {
+    let toks = &file.toks;
+    for f in &file.fns {
+        if f.is_test {
+            continue;
+        }
+        let mut i = f.body.start;
+        while i + 3 < f.body.end {
+            let Some(t) = toks.get(i) else { break };
+            if t.is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_ident("record"))
+                && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+            {
+                if let Some(k) = toks.get(i + 3).filter(|k| k.kind == TokKind::Str) {
+                    uses.push(UseSite {
+                        phase: k.text.clone(),
+                        file: file.rel.clone(),
+                        line: k.line,
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Turn unregistered record sites into findings.
+pub fn check(registered: &BTreeSet<String>, uses: &[UseSite], findings: &mut Vec<Finding>) {
+    for u in uses {
+        if !registered.contains(&u.phase) {
+            findings.push(Finding::new(
+                Rule::TraceKeys,
+                &u.file,
+                u.line,
+                format!(
+                    "trace event {:?} is recorded here but never registered \
+                     (add it to cr_core::events::KNOWN_TRACE_EVENTS)",
+                    u.phase
+                ),
+            ));
+        }
+    }
+}

@@ -113,6 +113,104 @@ fn mca_unregistered_key_detected() {
 }
 
 #[test]
+fn commit_state_construction_detected() {
+    let out = run(&[(
+        "crates/demo/src/component.rs",
+        include_str!("fixtures/commit_write.rs"),
+    )]);
+    let cs: Vec<_> = out
+        .hard
+        .iter()
+        .filter(|f| f.rule == Rule::CommitState)
+        .collect();
+    // The struct-field construction and the let-bound construction fire;
+    // the comparison, the match arms, and the test module do not.
+    assert_eq!(cs.len(), 2, "expected both constructions: {cs:?}");
+    assert!(
+        cs.iter().any(|f| f.message.contains("GlobalCommitted")),
+        "{cs:?}"
+    );
+    assert!(
+        cs.iter().any(|f| f.message.contains("LocalCommitted")),
+        "{cs:?}"
+    );
+    assert!(
+        cs.iter().all(|f| f.message.contains("commit_state")),
+        "message must point at the authority accessor: {cs:?}"
+    );
+}
+
+#[test]
+fn commit_state_authority_reads_are_clean() {
+    let out = run(&[
+        (
+            "crates/demo/src/component.rs",
+            include_str!("fixtures/commit_clean.rs"),
+        ),
+        // The authority file itself may mint values freely.
+        (
+            "crates/core/src/snapshot.rs",
+            include_str!("fixtures/commit_write.rs"),
+        ),
+    ]);
+    assert!(
+        out.hard.iter().all(|f| f.rule != Rule::CommitState),
+        "clean fixture flagged: {:?}",
+        out.hard
+    );
+}
+
+#[test]
+fn trace_unregistered_phase_detected() {
+    let out = run(&[
+        (
+            "crates/demo/src/component.rs",
+            include_str!("fixtures/trace_use.rs"),
+        ),
+        (
+            "crates/core/src/events.rs",
+            include_str!("fixtures/trace_registry.rs"),
+        ),
+    ]);
+    let tk: Vec<_> = out
+        .hard
+        .iter()
+        .filter(|f| f.rule == Rule::TraceKeys)
+        .collect();
+    assert_eq!(tk.len(), 1, "exactly the typo'd phase should fire: {tk:?}");
+    assert!(tk[0].message.contains("snapc.global.initate"), "{}", tk[0].message);
+    assert!(
+        tk[0].message.contains("KNOWN_TRACE_EVENTS"),
+        "message must point at the registry: {}",
+        tk[0].message
+    );
+    assert!(
+        !out.hard.iter().any(|f| f.message.contains("demo.component.ready")),
+        "registered phase must not be flagged"
+    );
+}
+
+#[test]
+fn trace_registered_phases_are_clean() {
+    let out = run(&[
+        (
+            "crates/core/src/events.rs",
+            include_str!("fixtures/trace_registry.rs"),
+        ),
+        (
+            "crates/demo/src/ready_only.rs",
+            "pub fn ready(tracer: &cr_core::Tracer) {\n    \
+             tracer.record(\"demo.component.ready\", \"ok\");\n}\n",
+        ),
+    ]);
+    assert!(
+        out.hard.iter().all(|f| f.rule != Rule::TraceKeys),
+        "clean fixture flagged: {:?}",
+        out.hard
+    );
+}
+
+#[test]
 fn panic_path_counted_and_ratcheted() {
     let files = &[(
         "crates/demo/src/risky.rs",

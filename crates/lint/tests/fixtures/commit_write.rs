@@ -1,0 +1,44 @@
+//! Fixture: a component minting `CommitState` values by hand.
+
+use cr_core::CommitState;
+
+pub struct Stats {
+    pub commit: CommitState,
+}
+
+/// Violation: constructs a commit status the authority never recorded.
+pub fn finish_interval() -> Stats {
+    Stats {
+        commit: CommitState::GlobalCommitted,
+    }
+}
+
+/// Violation: a let-bound construction is still a construction.
+pub fn assume_local() -> CommitState {
+    let c = CommitState::LocalCommitted;
+    c
+}
+
+/// Allowed: comparisons and match arms read a value, they don't mint one.
+pub fn inspect(c: CommitState) -> bool {
+    if c == CommitState::GlobalCommitted {
+        return true;
+    }
+    match c {
+        CommitState::GlobalCommitted => true,
+        CommitState::LocalCommitted | CommitState::Uncommitted => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let s = Stats {
+            commit: CommitState::Uncommitted,
+        };
+        assert!(!inspect(s.commit));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture registry standing in for `cr_core::events`.
+
+pub struct TraceEventDef {
+    pub phase: &'static str,
+    pub help: &'static str,
+}
+
+pub const KNOWN_TRACE_EVENTS: &[TraceEventDef] = &[
+    TraceEventDef {
+        phase: "snapc.global.initiate",
+        help: "global coordinator initiated a checkpoint interval",
+    },
+    TraceEventDef {
+        phase: "demo.component.ready",
+        help: "demo component finished initialising",
+    },
+];

@@ -1,0 +1,30 @@
+//! Fixture: trace-event record sites, one typo'd and one registered.
+
+use cr_core::Tracer;
+
+/// Violation: "initate" is a typo of the registered "initiate" phase.
+pub fn announce(tracer: &Tracer, interval: u64) {
+    tracer.record("snapc.global.initate", &format!("interval {interval}"));
+}
+
+/// Clean: the phase appears in the registry fixture.
+pub fn ready(tracer: &Tracer) {
+    tracer.record("demo.component.ready", "ok");
+}
+
+/// Skipped: phases built at runtime are outside a token lint's reach.
+pub fn dynamic(tracer: &Tracer, which: &str) {
+    let phase = format!("demo.component.{which}");
+    tracer.record(&phase, "ok");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let t = Tracer::new();
+        t.record("totally.unregistered.phase", "fine in tests");
+    }
+}

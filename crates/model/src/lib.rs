@@ -1,0 +1,57 @@
+//! cr-model: a dependency-free explicit-state model checker for the
+//! checkpoint/restart protocols, in the style of `cr-lint`.
+//!
+//! The crate ships three small hand-written transition models mirroring
+//! the production state machines, checked exhaustively by BFS:
+//!
+//! | model     | mirrors                                   | invariant |
+//! |-----------|-------------------------------------------|-----------|
+//! | `commit`  | `orte::snapc` early-release commit lattice | restart only observes `GlobalCommitted`; promotion monotone |
+//! | `quiesce` | `ompi::crcp` bookmark/quiesce barrier      | no cross-round frame in an earlier round's drain |
+//! | `replica` | `orte::replica` ring placement             | committed images stay fetchable under `k` losses |
+//!
+//! See DESIGN.md §2.4 "Model-checked protocols" for how the models map
+//! to code and how to add a new one.  The `cr-model` binary runs them
+//! (`--all`, `--smoke`, `--mutate`), and `crates/model/tests/` contains
+//! mutation self-tests proving the checker rediscovers the known bugs
+//! when a guard is deleted.
+
+pub mod checker;
+pub mod commit;
+pub mod quiesce;
+pub mod replica;
+
+pub use checker::{check, Bounds, CheckReport, Counterexample, Model, TraceStep};
+
+/// Names of the shipped models, in canonical run order.
+pub const MODEL_NAMES: &[&str] = &["commit", "quiesce", "replica"];
+
+/// Run one shipped model by name (optionally a mutated variant) under
+/// `bounds`.  Returns `None` for an unknown model or mutation name.
+///
+/// Mutations: `commit` accepts `promote_before_gather` and
+/// `allow_regress`; `quiesce` accepts `skip_barrier`; `replica` accepts
+/// `under_replicate`.
+pub fn run_model(name: &str, mutation: Option<&str>, bounds: &Bounds) -> Option<CheckReport> {
+    match (name, mutation) {
+        ("commit", None) => Some(check(&commit::CommitModel::default(), bounds)),
+        ("commit", Some("promote_before_gather")) => Some(check(
+            &commit::CommitModel { promote_before_gather: true, ..Default::default() },
+            bounds,
+        )),
+        ("commit", Some("allow_regress")) => Some(check(
+            &commit::CommitModel { allow_regress: true, ..Default::default() },
+            bounds,
+        )),
+        ("quiesce", None) => Some(check(&quiesce::QuiesceModel::default(), bounds)),
+        ("quiesce", Some("skip_barrier")) => {
+            Some(check(&quiesce::QuiesceModel { skip_barrier: true }, bounds))
+        }
+        ("replica", None) => Some(check(&replica::ReplicaModel::default(), bounds)),
+        ("replica", Some("under_replicate")) => Some(check(
+            &replica::ReplicaModel { under_replicate: true, ..Default::default() },
+            bounds,
+        )),
+        _ => None,
+    }
+}

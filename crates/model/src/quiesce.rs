@@ -1,0 +1,298 @@
+//! Model 2: the CRCP bookmark/quiesce exit barrier.
+//!
+//! Mirrors `ompi::crcp::CoordCrcp::coordinate` (DESIGN.md §2.2): at a
+//! checkpoint every rank exchanges *bookmarks* (cumulative sent counts),
+//! drains its channels until received == the peer's bookmark, verifies,
+//! announces `Quiesced`, and only exits coordination once every peer has
+//! also quiesced.  Frames are round-tagged; two ranks, two rounds, and at
+//! most one application frame per rank per round keep the state space
+//! exhaustively explorable while still containing the PR 1/PR 3 race.
+//!
+//! Invariants:
+//! - no cross-round frame is counted in an earlier round's drain (a
+//!   round-1 frame ingested while the receiver is still coordinating
+//!   round 0 corrupts the drained-message image);
+//! - no bookmark overrun: while draining, received never exceeds the
+//!   peer's advertised bookmark.
+//!
+//! Mutation: [`QuiesceModel::skip_barrier`] deletes the `Quiesced` exit
+//! barrier (a rank resumes as soon as its own drain verifies).  The
+//! checker then rediscovers the bookmark-overrun bug fixed in PR 3: a
+//! fast rank resumes, sends a round-1 frame, and a slow peer counts it
+//! in its round-0 drain.
+
+use crate::checker::Model;
+
+/// Coordination phase of one rank, round-local.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Phase {
+    /// Application running (not coordinating).
+    Run,
+    /// Checkpoint notification delivered; application parked.
+    Notified,
+    /// Bookmark (cumulative sent count) advertised to the peer.
+    BmSent,
+    /// Drain complete: received matches the peer's bookmark.
+    Verified,
+    /// `Quiesced` announced; waiting on the peer at the exit barrier.
+    QSent,
+}
+
+/// Per-rank state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct RankSt {
+    /// Coordination phase.
+    pub phase: Phase,
+    /// Current application round (0 = checkpointed round, 1 = resumed).
+    pub round: u8,
+    /// Application frames sent in round 0 (0 or 1).
+    pub sent_r0: u8,
+    /// Application frames sent in round 1 (0 or 1).
+    pub sent_r1: u8,
+    /// Cumulative frames received from the peer.
+    pub recv: u8,
+    /// Bookmark this rank advertised (cumulative sent at `BmSent`).
+    pub bm: Option<u8>,
+}
+
+impl RankSt {
+    fn start() -> Self {
+        RankSt { phase: Phase::Run, round: 0, sent_r0: 0, sent_r1: 0, recv: 0, bm: None }
+    }
+
+    fn sent_total(&self) -> u8 {
+        self.sent_r0 + self.sent_r1
+    }
+
+    /// True while this rank is inside its round-0 *drain window*: any
+    /// frame counted here lands in the checkpoint's drained-message
+    /// image.  Once the drain verifies (`Verified`/`QSent`) the image is
+    /// sealed, so later arrivals are ordinary post-checkpoint traffic.
+    fn in_drain_window(&self) -> bool {
+        self.round == 0 && (self.phase == Phase::Notified || self.phase == Phase::BmSent)
+    }
+}
+
+/// Global state: two ranks, a FIFO channel in each direction carrying
+/// round tags, and a sticky flag recording a cross-round ingestion.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct QuiesceSt {
+    /// Rank 0.
+    pub r0: RankSt,
+    /// Rank 1.
+    pub r1: RankSt,
+    /// In-flight frames rank 0 -> rank 1 (round tags, FIFO).
+    pub c01: Vec<u8>,
+    /// In-flight frames rank 1 -> rank 0 (round tags, FIFO).
+    pub c10: Vec<u8>,
+    /// Set when a rank counted a later-round frame in its round-0 drain.
+    pub cross_round: bool,
+}
+
+/// The bookmark/quiesce model; `skip_barrier` selects the mutated
+/// (pre-PR 3) variant without the `Quiesced` exit barrier.
+#[derive(Clone, Copy, Default)]
+pub struct QuiesceModel {
+    /// Mutation: delete the `Quiesced` barrier — a rank exits
+    /// coordination as soon as its own drain verifies.
+    pub skip_barrier: bool,
+}
+
+const LAST_ROUND: u8 = 1;
+
+impl QuiesceSt {
+    fn rank(&self, id: u8) -> &RankSt {
+        if id == 0 {
+            &self.r0
+        } else {
+            &self.r1
+        }
+    }
+
+    fn with_rank(&self, id: u8, r: RankSt) -> QuiesceSt {
+        let mut t = self.clone();
+        if id == 0 {
+            t.r0 = r;
+        } else {
+            t.r1 = r;
+        }
+        t
+    }
+
+    /// Channel delivering frames *to* rank `id`.
+    fn inbound(&self, id: u8) -> &Vec<u8> {
+        if id == 0 {
+            &self.c10
+        } else {
+            &self.c01
+        }
+    }
+
+    fn push_outbound(&mut self, from: u8, tag: u8) {
+        if from == 0 {
+            self.c01.push(tag);
+        } else {
+            self.c10.push(tag);
+        }
+    }
+
+    fn pop_inbound(&mut self, id: u8) -> Option<u8> {
+        let chan = if id == 0 { &mut self.c10 } else { &mut self.c01 };
+        if chan.is_empty() {
+            None
+        } else {
+            Some(chan.remove(0))
+        }
+    }
+}
+
+impl Model for QuiesceModel {
+    type State = QuiesceSt;
+
+    fn name(&self) -> &'static str {
+        "quiesce"
+    }
+
+    fn initial(&self) -> Vec<QuiesceSt> {
+        vec![QuiesceSt {
+            r0: RankSt::start(),
+            r1: RankSt::start(),
+            c01: Vec::new(),
+            c10: Vec::new(),
+            cross_round: false,
+        }]
+    }
+
+    fn transitions(&self, s: &QuiesceSt, out: &mut Vec<(String, QuiesceSt)>) {
+        for id in 0..2u8 {
+            let me = *s.rank(id);
+            let peer = *s.rank(1 - id);
+
+            // send_app: one application frame per round, only while
+            // running (the PML parks application traffic once notified).
+            if me.phase == Phase::Run {
+                let budget = if me.round == 0 { me.sent_r0 } else { me.sent_r1 };
+                if budget == 0 {
+                    let mut r = me;
+                    if me.round == 0 {
+                        r.sent_r0 = 1;
+                    } else {
+                        r.sent_r1 = 1;
+                    }
+                    let mut t = s.with_rank(id, r);
+                    t.push_outbound(id, me.round);
+                    out.push((format!("send_app({id},round={})", me.round), t));
+                }
+            }
+
+            // notify: global checkpoint request lands at end of round 0.
+            if me.phase == Phase::Run && me.round == 0 {
+                let mut r = me;
+                r.phase = Phase::Notified;
+                out.push((format!("notify({id})"), s.with_rank(id, r)));
+            }
+
+            // send_bm: advertise the cumulative sent count.
+            if me.phase == Phase::Notified {
+                let mut r = me;
+                r.phase = Phase::BmSent;
+                r.bm = Some(me.sent_total());
+                out.push((format!("send_bm({id})"), s.with_rank(id, r)));
+            }
+
+            // ingest: pump the wire — production polls progress in every
+            // phase, including while parked at the exit barrier.
+            if !s.inbound(id).is_empty() {
+                let mut t = s.clone();
+                if let Some(tag) = t.pop_inbound(id) {
+                    let mut r = me;
+                    r.recv += 1;
+                    if me.in_drain_window() && tag > 0 {
+                        t.cross_round = true;
+                    }
+                    t = t.with_rank(id, r);
+                    out.push((format!("ingest({id},tag={tag})"), t));
+                }
+            }
+
+            // finish_drain: received everything the peer sent before its
+            // bookmark — the drained-message image is complete.
+            if me.phase == Phase::BmSent {
+                if let Some(b) = peer.bm {
+                    if me.recv == b {
+                        let mut r = me;
+                        r.phase = Phase::Verified;
+                        out.push((format!("finish_drain({id})"), s.with_rank(id, r)));
+                    }
+                }
+            }
+
+            if self.skip_barrier {
+                // Mutation: the Quiesced barrier is deleted — resume as
+                // soon as the local drain verifies.
+                if me.phase == Phase::Verified && me.round < LAST_ROUND {
+                    let mut r = me;
+                    r.phase = Phase::Run;
+                    r.round = me.round + 1;
+                    out.push((format!("exit({id})"), s.with_rank(id, r)));
+                }
+            } else {
+                // send_quiesced: announce the local drain is complete.
+                if me.phase == Phase::Verified {
+                    let mut r = me;
+                    r.phase = Phase::QSent;
+                    out.push((format!("send_quiesced({id})"), s.with_rank(id, r)));
+                }
+                // exit: leave coordination only once the peer has also
+                // quiesced (or already left) — the PR 3 barrier.
+                let peer_quiesced = peer.phase == Phase::QSent || peer.round > me.round;
+                if me.phase == Phase::QSent && peer_quiesced && me.round < LAST_ROUND {
+                    let mut r = me;
+                    r.phase = Phase::Run;
+                    r.round = me.round + 1;
+                    out.push((format!("exit({id})"), s.with_rank(id, r)));
+                }
+            }
+        }
+    }
+
+    fn invariant(&self, s: &QuiesceSt) -> Result<(), String> {
+        if s.cross_round {
+            return Err(
+                "cross-round frame counted in a round-0 drain: a resumed rank's \
+                 post-checkpoint send leaked into a peer's checkpoint image"
+                    .to_owned(),
+            );
+        }
+        for id in 0..2u8 {
+            let me = s.rank(id);
+            let peer = s.rank(1 - id);
+            if me.phase == Phase::BmSent {
+                if let Some(b) = peer.bm {
+                    if me.recv > b {
+                        return Err(format!(
+                            "bookmark overrun at rank {id}: received {} frames but \
+                             the peer's bookmark promised {b}",
+                            me.recv
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, Bounds};
+
+    #[test]
+    fn pristine_model_is_green() {
+        let report = check(&QuiesceModel::default(), &Bounds::exhaustive());
+        assert!(report.ok(), "{:?}", report.violation.map(|c| c.render()));
+        assert!(report.exhaustive());
+        assert!(report.states > 100, "space too small: {}", report.states);
+    }
+}

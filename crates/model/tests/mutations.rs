@@ -1,0 +1,119 @@
+//! Mutation self-tests: delete or weaken one transition guard per model
+//! and assert the checker finds a counterexample with a minimal trace of
+//! the expected length.  These are the checker's own regression tests —
+//! if a model or the BFS engine rots, the known-bad variants stop
+//! producing their counterexamples and these fail.
+
+use model::checker::{check, Bounds};
+use model::commit::CommitModel;
+use model::quiesce::QuiesceModel;
+use model::replica::ReplicaModel;
+
+#[test]
+fn pristine_models_are_exhaustively_green() {
+    for name in model::MODEL_NAMES {
+        let report = model::run_model(name, None, &Bounds::exhaustive())
+            .expect("known model name");
+        assert!(
+            report.ok(),
+            "{name}: {}",
+            report.violation.map(|c| c.render()).unwrap_or_default()
+        );
+        assert!(report.exhaustive(), "{name} truncated");
+    }
+}
+
+#[test]
+fn smoke_bounds_still_cover_every_model_exhaustively() {
+    // scripts/check.sh runs `cr-model --all --smoke`; the gate is only
+    // meaningful if the bounded run still visits the full state space.
+    for name in model::MODEL_NAMES {
+        let report =
+            model::run_model(name, None, &Bounds::smoke()).expect("known model name");
+        assert!(report.ok() && report.exhaustive(), "{name} truncated under smoke bounds");
+    }
+}
+
+#[test]
+fn promote_before_gather_is_caught() {
+    // Weakened guard: promotion no longer waits for the write-behind
+    // gather to drain.  Minimal failure: begin, local_commit, promote.
+    let m = CommitModel { promote_before_gather: true, ..Default::default() };
+    let report = check(&m, &Bounds::exhaustive());
+    let cx = report.violation.expect("mutated commit model must fail");
+    assert_eq!(cx.actions(), vec!["begin(0)", "local_commit(0)", "promote(0)"]);
+    assert!(cx.invariant.contains("GlobalCommitted"), "{}", cx.invariant);
+}
+
+#[test]
+fn commit_regression_violates_monotonicity() {
+    // Weakened rule: a direct demotion of a GlobalCommitted interval —
+    // the write the commit-state lint rule forbids outside the snapshot
+    // authority.  Caught by the step invariant on the regressing edge.
+    let m = CommitModel { allow_regress: true, ..Default::default() };
+    let report = check(&m, &Bounds::exhaustive());
+    let cx = report.violation.expect("regressing commit model must fail");
+    assert_eq!(cx.len(), 3, "trace: {}", cx.render());
+    assert!(cx.invariant.contains("monotone"), "{}", cx.invariant);
+}
+
+#[test]
+fn deleting_quiesced_barrier_rediscovers_bookmark_overrun() {
+    // The PR 1/PR 3 bug: without the Quiesced exit barrier a fast rank
+    // resumes and its round-1 frame lands in the slow peer's round-0
+    // drain.  Expected minimal trace (8 steps): both ranks notify and
+    // exchange bookmarks, rank 0 finishes its drain, exits early, sends
+    // a round-1 frame, and rank 1 ingests it mid-drain.
+    let report = check(&QuiesceModel { skip_barrier: true }, &Bounds::exhaustive());
+    let cx = report.violation.expect("barrier-free quiesce model must fail");
+    assert_eq!(cx.len(), 8, "trace: {}", cx.render());
+    assert!(cx.invariant.contains("cross-round"), "{}", cx.invariant);
+    let actions = cx.actions().join(" ");
+    assert!(actions.contains("exit(0)"), "fast rank must exit early: {actions}");
+    assert!(actions.contains("send_app(0,round=1)"), "round-1 send: {actions}");
+    assert!(actions.contains("ingest(1,tag=1)"), "cross-round ingest: {actions}");
+}
+
+#[test]
+fn with_the_barrier_the_overrun_is_unreachable() {
+    // The same interleavings with the barrier restored: exhaustively
+    // green — the PR 3 fix closes the race for every schedule, not just
+    // the hand-picked ones in the integration tests.
+    let report = check(&QuiesceModel::default(), &Bounds::exhaustive());
+    assert!(report.ok() && report.exhaustive());
+}
+
+#[test]
+fn under_replication_loses_an_image() {
+    // Weakened placement: one fewer ring successor than the factor
+    // promises.  Minimal failure: commit an image, kill both holders.
+    let m = ReplicaModel { under_replicate: true, ..Default::default() };
+    let report = check(&m, &Bounds::exhaustive());
+    let cx = report.violation.expect("under-replicated model must fail");
+    assert_eq!(cx.actions(), vec!["commit(0)", "kill(0)", "kill(1)"]);
+    assert!(cx.invariant.contains("no live holder"), "{}", cx.invariant);
+}
+
+#[test]
+fn counterexample_traces_are_deterministic() {
+    let a = check(&QuiesceModel { skip_barrier: true }, &Bounds::exhaustive());
+    let b = check(&QuiesceModel { skip_barrier: true }, &Bounds::exhaustive());
+    let ca = a.violation.expect("violation").render();
+    let cb = b.violation.expect("violation").render();
+    assert_eq!(ca, cb);
+}
+
+#[test]
+fn model_placement_matches_production_ring() {
+    // The model's successor function must agree with the production
+    // placement in orte::replica for the default 4-node, factor-2 ring.
+    let m = ReplicaModel::default();
+    for node in 0..4u8 {
+        let model_ring = m.ring_successors(node);
+        let prod: Vec<u8> = orte::replica::ring_neighbors(u32::from(node), 4, 2)
+            .into_iter()
+            .map(|n| n as u8)
+            .collect();
+        assert_eq!(model_ring, prod, "node {node}");
+    }
+}

@@ -67,6 +67,13 @@ pub trait CrcpComponent: Send + Sync {
     /// Bring the channels into a checkpointable state. Runs on the
     /// checkpoint notification thread with the application thread parked;
     /// every rank runs this concurrently.
+    ///
+    /// Invariant (model-checked by `cr-model quiesce`, see
+    /// `crates/model/src/quiesce.rs` and DESIGN.md §2.4): with the
+    /// `Quiesced` exit barrier in place, no rank's post-coordination send
+    /// can be counted in a peer's still-open drain — deleting the barrier
+    /// makes the checker reproduce the PR 3 bookmark-overrun race in an
+    /// 8-step minimal trace.
     fn coordinate(&self, pml: &PmlShared) -> Result<(), CrError>;
 
     /// React to the post-checkpoint state (continue in place, restarted

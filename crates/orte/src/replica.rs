@@ -192,6 +192,12 @@ impl ReplicaStore {
 /// `node` itself. With fewer than `k + 1` nodes the ring simply stops
 /// when it would wrap back onto `node` — every other node then holds a
 /// copy.
+///
+/// Invariant (model-checked by `cr-model replica`, see
+/// `crates/model/src/replica.rs`): with this placement every committed
+/// image keeps at least one live holder under any `k` node losses; a
+/// dev-dependency test in `crates/model/tests/mutations.rs` pins the
+/// model's successor function to this one.
 pub fn ring_neighbors(node: u32, nodes: u32, k: u32) -> Vec<u32> {
     let mut out = Vec::new();
     if nodes <= 1 {

@@ -149,6 +149,15 @@ struct GatherStats {
 /// drain (unless `filem_replica_writebehind=false`), registered with the
 /// runtime so disk-path restarts and shutdown can wait for it. Scratch
 /// cleanup rides behind the drain, which reads from the scratch copies.
+///
+/// Invariant (model-checked by `cr-model commit`, see
+/// `crates/model/src/commit.rs` and DESIGN.md §2.4): a restart-visible
+/// (`GlobalCommitted`) interval always has a fully drained gather, and an
+/// interval's commit state climbs the lattice monotonically under every
+/// interleaving of local commit, gather completion, promotion, and
+/// mid-gather node death. The returned `GatherStats::commit` is read back
+/// from the snapshot authority (`GlobalSnapshot::commit_state`), never
+/// minted here — enforced by the `commit-state` cr-lint rule.
 fn gather_commit_cleanup(
     job: &JobHandle,
     interval: u64,
@@ -222,12 +231,13 @@ fn gather_commit_cleanup(
                 outcome.bytes, outcome.sim_cost
             ),
         );
-        {
+        let commit = {
             let mut global = job.global_snapshot()?;
             global.record_replica_holders(interval, &outcome.holders)?;
             global.record_ckpt_chain(interval, &chain_info)?;
             global.commit_interval(interval, &ranks_info)?;
-        }
+            global.commit_state(interval)
+        };
         // Write-behind: the stable-storage copy (and the scratch cleanup
         // behind it) runs off the critical path, over the bounded gather
         // pool so the drain itself shares links fairly.
@@ -263,11 +273,12 @@ fn gather_commit_cleanup(
         } else {
             drain();
         }
-        // Peer memory *is* the durable commit for the replica component.
+        // Peer memory *is* the durable commit for the replica component;
+        // `commit` reads back GlobalCommitted from the authority above.
         return Ok(GatherStats {
             bytes: outcome.bytes,
             sim_ns: outcome.sim_cost.as_nanos(),
-            commit: CommitState::GlobalCommitted,
+            commit,
         });
     }
 
@@ -276,11 +287,12 @@ fn gather_commit_cleanup(
         // gates; record the interval as locally committed and hand the
         // gather to a write-behind worker. Restart cannot see the
         // interval until the promotion below lands.
-        {
+        let commit = {
             let mut global = job.global_snapshot()?;
             global.record_ckpt_chain(interval, &chain_info)?;
             global.local_commit_interval(interval, &ranks_info)?;
-        }
+            global.commit_state(interval)
+        };
         tracer.record(
             "snapc.global.local_commit",
             &format!("interval {interval}{tag}"),
@@ -359,11 +371,8 @@ fn gather_commit_cleanup(
             .spawn(gather)
             .map_err(|e| CrError::protocol(format!("spawn gather thread: {e}")))?;
         runtime.register_drain(handle);
-        return Ok(GatherStats {
-            bytes,
-            sim_ns: 0,
-            commit: CommitState::LocalCommitted,
-        });
+        // LocalCommitted here: the promotion lands in the gather thread.
+        return Ok(GatherStats { bytes, sim_ns: 0, commit });
     }
 
     // Classic path: blocking gather to stable storage (Figure 1-F) over
@@ -376,16 +385,17 @@ fn gather_commit_cleanup(
             report.files, report.bytes, report.serialized_cost, report.critical_path_cost
         ),
     );
-    {
+    let commit = {
         let mut global = job.global_snapshot()?;
         global.record_ckpt_chain(interval, &chain_info)?;
         global.commit_interval(interval, &ranks_info)?;
-    }
+        global.commit_state(interval)
+    };
     cleanup_scratch(runtime, job_id, interval, &nodes)?;
     Ok(GatherStats {
         bytes: report.bytes,
         sim_ns: report.critical_path_cost.as_nanos(),
-        commit: CommitState::GlobalCommitted,
+        commit,
     })
 }
 
@@ -747,18 +757,19 @@ impl SnapcComponent for DirectSnapc {
         // Every rank wrote straight to stable storage, so bytes moved is
         // the sum of what landed there; there is no simulated fabric leg.
         let bytes_moved: u64 = replies.iter().map(|(_, reply)| reply.size_bytes).sum();
-        {
+        let commit = {
             let mut global = job.global_snapshot()?;
             global.record_ckpt_chain(interval, &chain_info)?;
             global.commit_interval(interval, &ranks_info)?;
-        }
+            global.commit_state(interval)
+        };
         Ok(CheckpointOutcome {
             global_snapshot: job.global_snapshot_path(),
             interval,
             ranks: job.nprocs(),
             bytes_moved,
             sim_ns: 0,
-            commit: CommitState::GlobalCommitted,
+            commit,
         })
     }
 }

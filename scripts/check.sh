@@ -8,6 +8,15 @@ cargo build --release
 cargo test -q
 cargo run --release -q -p lint --bin cr-lint
 
+# Model-checker smoke: exhaustively explore the commit/quiesce/replica
+# protocol models under the bounded tier-1 limits and write the
+# state-space stats to BENCH_model.json.  The in-repo models finish
+# exhaustively well inside the smoke bounds, so a truncated run means
+# the protocol surface grew past them — rerun `cr-model --all` (full,
+# effectively unbounded) locally and raise Bounds::smoke deliberately.
+cargo run --release -q -p model --bin cr-model -- \
+  --all --smoke --bench-json "$PWD/BENCH_model.json"
+
 # Restart-latency smoke: one memory-path and one disk-path restart; the
 # bench itself asserts the simulated memory cost is strictly below disk.
 RESTART_LATENCY_SMOKE=1 cargo bench -q -p bench --bench restart_latency
