@@ -12,9 +12,17 @@
 //! * its simulated checkpoint time is **strictly below** the full-image
 //!   time at the same state size.
 //!
+//! With `CKPT_DEDUP_SMOKE=1` a third schedule runs through the
+//! content-addressed dedup store (`filem_dedup_enabled`) on an
+//! SPMD-shaped workload (every rank's state identical except an 8-byte
+//! header), asserting a **≥ 2×** cross-rank dedup ratio and that dedup
+//! restart cost stays flat as retained intervals grow while chain-replay
+//! cost climbs — the restart-latency-vs-retained-intervals table.
+//!
 //! `CKPT_INCREMENTAL_SMOKE=1` (used by `scripts/check.sh`) skips the
 //! criterion sampling after the assertions. When `BENCH_CKPT_JSON` names
-//! a path, the full-vs-incremental comparison is written there as JSON.
+//! a path, the full-vs-incremental comparison (plus the dedup columns
+//! when they ran) is written there as JSON.
 //!
 //! `RANK_STATE_BYTES` is 1 MiB so chunking (4 KiB default) has real work;
 //! the dirty region is contiguous, which is the stencil-halo access
@@ -55,6 +63,24 @@ fn fresh_state() -> SharedState {
     )
 }
 
+/// SPMD-shaped per-rank state: the same byte ramp on every rank, with an
+/// 8-byte rank-unique header — the workload shape where cross-rank dedup
+/// pays (paper §7's SPMD applications checkpoint near-identical images).
+fn fresh_spmd_state() -> SharedState {
+    let base: Vec<u8> = (0..RANK_STATE_BYTES)
+        .map(|i| (i as u8).wrapping_mul(31))
+        .collect();
+    Arc::new(
+        (0..NPROCS)
+            .map(|r| {
+                let mut buf = base.clone();
+                buf[..8].copy_from_slice(&u64::from(r).to_le_bytes());
+                Mutex::new(buf)
+            })
+            .collect(),
+    )
+}
+
 /// Overwrite a contiguous `DIRTY_FRACTION_PCT`% of every rank's state with
 /// generation-tagged bytes, starting at a generation-dependent offset so
 /// consecutive intervals dirty different chunks.
@@ -72,11 +98,12 @@ fn dirty_state(state: &SharedState, generation: u8) {
 /// Spinning checkpointable job whose `app` capture section serves the
 /// shared per-rank buffers (same shape as the SNAPC test harness, with
 /// bulk state instead of a label string).
-fn launch_job(rt: &Runtime, state: &SharedState, incr_enabled: bool) -> orte::JobHandle {
+fn launch_job(rt: &Runtime, state: &SharedState, incr_enabled: bool, dedup: bool) -> orte::JobHandle {
     let params = Arc::new(McaParams::new());
     params.set("filem", "replica");
     params.set("filem_replica_factor", "1");
     params.set("crs_incr_enabled", if incr_enabled { "true" } else { "false" });
+    params.set("filem_dedup_enabled", if dedup { "true" } else { "false" });
     let proc_state = Arc::clone(state);
     let proc_main: orte::job::ProcMain = Arc::new(move |ctx: LaunchCtx| {
         let fw = crs_framework(SelfCallbacks::new());
@@ -113,7 +140,7 @@ fn two_intervals(base: &std::path::Path, incr_enabled: bool) -> (CheckpointOutco
     let rt = Runtime::new(Topology::uniform(NODES, LinkSpec::gigabit_ethernet()), base)
         .expect("runtime");
     let state = fresh_state();
-    let handle = launch_job(&rt, &state, incr_enabled);
+    let handle = launch_job(&rt, &state, incr_enabled, false);
     let first = handle.checkpoint(&CheckpointOptions::tool()).expect("interval 0");
     dirty_state(&state, 1);
     let second = handle.checkpoint(&CheckpointOptions::tool()).expect("interval 1");
@@ -124,22 +151,160 @@ fn two_intervals(base: &std::path::Path, incr_enabled: bool) -> (CheckpointOutco
     (first, second)
 }
 
-fn write_json(path: &str, full: &CheckpointOutcome, incr: &CheckpointOutcome) {
-    let json = format!(
+/// One row of the restart-latency-vs-retained-intervals table: restoring
+/// the newest of `retained` intervals costs a `chain_len`-link replay
+/// (simulated `chain_sim_ns`) under incremental chains, and a single
+/// manifest fetch (`dedup_sim_ns`) under the dedup store regardless of
+/// how many intervals are retained.
+struct RestartRow {
+    retained: usize,
+    chain_len: usize,
+    chain_sim_ns: u64,
+    dedup_sim_ns: u64,
+}
+
+const DEDUP_INTERVALS: u64 = 4;
+
+/// Run the same `DEDUP_INTERVALS`-interval SPMD schedule through the
+/// dedup store and through incremental chains, and measure — per number
+/// of retained intervals — the deterministic simulated cost of restoring
+/// the newest interval from peer memory.  Returns the dedup schedule's
+/// outcomes plus the table rows.
+fn dedup_vs_chain_restart(base: &std::path::Path) -> (Vec<CheckpointOutcome>, Vec<RestartRow>) {
+    // Dedup schedule.
+    let rt = Runtime::new(Topology::uniform(NODES, LinkSpec::gigabit_ethernet()), &base.join("dedup"))
+        .expect("runtime");
+    let state = fresh_spmd_state();
+    let handle = launch_job(&rt, &state, false, true);
+    let mut outcomes = Vec::new();
+    for i in 0..DEDUP_INTERVALS {
+        if i > 0 {
+            dirty_state(&state, i as u8);
+        }
+        outcomes.push(handle.checkpoint(&CheckpointOptions::tool()).expect("dedup interval"));
+    }
+    handle.request_terminate();
+    handle.join().expect("join");
+    rt.drain_writebehind();
+
+    let global = cr_core::GlobalSnapshot::open(&outcomes[DEDUP_INTERVALS as usize - 1].global_snapshot)
+        .expect("open dedup global");
+    let job_id = global.job();
+    let store = orte::store::SnapshotStore::open(&rt, job_id, global.dir()).expect("store");
+    let mut dedup_sim: Vec<u64> = Vec::new();
+    for i in 0..DEDUP_INTERVALS {
+        let mut sim = netsim::SimTime::ZERO;
+        for r in 0..NPROCS {
+            let rank = cr_core::Rank(r);
+            // Structural no-chain-replay guarantee: the restore set of a
+            // dedup interval is the interval itself, always.
+            assert_eq!(global.ckpt_chain(i, rank).expect("chain"), vec![i]);
+            let manifest = codec::ChunkManifest::parse(
+                global.chunk_manifest(i, rank).expect("manifest"),
+            )
+            .expect("parse manifest");
+            let (_, stats) = store
+                .fetch_image(&manifest, orte::store::ChunkSource::ReplicaOnly, true)
+                .expect("dedup fetch");
+            sim += stats.sim_cost;
+        }
+        dedup_sim.push(sim.as_nanos());
+    }
+    rt.shutdown();
+
+    // Incremental-chain schedule over the identical state sequence.
+    let rt = Runtime::new(Topology::uniform(NODES, LinkSpec::gigabit_ethernet()), &base.join("chain"))
+        .expect("runtime");
+    let state = fresh_spmd_state();
+    let handle = launch_job(&rt, &state, true, false);
+    let mut last = None;
+    for i in 0..DEDUP_INTERVALS {
+        if i > 0 {
+            dirty_state(&state, i as u8);
+        }
+        last = Some(handle.checkpoint(&CheckpointOptions::tool()).expect("chain interval"));
+    }
+    handle.request_terminate();
+    handle.join().expect("join");
+    rt.drain_writebehind();
+
+    let global = cr_core::GlobalSnapshot::open(&last.expect("outcome").global_snapshot)
+        .expect("open chain global");
+    let job_id = global.job();
+    let mut rows = Vec::new();
+    for i in 0..DEDUP_INTERVALS {
+        let mut sim = netsim::SimTime::ZERO;
+        let mut chain_len = 0;
+        for r in 0..NPROCS {
+            let rank = cr_core::Rank(r);
+            let chain = global.ckpt_chain(i, rank).expect("chain");
+            chain_len = chain.len();
+            for ci in chain {
+                let holders = global.replica_holders(ci, rank);
+                let (_, cost) = orte::replica::fetch_image(&rt, job_id, ci, rank, &holders)
+                    .expect("replica link");
+                sim += cost;
+            }
+        }
+        // Structural chain growth: restoring interval i replays i+1 links.
+        assert_eq!(chain_len, i as usize + 1, "chain length at interval {i}");
+        rows.push(RestartRow {
+            retained: i as usize + 1,
+            chain_len,
+            chain_sim_ns: sim.as_nanos(),
+            dedup_sim_ns: dedup_sim[i as usize],
+        });
+    }
+    rt.shutdown();
+    (outcomes, rows)
+}
+
+fn write_json(
+    path: &str,
+    full: &CheckpointOutcome,
+    incr: &CheckpointOutcome,
+    dedup: Option<(&[CheckpointOutcome], &[RestartRow])>,
+) {
+    let mut json = format!(
         "{{\n  \"state_bytes_per_rank\": {},\n  \"ranks\": {},\n  \"dirty_fraction_pct\": {},\n  \
          \"full\": {{ \"bytes_moved\": {}, \"sim_ns\": {} }},\n  \
          \"incremental\": {{ \"bytes_moved\": {}, \"sim_ns\": {} }},\n  \
-         \"bytes_ratio\": {:.4},\n  \"sim_ratio\": {:.4}\n}}\n",
+         \"bytes_ratio\": {:.4},\n  \"sim_ratio\": {:.4}",
         RANK_STATE_BYTES,
         NPROCS,
         DIRTY_FRACTION_PCT,
-        full.bytes_moved,
-        full.sim_ns,
-        incr.bytes_moved,
-        incr.sim_ns,
-        incr.bytes_moved as f64 / full.bytes_moved as f64,
-        incr.sim_ns as f64 / full.sim_ns as f64,
+        full.stats.bytes_moved,
+        full.stats.sim_ns,
+        incr.stats.bytes_moved,
+        incr.stats.sim_ns,
+        incr.stats.bytes_moved as f64 / full.stats.bytes_moved as f64,
+        incr.stats.sim_ns as f64 / full.stats.sim_ns as f64,
     );
+    if let Some((outcomes, rows)) = dedup {
+        let newest = &outcomes[outcomes.len() - 1];
+        json.push_str(&format!(
+            ",\n  \"cross_rank_dedup_ratio\": {:.4},\n  \
+             \"dedup\": {{ \"bytes_moved\": {}, \"sim_ns\": {}, \"dedup_ratio\": {:.4} }},\n  \
+             \"restart_vs_retained\": [\n",
+            outcomes[0].stats.dedup_ratio,
+            newest.stats.bytes_moved,
+            newest.stats.sim_ns,
+            newest.stats.dedup_ratio,
+        ));
+        for (i, row) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"retained\": {}, \"chain_len\": {}, \"chain_sim_ns\": {}, \
+                 \"dedup_sim_ns\": {}}}{}\n",
+                row.retained,
+                row.chain_len,
+                row.chain_sim_ns,
+                row.dedup_sim_ns,
+                if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]");
+    }
+    json.push_str("\n}\n");
     std::fs::write(path, json).expect("write BENCH_ckpt.json");
     println!("ckpt_incremental: wrote {path}");
 }
@@ -156,35 +321,82 @@ fn ckpt_incremental(c: &mut Criterion) {
     println!(
         "ckpt_incremental: full interval moved {} bytes (sim {} ns), \
          incremental interval moved {} bytes (sim {} ns)",
-        full_second.bytes_moved, full_second.sim_ns,
-        incr_second.bytes_moved, incr_second.sim_ns
+        full_second.stats.bytes_moved, full_second.stats.sim_ns,
+        incr_second.stats.bytes_moved, incr_second.stats.sim_ns
     );
     assert!(
-        incr_second.bytes_moved * 4 < full_second.bytes_moved,
+        incr_second.stats.bytes_moved * 4 < full_second.stats.bytes_moved,
         "a 10%-dirty incremental interval must move < 25% of the full-image bytes \
          (incremental={}, full={})",
-        incr_second.bytes_moved,
-        full_second.bytes_moved
+        incr_second.stats.bytes_moved,
+        full_second.stats.bytes_moved
     );
     assert!(
-        incr_second.sim_ns < full_second.sim_ns,
+        incr_second.stats.sim_ns < full_second.stats.sim_ns,
         "simulated incremental checkpoint time must be strictly below the \
          full-image time (incremental={} ns, full={} ns)",
-        incr_second.sim_ns,
-        full_second.sim_ns
+        incr_second.stats.sim_ns,
+        full_second.stats.sim_ns
     );
     // The incremental run's own interval 0 is a full image: its cost must
     // sit in the full-image regime, not the delta regime.
     assert!(
-        incr_first.bytes_moved * 2 > full_second.bytes_moved,
+        incr_first.stats.bytes_moved * 2 > full_second.stats.bytes_moved,
         "the incremental run's base interval must still be a full image \
          (base={}, full={})",
-        incr_first.bytes_moved,
-        full_second.bytes_moved
+        incr_first.stats.bytes_moved,
+        full_second.stats.bytes_moved
     );
 
+    // Dedup-store schedule: cross-rank dedup on the SPMD workload and the
+    // restart-latency-vs-retained-intervals comparison.
+    let dedup = if std::env::var("CKPT_DEDUP_SMOKE").is_ok() {
+        let (outcomes, rows) = dedup_vs_chain_restart(&base.join("dedup_vs_chain"));
+        println!(
+            "ckpt_incremental dedup: cross-rank ratio {:.2}, newest-interval ratio {:.2}",
+            outcomes[0].stats.dedup_ratio,
+            outcomes[outcomes.len() - 1].stats.dedup_ratio
+        );
+        assert!(
+            outcomes[0].stats.dedup_ratio >= 2.0,
+            "SPMD cross-rank dedup must reach 2x (got {:.2})",
+            outcomes[0].stats.dedup_ratio
+        );
+        for row in &rows {
+            println!(
+                "ckpt_incremental restart_vs_retained: retained={} chain_len={} \
+                 chain_sim_ns={} dedup_sim_ns={}",
+                row.retained, row.chain_len, row.chain_sim_ns, row.dedup_sim_ns
+            );
+        }
+        // Chain-replay restart cost climbs with every retained interval;
+        // the dedup restart is a flat per-manifest fetch.
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].chain_sim_ns > pair[0].chain_sim_ns,
+                "chain replay cost must grow with retained intervals"
+            );
+        }
+        let last = &rows[rows.len() - 1];
+        assert!(
+            last.dedup_sim_ns < last.chain_sim_ns,
+            "dedup restart must undercut a {}-link chain replay (dedup={}, chain={})",
+            last.chain_len,
+            last.dedup_sim_ns,
+            last.chain_sim_ns
+        );
+        Some((outcomes, rows))
+    } else {
+        None
+    };
+
     if let Ok(path) = std::env::var("BENCH_CKPT_JSON") {
-        write_json(&path, &full_second, &incr_second);
+        write_json(
+            &path,
+            &full_second,
+            &incr_second,
+            dedup.as_ref().map(|(o, r)| (o.as_slice(), r.as_slice())),
+        );
     }
 
     if std::env::var("CKPT_INCREMENTAL_SMOKE").is_ok() {

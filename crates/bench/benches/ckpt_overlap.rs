@@ -126,13 +126,13 @@ fn write_json(path: &str, blocking: &CheckpointOutcome, early: &CheckpointOutcom
          \"stall_ratio\": {:.4}\n}}\n",
         NPROCS,
         RANK_STATE_BYTES,
-        blocking.sim_ns,
-        blocking.bytes_moved,
-        blocking.commit,
-        early.sim_ns,
-        early.bytes_moved,
-        early.commit,
-        early.sim_ns as f64 / blocking.sim_ns as f64,
+        blocking.stats.sim_ns,
+        blocking.stats.bytes_moved,
+        blocking.stats.commit,
+        early.stats.sim_ns,
+        early.stats.bytes_moved,
+        early.stats.commit,
+        early.stats.sim_ns as f64 / blocking.stats.sim_ns as f64,
     );
     std::fs::write(path, json).expect("write BENCH_commit.json");
     println!("ckpt_overlap: wrote {path}");
@@ -149,17 +149,17 @@ fn ckpt_overlap(c: &mut Criterion) {
 
     println!(
         "ckpt_overlap: blocking stall {} ns ({}), early-release stall {} ns ({})",
-        blocking.sim_ns, blocking.commit, early.sim_ns, early.commit
+        blocking.stats.sim_ns, blocking.stats.commit, early.stats.sim_ns, early.stats.commit
     );
-    assert_eq!(blocking.commit, CommitState::GlobalCommitted);
-    assert_eq!(early.commit, CommitState::LocalCommitted);
-    assert!(blocking.sim_ns > 0, "blocking gather must charge wall time");
+    assert_eq!(blocking.stats.commit, CommitState::GlobalCommitted);
+    assert_eq!(early.stats.commit, CommitState::LocalCommitted);
+    assert!(blocking.stats.sim_ns > 0, "blocking gather must charge wall time");
     assert!(
-        early.sim_ns * 2 <= blocking.sim_ns,
+        early.stats.sim_ns * 2 <= blocking.stats.sim_ns,
         "early-release stall must be ≤ 50% of the blocking stall at {NPROCS} ranks \
          (early={} ns, blocking={} ns)",
-        early.sim_ns,
-        blocking.sim_ns
+        early.stats.sim_ns,
+        blocking.stats.sim_ns
     );
 
     if let Ok(path) = std::env::var("BENCH_COMMIT_JSON") {

@@ -18,7 +18,7 @@ use cr_core::{GlobalSnapshot, Rank};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mca::McaParams;
 use netsim::{LinkSpec, NodeId, SimTime, Topology};
-use ompi::{mpirun, restart_from_with_source, RestartSource, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RestartSource, RunConfig};
 use orte::filem::CopyRequest;
 use orte::Runtime;
 use workloads::ring::RingApp;
@@ -58,12 +58,11 @@ fn checkpointed(base: &std::path::Path) -> (Runtime, std::path::PathBuf) {
 /// One full restart from `source`, terminated as soon as it is up.
 fn restart_once(rt: &Runtime, snapshot: &std::path::Path, source: RestartSource) -> Duration {
     let start = Instant::now();
-    let job = restart_from_with_source(
+    let job = restart(
         rt,
         Arc::new(RingApp { rounds: 1_000_000 }),
         snapshot,
-        None,
-        source,
+        RestartOptions::default().with_source(source),
     )
     .expect("restart");
     let up = start.elapsed();

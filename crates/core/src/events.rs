@@ -194,6 +194,30 @@ pub const KNOWN_TRACE_EVENTS: &[TraceEventDef] = &[
         help: "tree coordinator forwarded the request to a child daemon",
     },
     TraceEventDef {
+        phase: "store.chunk.fetch",
+        help: "content-addressed chunks served from a daemon's peer-memory tier",
+    },
+    TraceEventDef {
+        phase: "store.chunk.hit",
+        help: "dedup commit found manifest chunks already in the stable store",
+    },
+    TraceEventDef {
+        phase: "store.chunk.put",
+        help: "fresh chunks pushed into peer-memory chunk tiers at dedup commit",
+    },
+    TraceEventDef {
+        phase: "store.commit",
+        help: "dedup interval committed through the chunk store (with dedup ratio)",
+    },
+    TraceEventDef {
+        phase: "store.gc.sweep",
+        help: "refcount GC swept a batch of count-zero chunks at interval retirement",
+    },
+    TraceEventDef {
+        phase: "store.restart.fetch",
+        help: "restart assembled an image from manifest chunks (per-tier counts)",
+    },
+    TraceEventDef {
         phase: "supervisor.incarnation",
         help: "supervisor recorded a new process incarnation",
     },

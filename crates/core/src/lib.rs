@@ -37,7 +37,7 @@ pub use error::CrError;
 pub use events::{is_known_event, TraceEventDef, KNOWN_TRACE_EVENTS};
 pub use ids::{JobId, ProcessName, Rank};
 pub use inc::IncRegistry;
-pub use request::{CheckpointOptions, CheckpointOutcome};
+pub use request::{CheckpointOptions, CheckpointOutcome, CkptStats};
 pub use snapshot::{CommitState, GlobalSnapshot, LocalSnapshot};
 pub use state::{FtEvent, FtEventState};
 pub use trace::Tracer;

@@ -69,19 +69,14 @@ impl CheckpointOptions {
     }
 }
 
-/// Result of a successful distributed checkpoint: the single name the user
-/// must preserve (paper §4), plus bookkeeping.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CheckpointOutcome {
-    /// Path of the global snapshot reference directory on stable storage.
-    pub global_snapshot: PathBuf,
-    /// The checkpoint interval this request produced.
-    pub interval: u64,
-    /// Number of local snapshots aggregated.
-    pub ranks: u32,
+/// Cost and commit bookkeeping of one checkpoint request, grouped out of
+/// [`CheckpointOutcome`] so new metrics stop accreting as flat fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptStats {
     /// Context-file bytes the gather phase actually moved off the compute
-    /// nodes. With incremental checkpointing enabled this is the delta
-    /// payload, not the full image size — the paper's motivating metric.
+    /// nodes. With incremental checkpointing this is the delta payload;
+    /// with dedup it is the missing-chunk payload — the paper's motivating
+    /// metric either way.
     pub bytes_moved: u64,
     /// Simulated wall time the gather phase charged (nanoseconds). With
     /// early release this is the app-visible stall only — the gather
@@ -92,6 +87,37 @@ pub struct CheckpointOutcome {
     /// `LocalCommitted` when early release handed the gather to the
     /// write-behind pool.
     pub commit: CommitState,
+    /// Logical image bytes divided by the bytes actually moved to stable
+    /// storage this interval. `1.0` outside dedup mode; above `1.0` when
+    /// the content-addressed store deduplicated chunks across ranks or
+    /// against earlier intervals.
+    pub dedup_ratio: f64,
+}
+
+impl CkptStats {
+    /// Stats for a non-dedup commit path (ratio pinned at `1.0`).
+    pub fn plain(bytes_moved: u64, sim_ns: u64, commit: CommitState) -> Self {
+        CkptStats {
+            bytes_moved,
+            sim_ns,
+            commit,
+            dedup_ratio: 1.0,
+        }
+    }
+}
+
+/// Result of a successful distributed checkpoint: the single name the user
+/// must preserve (paper §4), plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointOutcome {
+    /// Path of the global snapshot reference directory on stable storage.
+    pub global_snapshot: PathBuf,
+    /// The checkpoint interval this request produced.
+    pub interval: u64,
+    /// Number of local snapshots aggregated.
+    pub ranks: u32,
+    /// Cost and commit bookkeeping of this request.
+    pub stats: CkptStats,
 }
 
 impl fmt::Display for CheckpointOutcome {
@@ -127,13 +153,12 @@ mod tests {
             global_snapshot: PathBuf::from("/stable/ompi_global_snapshot_1.ckpt"),
             interval: 2,
             ranks: 8,
-            bytes_moved: 4096,
-            sim_ns: 0,
-            commit: CommitState::GlobalCommitted,
+            stats: CkptStats::plain(4096, 0, CommitState::GlobalCommitted),
         };
         let s = out.to_string();
         assert!(s.contains("interval 2"));
         assert!(s.contains("8 ranks"));
+        assert_eq!(out.stats.dedup_ratio, 1.0);
     }
 
     #[test]

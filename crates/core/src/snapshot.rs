@@ -483,6 +483,46 @@ impl GlobalSnapshot {
             .unwrap_or_default()
     }
 
+    /// Record each rank's rendered chunk manifest for a dedup interval
+    /// (the `filem_dedup_enabled` commit path).  The manifest maps the
+    /// rank's image sections to content-addressed chunk ids in the global
+    /// reference's chunk store; restart fetches those chunks directly
+    /// instead of walking a base→delta chain.
+    ///
+    /// This record is the store's *liveness root*: the commit path takes
+    /// chunk references before recording it, and
+    /// [`GlobalSnapshot::retire_interval`] drops it before the references
+    /// are released, so the refcount GC can never sweep a chunk a live
+    /// manifest still names.
+    pub fn record_chunk_manifests(
+        &mut self,
+        interval: u64,
+        manifests: &[(Rank, String)],
+    ) -> Result<(), CrError> {
+        let section = format!("manifest_{interval}");
+        for (rank, manifest) in manifests {
+            self.meta
+                .set(&section, &format!("rank_{}", rank.0), manifest.clone());
+        }
+        self.save_meta()
+    }
+
+    /// Rendered chunk manifest of `rank` at `interval`, when the interval
+    /// was committed through the dedup chunk store. `None` for classic
+    /// (full/delta-chain) intervals — restart uses this to pick its path.
+    pub fn chunk_manifest(&self, interval: u64, rank: Rank) -> Option<&str> {
+        self.meta
+            .get(&format!("manifest_{interval}"), &format!("rank_{}", rank.0))
+    }
+
+    /// Every rank's chunk manifest at `interval`, rank-ascending. Empty
+    /// for non-dedup intervals.
+    pub fn chunk_manifests(&self, interval: u64) -> Vec<(Rank, &str)> {
+        (0..self.nprocs())
+            .filter_map(|r| self.chunk_manifest(interval, Rank(r)).map(|m| (Rank(r), m)))
+            .collect()
+    }
+
     /// Record each rank's incremental-chain links for `interval`: what
     /// kind of context it wrote (`full`/`delta`) and, for deltas, the
     /// interval of the chain's full base and of the immediate predecessor.
@@ -592,6 +632,10 @@ impl GlobalSnapshot {
         self.meta.remove_section(&format!("interval_{interval}"));
         self.meta.remove_section(&format!("replica_{interval}"));
         self.meta.remove_section(&format!("incr_{interval}"));
+        // Dedup GC ordering: this persists the manifest removal *before*
+        // the caller decrefs and sweeps the interval's chunks (see the
+        // `gc` model) — a crash here leaks references, never dangles them.
+        self.meta.remove_section(&format!("manifest_{interval}"));
         self.save_meta()
     }
 
@@ -910,6 +954,29 @@ mod tests {
             .unwrap();
         let after = fs::read_to_string(global.dir().join(GLOBAL_META_FILE)).unwrap();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn chunk_manifests_roundtrip_and_die_with_retire() {
+        let mut global = committed_global("manifests", 2, 2);
+        global
+            .record_chunk_manifests(
+                1,
+                &[(Rank(0), "v1 c4096|app=8:0.ab.8".into()), (Rank(1), "v1 c4096|app=8:0.ab.8".into())],
+            )
+            .unwrap();
+        let reopened = GlobalSnapshot::open(global.dir()).unwrap();
+        assert_eq!(reopened.chunk_manifest(1, Rank(0)), Some("v1 c4096|app=8:0.ab.8"));
+        assert_eq!(reopened.chunk_manifests(1).len(), 2);
+        // Classic intervals have no manifests.
+        assert_eq!(reopened.chunk_manifest(0, Rank(0)), None);
+        assert!(reopened.chunk_manifests(0).is_empty());
+
+        let mut global = reopened;
+        global.retire_interval(1).unwrap();
+        assert_eq!(global.chunk_manifest(1, Rank(0)), None);
+        let reopened = GlobalSnapshot::open(global.dir()).unwrap();
+        assert!(reopened.chunk_manifests(1).is_empty());
     }
 
     #[test]

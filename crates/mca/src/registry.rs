@@ -167,6 +167,16 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         default: Some("true"),
         help: "replica file mover: drain to stable storage asynchronously after peer-memory commit",
     },
+    ParamDef {
+        key: "filem_dedup_enabled",
+        default: Some("false"),
+        help: "commit checkpoints through the content-addressed chunk store (cross-rank and cross-interval dedup)",
+    },
+    ParamDef {
+        key: "filem_dedup_gc_batch",
+        default: Some("64"),
+        help: "dedup store: maximum count-zero blobs swept per GC batch at interval retirement",
+    },
     // Launcher-written informational keys (recorded in snapshot metadata
     // so a restart can reconstruct the original launch).
     ParamDef {

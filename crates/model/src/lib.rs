@@ -1,7 +1,7 @@
 //! cr-model: a dependency-free explicit-state model checker for the
 //! checkpoint/restart protocols, in the style of `cr-lint`.
 //!
-//! The crate ships three small hand-written transition models mirroring
+//! The crate ships four small hand-written transition models mirroring
 //! the production state machines, checked exhaustively by BFS:
 //!
 //! | model     | mirrors                                   | invariant |
@@ -9,6 +9,7 @@
 //! | `commit`  | `orte::snapc` early-release commit lattice | restart only observes `GlobalCommitted`; promotion monotone |
 //! | `quiesce` | `ompi::crcp` bookmark/quiesce barrier      | no cross-round frame in an earlier round's drain |
 //! | `replica` | `orte::replica` ring placement             | committed images stay fetchable under `k` losses |
+//! | `gc`      | `opal::store` refcount GC at retirement    | no live-manifest chunk is ever swept; refcounts match manifests |
 //!
 //! See DESIGN.md §2.4 "Model-checked protocols" for how the models map
 //! to code and how to add a new one.  The `cr-model` binary runs them
@@ -18,20 +19,21 @@
 
 pub mod checker;
 pub mod commit;
+pub mod gc;
 pub mod quiesce;
 pub mod replica;
 
 pub use checker::{check, Bounds, CheckReport, Counterexample, Model, TraceStep};
 
 /// Names of the shipped models, in canonical run order.
-pub const MODEL_NAMES: &[&str] = &["commit", "quiesce", "replica"];
+pub const MODEL_NAMES: &[&str] = &["commit", "quiesce", "replica", "gc"];
 
 /// Run one shipped model by name (optionally a mutated variant) under
 /// `bounds`.  Returns `None` for an unknown model or mutation name.
 ///
 /// Mutations: `commit` accepts `promote_before_gather` and
 /// `allow_regress`; `quiesce` accepts `skip_barrier`; `replica` accepts
-/// `under_replicate`.
+/// `under_replicate`; `gc` accepts `sweep_before_decrement`.
 pub fn run_model(name: &str, mutation: Option<&str>, bounds: &Bounds) -> Option<CheckReport> {
     match (name, mutation) {
         ("commit", None) => Some(check(&commit::CommitModel::default(), bounds)),
@@ -50,6 +52,11 @@ pub fn run_model(name: &str, mutation: Option<&str>, bounds: &Bounds) -> Option<
         ("replica", None) => Some(check(&replica::ReplicaModel::default(), bounds)),
         ("replica", Some("under_replicate")) => Some(check(
             &replica::ReplicaModel { under_replicate: true, ..Default::default() },
+            bounds,
+        )),
+        ("gc", None) => Some(check(&gc::GcModel::default(), bounds)),
+        ("gc", Some("sweep_before_decrement")) => Some(check(
+            &gc::GcModel { sweep_before_decrement: true },
             bounds,
         )),
         _ => None,

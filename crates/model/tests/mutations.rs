@@ -6,6 +6,7 @@
 
 use model::checker::{check, Bounds};
 use model::commit::CommitModel;
+use model::gc::GcModel;
 use model::quiesce::QuiesceModel;
 use model::replica::ReplicaModel;
 
@@ -92,6 +93,41 @@ fn under_replication_loses_an_image() {
     let cx = report.violation.expect("under-replicated model must fail");
     assert_eq!(cx.actions(), vec!["commit(0)", "kill(0)", "kill(1)"]);
     assert!(cx.invariant.contains("no live holder"), "{}", cx.invariant);
+}
+
+#[test]
+fn sweep_before_decrement_dangles_a_shared_chunk() {
+    // Weakened retirement: the GC sweeps the retired manifest's chunk
+    // list before the decrement lands, so the refcount cannot protect a
+    // chunk shared with a live manifest.  Minimal failure: commit and
+    // retire interval 0 (its decref still pending), commit interval 1 —
+    // which dedups onto the shared chunk `b` — then the eager sweep of
+    // interval 0's list removes `b` out from under interval 1.
+    let m = GcModel { sweep_before_decrement: true };
+    let report = check(&m, &Bounds::exhaustive());
+    let cx = report.violation.expect("eager-sweep gc model must fail");
+    assert_eq!(
+        cx.actions(),
+        vec![
+            "prepare(0)",
+            "record(0)",
+            "retire(0)",
+            "prepare(1)",
+            "record(1)",
+            "sweep_retired(b)",
+        ]
+    );
+    assert!(cx.invariant.contains("live interval"), "{}", cx.invariant);
+}
+
+#[test]
+fn with_decrement_first_the_gc_is_safe() {
+    // The production order (retire record, decref, sweep count-zero) is
+    // exhaustively green: every crash point between the steps is a
+    // reachable state, so "node death between decrement and sweep" is
+    // covered — a crash can leak a blob, never dangle one.
+    let report = check(&GcModel::default(), &Bounds::exhaustive());
+    assert!(report.ok() && report.exhaustive());
 }
 
 #[test]

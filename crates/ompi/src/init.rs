@@ -451,30 +451,74 @@ impl std::str::FromStr for RestartSource {
     }
 }
 
-/// Restart a job from a global snapshot reference (the `ompi-restart`
-/// equivalent). Only the directory is needed: the original launch
-/// parameters are read from the snapshot metadata (paper §4). `interval`
-/// of `None` restores the most recent committed interval. Images come
-/// from surviving peer-memory replicas when available, stable storage
-/// otherwise ([`RestartSource::Auto`]).
-pub fn restart_from<A: MpiApp>(
-    runtime: &Runtime,
-    app: Arc<A>,
-    global_ref: &Path,
-    interval: Option<u64>,
-) -> Result<MpiJob<A::State>, CrError> {
-    restart_from_with_source(runtime, app, global_ref, interval, RestartSource::Auto)
+/// Everything a restart can be told, in one struct — the single
+/// [`restart`] entry point replaces the old
+/// `restart_from` / `restart_from_with_source` sprawl (both survive as
+/// deprecated wrappers). `Default` restores the newest committed interval
+/// from the best available tier with digest verification on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartOptions {
+    /// Which tier(s) images may come from (`ompi-restart --source`).
+    pub source: RestartSource,
+    /// Interval to restore; `None` picks the newest committed one.
+    pub interval: Option<u64>,
+    /// Digest-verify chunks fetched from peer memory on the dedup path
+    /// (`ompi-restart --no-verify` clears it; the stable tier always
+    /// verifies on read).
+    pub verify: bool,
 }
 
-/// [`restart_from`] with an explicit image source (`ompi-restart
-/// --source`).
-pub fn restart_from_with_source<A: MpiApp>(
+impl Default for RestartOptions {
+    fn default() -> Self {
+        RestartOptions {
+            source: RestartSource::Auto,
+            interval: None,
+            verify: true,
+        }
+    }
+}
+
+impl RestartOptions {
+    /// Restore from a specific interval instead of the newest.
+    pub fn at_interval(mut self, interval: u64) -> Self {
+        self.interval = Some(interval);
+        self
+    }
+
+    /// Restrict (or widen) where images may come from.
+    pub fn with_source(mut self, source: RestartSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Skip digest verification of peer-memory chunks.
+    pub fn without_verify(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+}
+
+/// Restart a job from a global snapshot reference (the `ompi-restart`
+/// equivalent). Only the directory is needed: the original launch
+/// parameters are read from the snapshot metadata (paper §4).
+/// `RestartOptions::default()` restores the most recent committed
+/// interval, peer memory first ([`RestartSource::Auto`]).
+///
+/// Intervals committed through the dedup chunk store
+/// (`filem_dedup_enabled`) restore straight from their recorded chunk
+/// manifests: each rank's image is assembled chunk-by-chunk from the
+/// replica tier and/or the stable [`opal::store::ChunkStore`] — O(1)
+/// manifest→chunk fetches with digest verification, never a base→delta
+/// chain replay.
+pub fn restart<A: MpiApp>(
     runtime: &Runtime,
     app: Arc<A>,
     global_ref: &Path,
-    interval: Option<u64>,
-    source: RestartSource,
+    opts: RestartOptions,
 ) -> Result<MpiJob<A::State>, CrError> {
+    let RestartOptions {
+        source, interval, ..
+    } = opts;
     if source != RestartSource::Replica {
         // Join any in-flight early-release gather first: either it
         // promotes its interval to globally committed (and we restart
@@ -499,6 +543,13 @@ pub fn restart_from_with_source<A: MpiApp>(
     let params = Arc::new(McaParams::from_dump(
         launch_params.iter().map(|(k, v)| (k.as_str(), v.as_str())),
     ));
+
+    // Dedup intervals carry chunk manifests instead of (or alongside)
+    // chain links: restore them through the content-addressed store and
+    // skip the whole preload/chain machinery below.
+    if !global.chunk_manifests(interval).is_empty() {
+        return restart_dedup(runtime, app, &global, interval, &opts, params);
+    }
 
     // The placement is predicted with the same deterministic PLM mapping
     // the relaunch will use, so each rank's image lands on the node it
@@ -672,4 +723,96 @@ pub fn restart_from_with_source<A: MpiApp>(
 
     let config = RunConfig { nprocs, params };
     spawn_job(runtime, app, config, Some(images), Some(interval))
+}
+
+/// Restore a dedup-committed interval: per rank, parse the recorded chunk
+/// manifest and assemble the image straight out of the chunk tiers —
+/// peer memory first under [`RestartSource::Auto`], with per-chunk
+/// fallback to the stable store. No local snapshot directories are
+/// materialized and no base→delta chain is replayed; restart cost is one
+/// manifest parse plus one fetch per distinct chunk.
+fn restart_dedup<A: MpiApp>(
+    runtime: &Runtime,
+    app: Arc<A>,
+    global: &GlobalSnapshot,
+    interval: u64,
+    opts: &RestartOptions,
+    params: Arc<McaParams>,
+) -> Result<MpiJob<A::State>, CrError> {
+    let source = match opts.source {
+        RestartSource::Auto => orte::store::ChunkSource::Auto,
+        RestartSource::Replica => orte::store::ChunkSource::ReplicaOnly,
+        RestartSource::Stable => orte::store::ChunkSource::StableOnly,
+    };
+    let store = orte::store::SnapshotStore::open(runtime, global.job(), global.dir())?;
+    let nprocs = global.nprocs();
+    let mut images = Vec::with_capacity(nprocs as usize);
+    let mut replica_chunks = 0usize;
+    let mut stable_chunks = 0usize;
+    for r in 0..nprocs {
+        let rank = cr_core::Rank(r);
+        let rendered =
+            global
+                .chunk_manifest(interval, rank)
+                .ok_or_else(|| CrError::BadSnapshot {
+                    detail: format!(
+                        "dedup interval {interval} has no chunk manifest for rank {r}"
+                    ),
+                })?;
+        let manifest = codec::ChunkManifest::parse(rendered).map_err(CrError::Codec)?;
+        let (image, stats) = store.fetch_image(&manifest, source, opts.verify)?;
+        replica_chunks += stats.replica_chunks;
+        stable_chunks += stats.stable_chunks;
+        images.push(image);
+    }
+    runtime.tracer().record(
+        "ompi.restart",
+        &format!(
+            "{nprocs} ranks from {} interval {interval} (dedup: {replica_chunks} \
+             chunks from peer memory, {stable_chunks} from stable)",
+            global.dir().display()
+        ),
+    );
+    let config = RunConfig { nprocs, params };
+    spawn_job(runtime, app, config, Some(images), Some(interval))
+}
+
+/// Thin wrapper kept for source compatibility; use [`restart`].
+#[deprecated(note = "use restart(runtime, app, global_ref, RestartOptions::default())")]
+pub fn restart_from<A: MpiApp>(
+    runtime: &Runtime,
+    app: Arc<A>,
+    global_ref: &Path,
+    interval: Option<u64>,
+) -> Result<MpiJob<A::State>, CrError> {
+    restart(
+        runtime,
+        app,
+        global_ref,
+        RestartOptions {
+            interval,
+            ..RestartOptions::default()
+        },
+    )
+}
+
+/// Thin wrapper kept for source compatibility; use [`restart`].
+#[deprecated(note = "use restart(runtime, app, global_ref, RestartOptions { source, .. })")]
+pub fn restart_from_with_source<A: MpiApp>(
+    runtime: &Runtime,
+    app: Arc<A>,
+    global_ref: &Path,
+    interval: Option<u64>,
+    source: RestartSource,
+) -> Result<MpiJob<A::State>, CrError> {
+    restart(
+        runtime,
+        app,
+        global_ref,
+        RestartOptions {
+            source,
+            interval,
+            verify: true,
+        },
+    )
 }

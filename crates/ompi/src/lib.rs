@@ -45,5 +45,7 @@ pub mod supervisor;
 pub use app::{MpiApp, StepOutcome};
 pub use comm::Comm;
 pub use error::MpiError;
-pub use init::{mpirun, restart_from, restart_from_with_source, MpiJob, RestartSource, RunConfig};
+#[allow(deprecated)]
+pub use init::{restart_from, restart_from_with_source};
+pub use init::{mpirun, restart, MpiJob, RestartOptions, RestartSource, RunConfig};
 pub use mpi::Mpi;

@@ -20,7 +20,7 @@ use orte::Runtime;
 use parking_lot::Mutex;
 
 use crate::app::{MpiApp, RunEnd};
-use crate::init::{mpirun, restart_from_with_source, MpiJob, RestartSource, RunConfig};
+use crate::init::{mpirun, restart, MpiJob, RestartOptions, RunConfig};
 
 /// Recovery policy knobs.
 #[derive(Debug, Clone)]
@@ -31,10 +31,11 @@ pub struct RecoveryPolicy {
     pub max_restarts: u32,
     /// How often the supervisor polls for rank failures.
     pub poll_every: Duration,
-    /// Where restart images come from. The default, [`RestartSource::Auto`],
-    /// is the fast path: surviving peer-memory replicas first, stable
-    /// storage for whatever they cannot serve.
-    pub restart_source: RestartSource,
+    /// How each recovery restart is performed. The default
+    /// ([`RestartOptions::default`]) is the fast path: newest committed
+    /// interval, surviving peer memory first, stable storage for whatever
+    /// it cannot serve, digest verification on.
+    pub restart: RestartOptions,
 }
 
 impl Default for RecoveryPolicy {
@@ -43,7 +44,7 @@ impl Default for RecoveryPolicy {
             checkpoint_every: Duration::from_millis(200),
             max_restarts: 3,
             poll_every: Duration::from_millis(10),
-            restart_source: RestartSource::Auto,
+            restart: RestartOptions::default(),
         }
     }
 }
@@ -131,13 +132,7 @@ pub fn run_with_recovery<A: MpiApp>(
     loop {
         let job = match last_snapshot.lock().clone() {
             None => mpirun(runtime, Arc::clone(&app), config.clone())?,
-            Some(snapshot) => restart_from_with_source(
-                runtime,
-                Arc::clone(&app),
-                &snapshot,
-                None,
-                policy.restart_source,
-            )?,
+            Some(snapshot) => restart(runtime, Arc::clone(&app), &snapshot, policy.restart)?,
         };
         runtime.tracer().record(
             "supervisor.incarnation",

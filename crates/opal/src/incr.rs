@@ -29,7 +29,7 @@ use cr_core::CrError;
 
 use crate::image::ProcessImage;
 
-/// Snapshot metadata key: `"full"` or `"delta"`.
+/// Snapshot metadata key: `"full"`, `"delta"`, or `"dedup"`.
 pub const PARAM_KIND: &str = "ckpt_kind";
 /// Snapshot metadata key: interval of the chain's full base image.
 pub const PARAM_BASE: &str = "base_interval";
@@ -46,6 +46,10 @@ pub enum CkptKind {
     Full,
     /// Dirty chunks only; restores by replaying base + delta chain.
     Delta,
+    /// Complete image whose manifest keys into the content-addressed
+    /// chunk store ([`crate::store`]); restores by direct manifest→chunk
+    /// fetch, never by chain replay.
+    Dedup,
 }
 
 impl CkptKind {
@@ -54,6 +58,7 @@ impl CkptKind {
         match self {
             CkptKind::Full => "full",
             CkptKind::Delta => "delta",
+            CkptKind::Dedup => "dedup",
         }
     }
 }
@@ -98,6 +103,12 @@ pub struct IncrConfig {
     /// Force a full image every N intervals (`crs_incr_full_every`),
     /// bounding delta-chain length. Values ≤ 1 disable deltas entirely.
     pub full_every: u64,
+    /// Content-addressed dedup mode (`filem_dedup_enabled`, default off):
+    /// every checkpoint is a self-contained full image tagged
+    /// [`CkptKind::Dedup`] whose chunk manifest is always written, so the
+    /// commit path can key the bytes into the chunk store.  Takes
+    /// precedence over delta mode — dedup intervals never chain.
+    pub dedup: bool,
 }
 
 impl IncrConfig {
@@ -113,6 +124,9 @@ impl IncrConfig {
             full_every: params
                 .get_parsed_or("crs_incr_full_every", 16u64)
                 .unwrap_or(16),
+            dedup: params
+                .get_bool_or("filem_dedup_enabled", false)
+                .unwrap_or(false),
         }
     }
 
@@ -122,6 +136,7 @@ impl IncrConfig {
             enabled: false,
             chunk_bytes: 4 * 1024,
             full_every: 16,
+            dedup: false,
         }
     }
 }
@@ -188,6 +203,7 @@ impl IncrEngine {
         let mut cache = self.cache.lock();
         let base = cache.as_ref().filter(|c| {
             self.config.enabled
+                && !self.config.dedup
                 && self.config.full_every > 1
                 && c.interval < interval
                 && c.deltas_since_full + 1 < self.config.full_every
@@ -205,11 +221,15 @@ impl IncrEngine {
                 snapshot.write_context(&image.to_bytes()?)?;
                 snapshot.set_param(PARAM_BASE, &interval.to_string())?;
                 snapshot.set_param(PARAM_PREV, &interval.to_string())?;
-                CkptKind::Full
+                if self.config.dedup {
+                    CkptKind::Dedup
+                } else {
+                    CkptKind::Full
+                }
             }
         };
         snapshot.set_param(PARAM_KIND, kind.as_str())?;
-        if self.config.enabled {
+        if self.config.enabled || self.config.dedup {
             snapshot.set_param(PARAM_MANIFEST, &manifest.render())?;
         }
         let (base_interval, deltas_since_full) = match (kind, cache.as_ref()) {
@@ -501,6 +521,24 @@ mod tests {
                 ProcessImage::from_bytes(&s.read_context().unwrap()).unwrap(),
                 img
             );
+        }
+    }
+
+    #[test]
+    fn dedup_mode_writes_self_contained_manifested_images() {
+        let dir = tmpdir("dedup");
+        let params = incr_params(1, 16); // delta mode on — dedup must win
+        params.set("filem_dedup_enabled", "true");
+        let engine = IncrEngine::from_params(&params);
+        let img = image_of(&[("app", vec![7u8; 4096])]);
+        for interval in 0..3 {
+            let mut s = snap(&dir.join(format!("i{interval}")), interval);
+            assert_eq!(engine.write_image(&img, &mut s).unwrap(), CkptKind::Dedup);
+            assert_eq!(s.param(PARAM_KIND), Some("dedup"));
+            assert!(s.param(PARAM_MANIFEST).is_some(), "manifest always written");
+            // Self-contained: the legacy full-image reader accepts it, so
+            // restart never needs chain replay for a dedup interval.
+            assert_eq!(read_full_image(&s).unwrap(), img);
         }
     }
 

@@ -22,6 +22,9 @@
 //!   checkpointing components delegate context encoding to: full images by
 //!   default, dirty-chunks-only deltas when `crs_incr_enabled` is set,
 //!   with manifest-verified chain replay at restart.
+//! * [`store`] — the content-addressed chunk store: digest-keyed,
+//!   frame-wrapped blobs with persisted refcounts, shared across ranks and
+//!   intervals when `filem_dedup_enabled` is set.
 //! * [`container::ProcessContainer`] — per-process control plane: the
 //!   checkpoint window (enabled after `MPI_Init`, disabled at
 //!   `MPI_Finalize`), capture-section registry, INC registry, and the
@@ -39,10 +42,12 @@ pub mod gate;
 pub mod image;
 pub mod incr;
 pub mod progress;
+pub mod store;
 
 pub use container::{OpalCtrl, ProcessContainer};
 pub use crs::{crs_framework, CrsComponent, SelfCallbacks};
 pub use incr::{CkptKind, IncrConfig, IncrEngine};
+pub use store::{ChunkId, ChunkStore};
 pub use gate::SafePointGate;
 pub use image::ProcessImage;
 pub use progress::ProgressEngine;

@@ -287,6 +287,48 @@ impl Orted {
                         },
                     );
                 }
+                DaemonMsg::ChunkPut {
+                    job,
+                    chunks,
+                    reply_to,
+                } => {
+                    for (id, bytes) in chunks {
+                        self.replicas.put_chunk(job, id, bytes);
+                    }
+                    let _ = send_oob(
+                        &self.fabric,
+                        self.endpoint_id,
+                        EndpointId(reply_to),
+                        &DaemonReply::ChunkStored { node: self.node.0 },
+                    );
+                }
+                DaemonMsg::ChunkFetch { job, ids, reply_to } => {
+                    let chunks = ids
+                        .iter()
+                        .map(|id| self.replicas.get_chunk(job, id))
+                        .collect();
+                    let _ = send_oob(
+                        &self.fabric,
+                        self.endpoint_id,
+                        EndpointId(reply_to),
+                        &DaemonReply::ChunkData {
+                            node: self.node.0,
+                            chunks,
+                        },
+                    );
+                }
+                DaemonMsg::ChunkExpire { job, ids, reply_to } => {
+                    let removed = self.replicas.expire_chunks(job, &ids);
+                    let _ = send_oob(
+                        &self.fabric,
+                        self.endpoint_id,
+                        EndpointId(reply_to),
+                        &DaemonReply::ChunkExpired {
+                            node: self.node.0,
+                            removed,
+                        },
+                    );
+                }
             }
         }
     }

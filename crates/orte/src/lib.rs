@@ -32,6 +32,9 @@
 //!   FILEM `replica` component: each daemon holds its own ranks' images
 //!   plus ring-replicated copies of `k` neighbors', so restart can pull
 //!   from surviving memory before touching stable storage.
+//! * [`store`] — the unified snapshot store over the content-addressed
+//!   chunk tiers (`filem_dedup_enabled`): dedup commit, manifest-driven
+//!   fetch, and refcount GC (decrement + sweep) at retirement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +48,7 @@ pub mod plm;
 pub mod replica;
 pub mod runtime;
 pub mod snapc;
+pub mod store;
 
 pub use job::{JobHandle, JobSpec, LaunchCtx};
 pub use runtime::Runtime;

@@ -11,6 +11,7 @@ use netsim::{Endpoint, EndpointId, Fabric, NetError, SimTime};
 use serde::{Deserialize, Serialize};
 
 use cr_core::{CrError, JobId};
+use opal::store::ChunkId;
 
 use crate::replica::ReplicaImage;
 
@@ -134,6 +135,35 @@ pub enum DaemonMsg {
         /// Raw endpoint id to reply to.
         reply_to: u64,
     },
+    /// Store content-addressed chunks in the daemon's in-memory chunk
+    /// tier (the dedup analogue of [`DaemonMsg::ReplicaPut`]).
+    ChunkPut {
+        /// Job the chunks belong to.
+        job: JobId,
+        /// `(id, bytes)` of each chunk to hold.
+        chunks: Vec<(ChunkId, Vec<u8>)>,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
+    /// Fetch chunks by id from the daemon's in-memory chunk tier.
+    ChunkFetch {
+        /// Job the chunks belong to.
+        job: JobId,
+        /// Ids wanted, in reply order.
+        ids: Vec<ChunkId>,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
+    /// Drop chunks by id from the daemon's in-memory chunk tier (GC of a
+    /// retired interval's swept chunks).
+    ChunkExpire {
+        /// Job whose chunks should be dropped.
+        job: JobId,
+        /// Ids to drop.
+        ids: Vec<ChunkId>,
+        /// Raw endpoint id to reply to.
+        reply_to: u64,
+    },
     /// Stop the daemon thread.
     Shutdown,
 }
@@ -202,6 +232,26 @@ pub enum DaemonReply {
         node: u32,
         /// `(interval, rank)` pairs currently held for the queried job.
         entries: Vec<(u64, u32)>,
+    },
+    /// Chunks stored (reply to [`DaemonMsg::ChunkPut`]).
+    ChunkStored {
+        /// Daemon's node id.
+        node: u32,
+    },
+    /// Result of a [`DaemonMsg::ChunkFetch`]: one entry per requested id,
+    /// in request order; `None` for ids this daemon does not hold.
+    ChunkData {
+        /// Daemon's node id.
+        node: u32,
+        /// Chunk bytes (or `None` on a miss), in request order.
+        chunks: Vec<Option<Vec<u8>>>,
+    },
+    /// Chunks dropped (reply to [`DaemonMsg::ChunkExpire`]).
+    ChunkExpired {
+        /// Daemon's node id.
+        node: u32,
+        /// How many chunks were removed.
+        removed: usize,
     },
 }
 

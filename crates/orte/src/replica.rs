@@ -35,6 +35,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use cr_core::{CrError, JobId, Rank};
+use opal::store::ChunkId;
 
 use crate::oob::{recv_oob_timeout, send_oob, DaemonMsg, DaemonReply};
 use crate::runtime::Runtime;
@@ -118,9 +119,15 @@ impl ReplicaImage {
 /// `(job, interval, rank)`; survives as long as its daemon thread does and
 /// dies with the node — that is the point: it models volatile peer memory,
 /// not stable storage.
+///
+/// Alongside whole images the store keeps a *chunk tier*: content-addressed
+/// chunks keyed `(job, chunk id)`, the peer-memory mirror of the stable
+/// [`opal::store::ChunkStore`].  Dedup restarts fetch manifest chunks from
+/// surviving daemons before touching stable storage.
 #[derive(Debug, Default)]
 pub struct ReplicaStore {
     entries: Mutex<std::collections::HashMap<(JobId, u64, u32), ReplicaImage>>,
+    chunks: Mutex<std::collections::HashMap<(JobId, ChunkId), Vec<u8>>>,
 }
 
 impl ReplicaStore {
@@ -150,13 +157,39 @@ impl ReplicaStore {
         before - entries.len()
     }
 
-    /// Drop every entry of `job` (job teardown). Returns how many were
-    /// removed.
+    /// Drop every entry of `job` (job teardown), images and chunks alike.
+    /// Returns how many were removed.
     pub fn expire_job(&self, job: JobId) -> usize {
         let mut entries = self.entries.lock();
         let before = entries.len();
         entries.retain(|(j, _, _), _| *j != job);
-        before - entries.len()
+        let mut chunks = self.chunks.lock();
+        let chunks_before = chunks.len();
+        chunks.retain(|(j, _), _| *j != job);
+        (before - entries.len()) + (chunks_before - chunks.len())
+    }
+
+    /// Hold one content-addressed chunk for `job` in peer memory.
+    pub fn put_chunk(&self, job: JobId, id: ChunkId, bytes: Vec<u8>) {
+        self.chunks.lock().insert((job, id), bytes);
+    }
+
+    /// Copy of a held chunk, if present.
+    pub fn get_chunk(&self, job: JobId, id: &ChunkId) -> Option<Vec<u8>> {
+        self.chunks.lock().get(&(job, *id)).cloned()
+    }
+
+    /// Drop the listed chunks of `job`. Returns how many were held.
+    pub fn expire_chunks(&self, job: JobId, ids: &[ChunkId]) -> usize {
+        let mut chunks = self.chunks.lock();
+        ids.iter()
+            .filter(|id| chunks.remove(&(job, **id)).is_some())
+            .count()
+    }
+
+    /// Number of chunks held for `job`.
+    pub fn chunk_count(&self, job: JobId) -> usize {
+        self.chunks.lock().keys().filter(|(j, _)| *j == job).count()
     }
 
     /// `(interval, rank)` pairs currently held for `job`, sorted.
@@ -375,6 +408,165 @@ pub fn expire_replicas(runtime: &Runtime, job: JobId, interval: u64) -> usize {
     removed
 }
 
+/// Push content-addressed chunks into the peer-memory chunk tier of each
+/// `target` node's daemon (the dedup analogue of [`replicate`]).  Every
+/// target receives every listed chunk; netsim charges the transfers.
+/// Returns the simulated wire cost and total payload bytes shipped.
+pub fn put_chunks(
+    runtime: &Runtime,
+    job: JobId,
+    targets: &[u32],
+    chunks: &[(ChunkId, Vec<u8>)],
+) -> Result<(SimTime, u64), CrError> {
+    if chunks.is_empty() || targets.is_empty() {
+        return Ok((SimTime::ZERO, 0));
+    }
+    let ctl = runtime.fabric().register(NodeId(0));
+    let payload: u64 = chunks.iter().map(|(_, b)| b.len() as u64).sum();
+    let mut sim_cost = SimTime::ZERO;
+    let mut bytes = 0u64;
+    for target in targets {
+        let daemon = runtime.ensure_daemon(NodeId(*target));
+        sim_cost += send_oob(
+            runtime.fabric(),
+            ctl.id(),
+            daemon.endpoint(),
+            &DaemonMsg::ChunkPut {
+                job,
+                chunks: chunks.to_vec(),
+                reply_to: ctl.id().0,
+            },
+        )?;
+        match recv_oob_timeout::<DaemonReply>(&ctl, REPLICA_OOB_TIMEOUT)? {
+            DaemonReply::ChunkStored { .. } => {}
+            other => {
+                return Err(CrError::protocol(format!(
+                    "unexpected reply to ChunkPut: {other:?}"
+                )))
+            }
+        }
+        bytes += payload;
+    }
+    runtime.tracer().record(
+        "store.chunk.put",
+        &format!("{} chunks ({payload} B) -> nodes {targets:?}", chunks.len()),
+    );
+    Ok((sim_cost, bytes))
+}
+
+/// Fetch chunks by id from the peer-memory chunk tier, trying each
+/// surviving `holder` in turn and accumulating partial hits until every id
+/// is resolved.  Returns the chunk bytes in id order plus the simulated
+/// wire cost, or `None` when some chunk has no surviving holder — the
+/// caller then falls back to the stable [`opal::store::ChunkStore`].
+pub fn fetch_chunks(
+    runtime: &Runtime,
+    job: JobId,
+    ids: &[ChunkId],
+    holders: &[u32],
+) -> Option<(Vec<Vec<u8>>, SimTime)> {
+    let (found, cost) = fetch_chunks_partial(runtime, job, ids, holders);
+    found.into_iter().collect::<Option<Vec<_>>>().map(|v| (v, cost))
+}
+
+/// Like [`fetch_chunks`] but keeps partial results: the returned vector
+/// has one slot per id, `None` where no surviving holder had the chunk.
+/// The mixed-tier restart path uses this to fill only the gaps from
+/// stable storage.
+pub fn fetch_chunks_partial(
+    runtime: &Runtime,
+    job: JobId,
+    ids: &[ChunkId],
+    holders: &[u32],
+) -> (Vec<Option<Vec<u8>>>, SimTime) {
+    if ids.is_empty() {
+        return (Vec::new(), SimTime::ZERO);
+    }
+    let ctl = runtime.fabric().register(NodeId(0));
+    let alive = runtime.daemons();
+    let mut found: Vec<Option<Vec<u8>>> = vec![None; ids.len()];
+    let mut cost = SimTime::ZERO;
+    for holder in holders {
+        let missing: Vec<usize> = found
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if missing.is_empty() {
+            break;
+        }
+        let Some(daemon) = alive.iter().find(|d| d.node().0 == *holder) else {
+            continue; // dead node: never respawn just to ask its memory
+        };
+        let want: Vec<ChunkId> = missing.iter().filter_map(|i| ids.get(*i).copied()).collect();
+        let sent = send_oob(
+            runtime.fabric(),
+            ctl.id(),
+            daemon.endpoint(),
+            &DaemonMsg::ChunkFetch {
+                job,
+                ids: want,
+                reply_to: ctl.id().0,
+            },
+        );
+        if sent.is_err() {
+            continue;
+        }
+        match recv_oob_timeout::<DaemonReply>(&ctl, REPLICA_OOB_TIMEOUT) {
+            Ok(DaemonReply::ChunkData { node, chunks }) => {
+                cost += sent.unwrap_or(SimTime::ZERO);
+                let mut hits = 0usize;
+                for (slot, chunk) in missing.iter().zip(chunks) {
+                    if let (Some(bytes), Some(dest)) = (chunk, found.get_mut(*slot)) {
+                        *dest = Some(bytes);
+                        hits += 1;
+                    }
+                }
+                if hits > 0 {
+                    runtime.tracer().record(
+                        "store.chunk.fetch",
+                        &format!("{hits} chunks <- node {node}"),
+                    );
+                }
+            }
+            Ok(_) | Err(_) => continue,
+        }
+    }
+    (found, cost)
+}
+
+/// Drop the listed chunks of `job` from every surviving daemon's chunk
+/// tier (the peer-memory half of a GC sweep). Returns chunks removed.
+pub fn expire_chunks(runtime: &Runtime, job: JobId, ids: &[ChunkId]) -> usize {
+    if ids.is_empty() {
+        return 0;
+    }
+    let ctl = runtime.fabric().register(NodeId(0));
+    let mut removed = 0;
+    for daemon in runtime.daemons() {
+        let sent = send_oob(
+            runtime.fabric(),
+            ctl.id(),
+            daemon.endpoint(),
+            &DaemonMsg::ChunkExpire {
+                job,
+                ids: ids.to_vec(),
+                reply_to: ctl.id().0,
+            },
+        );
+        if sent.is_err() {
+            continue;
+        }
+        if let Ok(DaemonReply::ChunkExpired { removed: n, .. }) =
+            recv_oob_timeout::<DaemonReply>(&ctl, REPLICA_OOB_TIMEOUT)
+        {
+            removed += n;
+        }
+    }
+    removed
+}
+
 /// Per-node replica inventory for `job` across every surviving daemon:
 /// `(node, [(interval, rank)])`, node order. Diagnostic / test surface.
 pub fn replica_inventory(runtime: &Runtime, job: JobId) -> Vec<(u32, Vec<(u64, u32)>)> {
@@ -477,6 +669,27 @@ mod tests {
         store.put(JobId(1), 0, b.clone());
         assert_eq!(store.len(), 1);
         assert_eq!(store.get(JobId(1), 0, 0), Some(b));
+    }
+
+    #[test]
+    fn chunk_tier_put_get_expire() {
+        let store = ReplicaStore::new();
+        let a = ChunkId::of(b"chunk a");
+        let b = ChunkId::of(b"chunk b");
+        store.put_chunk(JobId(1), a, b"chunk a".to_vec());
+        store.put_chunk(JobId(1), b, b"chunk b".to_vec());
+        store.put_chunk(JobId(2), a, b"chunk a".to_vec());
+        assert_eq!(store.chunk_count(JobId(1)), 2);
+        assert_eq!(store.get_chunk(JobId(1), &a), Some(b"chunk a".to_vec()));
+        assert_eq!(store.get_chunk(JobId(3), &a), None);
+        // Expire is per job and per id; double-expire counts zero.
+        assert_eq!(store.expire_chunks(JobId(1), &[a]), 1);
+        assert_eq!(store.expire_chunks(JobId(1), &[a]), 0);
+        assert_eq!(store.chunk_count(JobId(1)), 1);
+        assert_eq!(store.get_chunk(JobId(2), &a), Some(b"chunk a".to_vec()));
+        // Job teardown drops images and chunks alike.
+        assert_eq!(store.expire_job(JobId(2)), 1);
+        assert_eq!(store.chunk_count(JobId(2)), 0);
     }
 
     #[test]

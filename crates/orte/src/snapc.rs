@@ -30,8 +30,8 @@ use std::path::PathBuf;
 use mca::Framework;
 use netsim::NodeId;
 
-use cr_core::request::{CheckpointOptions, CheckpointOutcome};
-use cr_core::{CommitState, CrError, JobId, Rank};
+use cr_core::request::{CheckpointOptions, CheckpointOutcome, CkptStats};
+use cr_core::{CrError, JobId, Rank};
 use opal::container::OpalCtrl;
 
 use crate::filem::{copy_all_parallel, filem_framework, CopyRequest};
@@ -106,19 +106,6 @@ fn cleanup_scratch(
     Ok(())
 }
 
-/// What the gather phase moved along the critical path: the metric the
-/// incremental-checkpoint ablation compares across full and delta
-/// intervals.
-struct GatherStats {
-    /// Context-file bytes shipped off the compute nodes.
-    bytes: u64,
-    /// Simulated wall time charged to the *caller* (nanoseconds): the
-    /// gather's critical path when blocking, ~0 under early release.
-    sim_ns: u64,
-    /// Commit progress when the request returned.
-    commit: CommitState,
-}
-
 /// Gather/commit/cleanup tail shared by the `full` and `tree` components.
 ///
 /// `results` is the flat `(node, per-rank checkpoint)` listing the daemons
@@ -155,16 +142,24 @@ struct GatherStats {
 /// (`GlobalCommitted`) interval always has a fully drained gather, and an
 /// interval's commit state climbs the lattice monotonically under every
 /// interleaving of local commit, gather completion, promotion, and
-/// mid-gather node death. The returned `GatherStats::commit` is read back
+/// mid-gather node death. The returned `CkptStats::commit` is read back
 /// from the snapshot authority (`GlobalSnapshot::commit_state`), never
 /// minted here — enforced by the `commit-state` cr-lint rule.
+///
+/// With `filem_dedup_enabled=true` the tail is replaced wholesale by the
+/// content-addressed commit ([`crate::store`]): each rank's manifested
+/// image is sliced into chunks, only chunks the stable
+/// [`opal::store::ChunkStore`] has never seen are written (and pushed to
+/// the peer-memory chunk tier), references are taken *before* the
+/// manifests are recorded, and the interval commits with a dedup ratio in
+/// its stats. The refcount lifecycle is model-checked by `cr-model gc`.
 fn gather_commit_cleanup(
     job: &JobHandle,
     interval: u64,
     interval_dir: &std::path::Path,
     results: &[(u32, RankCkpt)],
     tag: &str,
-) -> Result<GatherStats, CrError> {
+) -> Result<CkptStats, CrError> {
     let runtime = job.runtime();
     let tracer = runtime.tracer();
     let params = job.params();
@@ -211,6 +206,19 @@ fn gather_commit_cleanup(
         .iter()
         .map(|(_, c)| (Rank(c.rank), c.kind.as_str(), c.base_interval, c.prev_interval))
         .collect();
+
+    let dedup = params
+        .get_bool_or("filem_dedup_enabled", false)
+        .unwrap_or(false);
+    if dedup {
+        // Content-addressed commit: chunk manifests + refcounted blobs
+        // replace whole-image gathers. Only never-before-seen chunks move.
+        let stats = crate::store::dedup_commit(
+            job, interval, results, &ranks_info, &chain_info, tag,
+        )?;
+        cleanup_scratch(runtime, job_id, interval, &nodes)?;
+        return Ok(stats);
+    }
 
     if selection == "replica" {
         let factor = params
@@ -275,11 +283,11 @@ fn gather_commit_cleanup(
         }
         // Peer memory *is* the durable commit for the replica component;
         // `commit` reads back GlobalCommitted from the authority above.
-        return Ok(GatherStats {
-            bytes: outcome.bytes,
-            sim_ns: outcome.sim_cost.as_nanos(),
+        return Ok(CkptStats::plain(
+            outcome.bytes,
+            outcome.sim_cost.as_nanos(),
             commit,
-        });
+        ));
     }
 
     if early_release {
@@ -372,7 +380,7 @@ fn gather_commit_cleanup(
             .map_err(|e| CrError::protocol(format!("spawn gather thread: {e}")))?;
         runtime.register_drain(handle);
         // LocalCommitted here: the promotion lands in the gather thread.
-        return Ok(GatherStats { bytes, sim_ns: 0, commit });
+        return Ok(CkptStats::plain(bytes, 0, commit));
     }
 
     // Classic path: blocking gather to stable storage (Figure 1-F) over
@@ -392,11 +400,11 @@ fn gather_commit_cleanup(
         global.commit_state(interval)
     };
     cleanup_scratch(runtime, job_id, interval, &nodes)?;
-    Ok(GatherStats {
-        bytes: report.bytes,
-        sim_ns: report.critical_path_cost.as_nanos(),
+    Ok(CkptStats::plain(
+        report.bytes,
+        report.critical_path_cost.as_nanos(),
         commit,
-    })
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -532,9 +540,7 @@ impl SnapcComponent for FullSnapc {
             global_snapshot: job.global_snapshot_path(),
             interval,
             ranks: job.nprocs(),
-            bytes_moved: stats.bytes,
-            sim_ns: stats.sim_ns,
-            commit: stats.commit,
+            stats,
         })
     }
 }
@@ -667,9 +673,7 @@ impl SnapcComponent for TreeSnapc {
             global_snapshot: job.global_snapshot_path(),
             interval,
             ranks: job.nprocs(),
-            bytes_moved: stats.bytes,
-            sim_ns: stats.sim_ns,
-            commit: stats.commit,
+            stats,
         })
     }
 }
@@ -767,9 +771,7 @@ impl SnapcComponent for DirectSnapc {
             global_snapshot: job.global_snapshot_path(),
             interval,
             ranks: job.nprocs(),
-            bytes_moved,
-            sim_ns: 0,
-            commit,
+            stats: CkptStats::plain(bytes_moved, 0, commit),
         })
     }
 }
@@ -781,6 +783,7 @@ mod tests {
     use crate::runtime::Runtime;
     use cr_core::inc::LayerInc;
     use cr_core::snapshot::GlobalSnapshot;
+    use cr_core::CommitState;
     use mca::McaParams;
     use netsim::{LinkSpec, Topology};
     use opal::crs::{crs_framework, SelfCallbacks};
@@ -839,7 +842,7 @@ mod tests {
         let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
         assert_eq!(outcome.ranks, 4);
         assert_eq!(outcome.interval, 0);
-        assert_eq!(outcome.commit, CommitState::GlobalCommitted);
+        assert_eq!(outcome.stats.commit, CommitState::GlobalCommitted);
 
         let global = GlobalSnapshot::open(&outcome.global_snapshot).unwrap();
         assert_eq!(global.intervals(), vec![0]);
@@ -960,8 +963,8 @@ mod tests {
         let outcome = handle.checkpoint(&CheckpointOptions::tool()).unwrap();
         // The request came back with only the local commit done and no
         // gather wall time charged to the app.
-        assert_eq!(outcome.commit, CommitState::LocalCommitted);
-        assert_eq!(outcome.sim_ns, 0);
+        assert_eq!(outcome.stats.commit, CommitState::LocalCommitted);
+        assert_eq!(outcome.stats.sim_ns, 0);
         {
             let global = handle.global_snapshot().unwrap();
             assert_eq!(global.commit_state(0), CommitState::LocalCommitted);

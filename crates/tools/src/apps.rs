@@ -7,7 +7,7 @@ use std::sync::Arc;
 use cr_core::CrError;
 use mca::McaParams;
 use ompi::app::RunEnd;
-use ompi::{mpirun, restart_from_with_source, MpiJob, RestartSource, RunConfig};
+use ompi::{mpirun, restart, MpiJob, RestartOptions, RestartSource, RunConfig};
 use orte::Runtime;
 use workloads::master_worker::MasterWorkerApp;
 use workloads::ring::RingApp;
@@ -122,16 +122,43 @@ pub fn restart_named(
     global_ref: &std::path::Path,
     interval: Option<u64>,
 ) -> Result<AnyJob, CrError> {
-    restart_named_from(runtime, global_ref, interval, RestartSource::Auto)
+    restart_named_with(
+        runtime,
+        global_ref,
+        RestartOptions {
+            interval,
+            ..RestartOptions::default()
+        },
+    )
 }
 
 /// [`restart_named`] with an explicit restart image source
 /// (`ompi-restart --source replica|stable|auto`).
+#[deprecated(note = "use restart_named_with(runtime, global_ref, RestartOptions { .. })")]
 pub fn restart_named_from(
     runtime: &Runtime,
     global_ref: &std::path::Path,
     interval: Option<u64>,
     source: RestartSource,
+) -> Result<AnyJob, CrError> {
+    restart_named_with(
+        runtime,
+        global_ref,
+        RestartOptions {
+            source,
+            interval,
+            verify: true,
+        },
+    )
+}
+
+/// Restart whatever workload a global snapshot reference recorded, with
+/// full control over how ([`RestartOptions`]: source tier, interval,
+/// chunk verification).
+pub fn restart_named_with(
+    runtime: &Runtime,
+    global_ref: &std::path::Path,
+    opts: RestartOptions,
 ) -> Result<AnyJob, CrError> {
     // Read the recorded app name from the snapshot's launch parameters.
     let global = cr_core::GlobalSnapshot::open(global_ref)?;
@@ -146,16 +173,15 @@ pub fn restart_named_from(
     let params_store = McaParams::from_dump(launch.iter().map(|(k, v)| (k.as_str(), v.as_str())));
     let params = Arc::new(params_store);
     match name.as_str() {
-        "ring" => Ok(AnyJob::new(restart_from_with_source(
+        "ring" => Ok(AnyJob::new(restart(
             runtime,
             Arc::new(RingApp {
                 rounds: scaled(&params, "tools_rounds", 200_000),
             }),
             global_ref,
-            interval,
-            source,
+            opts,
         )?)),
-        "stencil" => Ok(AnyJob::new(restart_from_with_source(
+        "stencil" => Ok(AnyJob::new(restart(
             runtime,
             Arc::new(StencilApp {
                 cells_per_rank: scaled(&params, "tools_cells", 4096) as usize,
@@ -163,28 +189,25 @@ pub fn restart_named_from(
                 ..Default::default()
             }),
             global_ref,
-            interval,
-            source,
+            opts,
         )?)),
-        "master_worker" => Ok(AnyJob::new(restart_from_with_source(
+        "master_worker" => Ok(AnyJob::new(restart(
             runtime,
             Arc::new(MasterWorkerApp {
                 tasks: scaled(&params, "tools_tasks", 100_000),
                 wave: 64,
             }),
             global_ref,
-            interval,
-            source,
+            opts,
         )?)),
-        "traffic" => Ok(AnyJob::new(restart_from_with_source(
+        "traffic" => Ok(AnyJob::new(restart(
             runtime,
             Arc::new(TrafficApp {
                 rounds: scaled(&params, "tools_rounds", 100_000),
                 ..Default::default()
             }),
             global_ref,
-            interval,
-            source,
+            opts,
         )?)),
         other => Err(CrError::Unsupported {
             detail: format!("snapshot was taken by unknown app {other:?}"),

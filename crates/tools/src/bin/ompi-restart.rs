@@ -1,7 +1,8 @@
 //! `ompi-restart` — resurrect a job from a global snapshot reference.
 //!
 //! ```text
-//! ompi-restart [--nodes N] [--interval I] [--base DIR] [--source S] <global-snapshot-ref>
+//! ompi-restart [--nodes N] [--interval I] [--base DIR] [--source S] \
+//!              [--no-verify] <global-snapshot-ref>
 //! ```
 //!
 //! The only required input is the snapshot reference directory: the
@@ -11,8 +12,10 @@
 //! `--source` picks where the images come from: `auto` (default;
 //! surviving peer-memory replicas first, stable storage fallback),
 //! `replica` (peer memory only, fail otherwise), or `stable` (disk only).
+//! `--no-verify` skips digest verification of peer-memory chunks on the
+//! dedup restart path. Every knob lands in one [`ompi::RestartOptions`].
 
-use tools::apps::{restart_named_from, tool_runtime};
+use tools::apps::{restart_named_with, tool_runtime};
 use tools::ArgSpec;
 
 fn main() {
@@ -45,13 +48,13 @@ fn run() -> Result<(), String> {
 
     let rt = tool_runtime(&base, nodes).map_err(|e| e.to_string())?;
     println!("ompi-restart: restoring from {reference}");
-    let job = restart_named_from(
-        &rt,
-        std::path::Path::new(reference),
-        if interval < 0 { None } else { Some(interval as u64) },
+    let opts = ompi::RestartOptions {
         source,
-    )
-    .map_err(|e| e.to_string())?;
+        interval: if interval < 0 { None } else { Some(interval as u64) },
+        verify: !spec.flag("no-verify"),
+    };
+    let job = restart_named_with(&rt, std::path::Path::new(reference), opts)
+        .map_err(|e| e.to_string())?;
     println!("ompi-restart: job {} resumed on {nodes} nodes", job.handle().job());
     let results = job.wait().map_err(|e| e.to_string())?;
     for (rank, (summary, end)) in results.iter().enumerate() {

@@ -6,9 +6,15 @@
 //!
 //! Prints the jobid, rank count, committed intervals, per-rank local
 //! snapshot details (checkpointer, host, size), and the recorded launch
-//! parameters.
+//! parameters.  Intervals committed through the content-addressed dedup
+//! store (`filem_dedup_enabled`) print per-rank chunk counts and the
+//! interval's dedup ratio instead of local snapshot directories, plus a
+//! chunk-store summary with a refcount histogram.
+
+use std::collections::BTreeMap;
 
 use cr_core::{GlobalSnapshot, Rank};
+use opal::store::{ChunkId, ChunkStore};
 use tools::ArgSpec;
 
 fn main() {
@@ -39,7 +45,13 @@ fn run() -> Result<(), String> {
         // mid-gather failure): visible for diagnosis, unusable for restart.
         println!("  local-committed (not restartable): {pending:?}");
     }
+    let mut any_dedup = false;
     for interval in &intervals {
+        if !global.chunk_manifests(*interval).is_empty() {
+            any_dedup = true;
+            print_dedup_interval(&global, *interval)?;
+            continue;
+        }
         let size = global
             .interval_size_bytes(*interval)
             .map_err(|e| e.to_string())?;
@@ -59,9 +71,65 @@ fn run() -> Result<(), String> {
             );
         }
     }
+    if any_dedup {
+        print_chunk_store(&global)?;
+    }
     println!("  launch parameters:");
     for (k, v) in global.launch_params() {
         println!("    {k} = {v}");
+    }
+    Ok(())
+}
+
+/// One dedup interval: per-rank manifest chunk counts and the interval's
+/// dedup ratio (logical image bytes over the bytes its distinct chunks
+/// occupy in the store).
+fn print_dedup_interval(global: &GlobalSnapshot, interval: u64) -> Result<(), String> {
+    let mut logical = 0u64;
+    let mut records = 0usize;
+    let mut distinct: BTreeMap<ChunkId, u64> = BTreeMap::new();
+    let mut per_rank = Vec::new();
+    for (rank, rendered) in global.chunk_manifests(interval) {
+        let manifest = codec::ChunkManifest::parse(rendered).map_err(|e| e.to_string())?;
+        let ids = orte::store::manifest_ids(&manifest);
+        records += ids.len();
+        logical += manifest.total_bytes();
+        for id in &ids {
+            distinct.insert(*id, u64::from(id.len));
+        }
+        per_rank.push((rank, ids.len(), manifest.total_bytes()));
+    }
+    let stored: u64 = distinct.values().sum();
+    println!(
+        "  interval {interval}: dedup store, {logical} logical bytes in {records} chunk \
+         records, {} distinct chunks ({stored} bytes), dedup ratio {:.2} ({})",
+        distinct.len(),
+        logical as f64 / stored.max(1) as f64,
+        global.commit_state(interval)
+    );
+    for (rank, chunks, bytes) in per_rank {
+        println!("    rank {}: {chunks} chunks, {bytes} bytes", rank.0);
+    }
+    Ok(())
+}
+
+/// The stable chunk tier: totals plus a refcount histogram (references
+/// held by recorded manifests per chunk — count-zero chunks are awaiting
+/// the next GC sweep).
+fn print_chunk_store(global: &GlobalSnapshot) -> Result<(), String> {
+    let store = ChunkStore::open(&global.dir().join(orte::store::CHUNK_STORE_DIR))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  chunk store: {} chunks, {} bytes",
+        store.chunk_count().map_err(|e| e.to_string())?,
+        store.total_bytes().map_err(|e| e.to_string())?
+    );
+    let mut histogram: BTreeMap<u64, usize> = BTreeMap::new();
+    for id in store.disk_ids().map_err(|e| e.to_string())? {
+        *histogram.entry(store.refcount(&id)).or_default() += 1;
+    }
+    for (refs, chunks) in histogram {
+        println!("    refcount {refs}: {chunks} chunks");
     }
     Ok(())
 }

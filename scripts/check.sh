@@ -23,8 +23,11 @@ RESTART_LATENCY_SMOKE=1 cargo bench -q -p bench --bench restart_latency
 
 # Incremental-checkpoint smoke: the bench asserts a 10%-dirty interval
 # moves < 25% of the full-image bytes and costs strictly less simulated
-# time, and writes the machine-readable comparison to BENCH_ckpt.json.
-CKPT_INCREMENTAL_SMOKE=1 BENCH_CKPT_JSON="$PWD/BENCH_ckpt.json" \
+# time.  The dedup smoke additionally runs the SPMD schedule through the
+# content-addressed chunk store, asserting a >= 2x cross-rank dedup ratio
+# and that dedup restart cost stays flat as retained intervals grow while
+# chain replay climbs.  Both comparisons land in BENCH_ckpt.json.
+CKPT_INCREMENTAL_SMOKE=1 CKPT_DEDUP_SMOKE=1 BENCH_CKPT_JSON="$PWD/BENCH_ckpt.json" \
   cargo bench -q -p bench --bench ckpt_incremental
 
 # Pipelined-commit smoke: the bench asserts the early-release stall is

@@ -170,7 +170,7 @@ fn mid_gather_node_failure_falls_back_to_last_global_commit() {
     std::thread::sleep(Duration::from_millis(30));
 
     let first = job.checkpoint(&CheckpointOptions::tool()).unwrap();
-    assert_eq!(first.commit, CommitState::LocalCommitted);
+    assert_eq!(first.stats.commit, CommitState::LocalCommitted);
     rt.drain_writebehind(); // interval 0 reaches stable storage
 
     let second = job
