@@ -1,0 +1,191 @@
+//! Ablation A11: FT journal append overhead.
+//!
+//! The hash-chained journal sits on the hot path of every `Tracer::record`
+//! once `journal_enabled` is on, so its append cost is a tier-1 ratchet:
+//!
+//! * **Append cost**: the amortized wall-clock cost of one journaled
+//!   `record` (hash chain + codec framing + buffered write) must stay
+//!   under 40 µs/event — two orders of magnitude of headroom over the
+//!   measured cost, so only a real regression (an fsync or O(n) rescan
+//!   sneaking onto the append path) trips it.
+//! * **Entry size**: the on-disk framing must stay under 1 KiB/event for
+//!   typical phases, keeping a full checkpointed run's journal in the
+//!   tens of kilobytes.
+//!
+//! A real 4-rank early-release checkpointed run then proves the journal
+//! the runtime writes is chain-intact and model-conformant material (the
+//! conformance replay itself runs in `scripts/check.sh` via `cr-replay`).
+//!
+//! `JOURNAL_SMOKE=1` (used by `scripts/check.sh`) skips criterion
+//! sampling after the assertions. When `BENCH_JOURNAL_JSON` names a
+//! path, the measurements are written there as JSON (`BENCH_journal.json`).
+//! `JOURNAL_SMOKE_DIR` pins the scratch directory so the run journal
+//! lands at `<dir>/run/journal/ft.jrnl` for `cr-replay` to verify and
+//! replay afterwards (default: a per-pid temp directory).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cr_core::inc::LayerInc;
+use cr_core::request::CheckpointOptions;
+use cr_core::Tracer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca::McaParams;
+use netsim::{LinkSpec, Topology};
+use opal::crs::{crs_framework, SelfCallbacks};
+use orte::job::{launch, JobSpec, LaunchCtx};
+use orte::Runtime;
+
+const MICRO_EVENTS: u64 = 10_000;
+const MAX_APPEND_NS_PER_EVENT: u64 = 40_000;
+const MAX_BYTES_PER_EVENT: u64 = 1024;
+
+/// Measure the amortized journaled-record cost over `MICRO_EVENTS`
+/// appends with a representative phase/detail mix. Returns
+/// (ns/event, bytes/event).
+fn micro_append(dir: &std::path::Path) -> (u64, u64) {
+    std::fs::create_dir_all(dir).expect("bench dir");
+    let path = dir.join(journal::FILE_NAME);
+    let sink = Arc::new(journal::JournalSink::open(&path, 0).expect("open journal"));
+    let tracer = Tracer::new();
+    tracer.set_sink(Arc::clone(&sink) as Arc<dyn cr_core::trace::TraceSink>);
+    let ranked = tracer.with_actor("rank3");
+
+    let start = Instant::now();
+    for i in 0..MICRO_EVENTS {
+        // Alternate bare and attributed records, like a real run does.
+        if i % 2 == 0 {
+            tracer.record("snapc.global.request", "interval 0 source tool");
+        } else {
+            ranked.record("ompi.crcp.quiesced", "rank 3 drained 2 peers");
+        }
+    }
+    sink.flush().expect("flush");
+    let elapsed = start.elapsed().as_nanos() as u64;
+
+    let (entries, bytes) = sink.stats();
+    assert_eq!(entries, MICRO_EVENTS, "every record must reach the journal");
+    assert_eq!(sink.append_errors(), 0);
+    let report = journal::verify(&path).expect("verify");
+    assert!(report.ok(), "micro journal chain broken: {}", report.render());
+
+    (elapsed / MICRO_EVENTS, bytes / entries)
+}
+
+/// A real 4-rank early-release checkpointed run with the journal on.
+/// Returns (entries, bytes) of the runtime-written journal after
+/// verifying the chain.
+fn checkpointed_run(base: &std::path::Path) -> (u64, u64) {
+    let rt = Runtime::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()), base)
+        .expect("runtime");
+    let params = Arc::new(McaParams::new());
+    params.set("snapc_early_release", "true");
+    let proc_main: orte::job::ProcMain = Arc::new(move |ctx: LaunchCtx| {
+        let fw = crs_framework(SelfCallbacks::new());
+        ctx.container
+            .set_crs(Arc::from(fw.select(&ctx.params).unwrap()));
+        let rank = ctx.name.rank.index() as u8;
+        ctx.container.register_capture(
+            "app",
+            Arc::new(move || Ok(vec![rank.wrapping_mul(17); 4 << 10])),
+        );
+        ctx.container
+            .install_opal_inc(LayerInc::new("opal", ctx.runtime.tracer().clone()));
+        ctx.container.enable_checkpointing();
+        while !ctx.terminate.load(std::sync::atomic::Ordering::SeqCst) {
+            ctx.container.gate().checkpoint_point();
+            std::thread::yield_now();
+        }
+        ctx.container.gate().retire();
+    });
+    let handle = launch(&rt, JobSpec::new(4, params, proc_main)).expect("launch");
+    for r in 0..4 {
+        while handle.container(cr_core::Rank(r)).crs().is_none() {
+            std::thread::yield_now();
+        }
+    }
+    handle
+        .checkpoint(&CheckpointOptions::tool())
+        .expect("checkpoint");
+    handle.request_terminate();
+    handle.join().expect("join");
+    rt.drain_writebehind();
+    let path = rt.journal_path().expect("journal on by default");
+    rt.shutdown();
+
+    let report = journal::verify(&path).expect("verify");
+    assert!(report.ok(), "run journal chain broken: {}", report.render());
+    assert!(
+        report.entries > 0,
+        "a checkpointed run must journal its coordination events"
+    );
+    let bytes = std::fs::metadata(&path).expect("journal metadata").len();
+    (report.entries as u64, bytes)
+}
+
+fn write_json(path: &str, append_ns: u64, bytes_per_event: u64, run: (u64, u64)) {
+    let json = format!(
+        "{{\n  \"micro_events\": {},\n  \"append_ns_per_event\": {},\n  \
+         \"bytes_per_event\": {},\n  \
+         \"run\": {{ \"entries\": {}, \"bytes\": {} }},\n  \
+         \"max_append_ns_per_event\": {},\n  \"max_bytes_per_event\": {}\n}}\n",
+        MICRO_EVENTS,
+        append_ns,
+        bytes_per_event,
+        run.0,
+        run.1,
+        MAX_APPEND_NS_PER_EVENT,
+        MAX_BYTES_PER_EVENT,
+    );
+    std::fs::write(path, json).expect("write BENCH_journal.json");
+    println!("journal_append: wrote {path}");
+}
+
+fn journal_append(c: &mut Criterion) {
+    let base = std::env::var("JOURNAL_SMOKE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::env::temp_dir().join(format!("bench_journal_{}", std::process::id()))
+        });
+    let _ = std::fs::remove_dir_all(&base);
+
+    let (append_ns, bytes_per_event) = micro_append(&base.join("micro"));
+    let run = checkpointed_run(&base.join("run"));
+
+    println!(
+        "journal_append: {append_ns} ns/event, {bytes_per_event} bytes/event \
+         (run journal: {} entries, {} bytes)",
+        run.0, run.1
+    );
+    assert!(
+        append_ns < MAX_APPEND_NS_PER_EVENT,
+        "journal append cost regressed: {append_ns} ns/event >= {MAX_APPEND_NS_PER_EVENT}"
+    );
+    assert!(
+        bytes_per_event < MAX_BYTES_PER_EVENT,
+        "journal entry size regressed: {bytes_per_event} bytes/event >= {MAX_BYTES_PER_EVENT}"
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JOURNAL_JSON") {
+        write_json(&path, append_ns, bytes_per_event, run);
+    }
+
+    if std::env::var("JOURNAL_SMOKE").is_ok() {
+        println!("journal_append smoke: assertions passed (criterion sampling skipped)");
+        return;
+    }
+
+    let mut group = c.benchmark_group("journal_append");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("append_10k", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            micro_append(&base.join(format!("criterion_{round}")))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, journal_append);
+criterion_main!(benches);

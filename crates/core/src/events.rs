@@ -66,6 +66,10 @@ pub const KNOWN_TRACE_EVENTS: &[TraceEventDef] = &[
         help: "checkpoint image pushed to its ring-successor holders",
     },
     TraceEventDef {
+        phase: "journal.open",
+        help: "durable FT event journal opened (all later records are chained into it)",
+    },
+    TraceEventDef {
         phase: "ompi.crcp.coordinate",
         help: "CRCP coordination (bookmark exchange + drain) started",
     },

@@ -17,6 +17,9 @@ use parking_lot::Mutex;
 pub struct TraceEvent {
     /// Monotone sequence number (global across threads for one tracer).
     pub seq: u64,
+    /// Who recorded the event — a rank (`rank3`) or node (`node01`) label
+    /// set via [`Tracer::with_actor`], or empty for runtime-level events.
+    pub actor: String,
     /// Dot-separated phase name, e.g. `snapc.global.request`.
     pub phase: String,
     /// Free-form detail.
@@ -27,14 +30,44 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{:<4} {:<40} {}", self.seq, self.phase, self.detail)
+        if self.actor.is_empty() {
+            write!(f, "#{:<4} {:<40} {}", self.seq, self.phase, self.detail)
+        } else {
+            write!(
+                f,
+                "#{:<4} {:<8} {:<40} {}",
+                self.seq, self.actor, self.phase, self.detail
+            )
+        }
     }
 }
 
-#[derive(Debug)]
+/// Destination every recorded event is forwarded to, in record order.
+///
+/// The durable FT event journal (`crates/journal`) implements this to
+/// capture every existing `Tracer::record` call-site without rewriting
+/// them.  `append` is invoked while the tracer's event lock is held, so
+/// sink appends observe exactly the tracer's sequence order; a sink must
+/// therefore never call back into the tracer.
+pub trait TraceSink: Send + Sync {
+    /// Persist one event.  Must not panic and must not record through the
+    /// tracer that delivered the event.
+    fn append(&self, event: &TraceEvent);
+}
+
 struct Inner {
     start: Instant,
     events: Mutex<Vec<TraceEvent>>,
+    sink: Mutex<Option<Arc<dyn TraceSink>>>,
+}
+
+impl fmt::Debug for Inner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Inner")
+            .field("events", &self.events.lock().len())
+            .field("sink", &self.sink.lock().is_some())
+            .finish()
+    }
 }
 
 /// Cheap-to-clone shared event recorder.
@@ -53,6 +86,8 @@ struct Inner {
 #[derive(Debug, Clone)]
 pub struct Tracer {
     inner: Arc<Inner>,
+    /// Attribution label stamped on events recorded through this handle.
+    actor: Option<Arc<str>>,
 }
 
 impl Default for Tracer {
@@ -68,20 +103,59 @@ impl Tracer {
             inner: Arc::new(Inner {
                 start: Instant::now(),
                 events: Mutex::new(Vec::new()),
+                sink: Mutex::new(None),
             }),
+            actor: None,
         }
+    }
+
+    /// A handle sharing this tracer's event list and sink, whose records
+    /// carry `actor` as their attribution label (e.g. `rank3`, `node01`).
+    pub fn with_actor(&self, actor: &str) -> Tracer {
+        Tracer {
+            inner: Arc::clone(&self.inner),
+            actor: Some(Arc::from(actor)),
+        }
+    }
+
+    /// The attribution label of this handle, if any.
+    pub fn actor(&self) -> Option<&str> {
+        self.actor.as_deref()
+    }
+
+    /// Route every subsequent record through `sink` (in addition to the
+    /// in-memory event list).  Replaces any previous sink.
+    pub fn set_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.inner.sink.lock() = Some(sink);
+    }
+
+    /// Detach and return the current sink, if any.
+    pub fn clear_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.inner.sink.lock().take()
+    }
+
+    /// True when a sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.inner.sink.lock().is_some()
     }
 
     /// Record an event.
     pub fn record(&self, phase: &str, detail: &str) {
         let mut events = self.inner.events.lock();
         let seq = events.len() as u64;
-        events.push(TraceEvent {
+        let event = TraceEvent {
             seq,
+            actor: self.actor.as_deref().unwrap_or("").to_string(),
             phase: phase.to_string(),
             detail: detail.to_string(),
             elapsed_ns: self.inner.start.elapsed().as_nanos() as u64,
-        });
+        };
+        // Forwarded under the event lock so the sink observes the exact
+        // global record order (the journal's hash chain depends on it).
+        if let Some(sink) = self.inner.sink.lock().as_ref() {
+            sink.append(&event);
+        }
+        events.push(event);
     }
 
     /// Snapshot of all events so far, in record order.
@@ -225,5 +299,72 @@ mod tests {
         let t = Tracer::new();
         t.record("snapc.global.request", "ckpt");
         assert!(t.render().contains("snapc.global.request"));
+    }
+
+    #[test]
+    fn actor_handles_share_the_event_list() {
+        let t = Tracer::new();
+        let r0 = t.with_actor("rank0");
+        r0.record("a", "");
+        t.record("b", "");
+        let events = t.events();
+        assert_eq!(events[0].actor, "rank0");
+        assert_eq!(events[1].actor, "");
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(r0.actor(), Some("rank0"));
+        assert_eq!(t.actor(), None);
+        assert!(r0.render().contains("rank0"));
+    }
+
+    struct VecSink(Mutex<Vec<TraceEvent>>);
+    impl TraceSink for VecSink {
+        fn append(&self, event: &TraceEvent) {
+            self.0.lock().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_record_in_order() {
+        let t = Tracer::new();
+        t.record("before", "not forwarded");
+        let sink = Arc::new(VecSink(Mutex::new(Vec::new())));
+        t.set_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        assert!(t.has_sink());
+        let r1 = t.with_actor("rank1");
+        r1.record("x", "1");
+        t.record("y", "2");
+        let captured = sink.0.lock().clone();
+        assert_eq!(captured.len(), 2);
+        assert_eq!(captured[0].phase, "x");
+        assert_eq!(captured[0].actor, "rank1");
+        assert_eq!(captured[0].seq, 1);
+        assert_eq!(captured[1].seq, 2);
+        assert!(t.clear_sink().is_some());
+        t.record("z", "3");
+        assert_eq!(sink.0.lock().len(), 2);
+        assert!(!t.has_sink());
+    }
+
+    #[test]
+    fn concurrent_sink_appends_match_tracer_order() {
+        let t = Tracer::new();
+        let sink = Arc::new(VecSink(Mutex::new(Vec::new())));
+        t.set_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let t = t.with_actor(&format!("rank{i}"));
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        t.record(&format!("thread{i}"), &j.to_string());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let recorded = t.events();
+        let captured = sink.0.lock().clone();
+        assert_eq!(recorded, captured);
     }
 }

@@ -1,0 +1,204 @@
+//! First-divergence diff between two journals.
+//!
+//! Two runs of the same seeded workload should journal the same event
+//! sequence; when one fails, the first index at which the sequences part
+//! is where to start debugging.  Entries are compared positionally under
+//! a [`DiffKey`]: `Full` compares `(actor, phase, detail)`, `PhaseOnly`
+//! compares `(actor, phase)` — useful when details embed run-local paths.
+//! `elapsed_ns` and the chain hashes never participate (they differ
+//! between any two runs by construction).
+
+use crate::entry::JournalEntry;
+
+/// Which fields participate in the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffKey {
+    /// Compare `(actor, phase, detail)`.
+    Full,
+    /// Compare `(actor, phase)` only.
+    PhaseOnly,
+}
+
+impl DiffKey {
+    fn equal(self, a: &JournalEntry, b: &JournalEntry) -> bool {
+        match self {
+            DiffKey::Full => {
+                a.actor == b.actor && a.phase == b.phase && a.detail == b.detail
+            }
+            DiffKey::PhaseOnly => a.actor == b.actor && a.phase == b.phase,
+        }
+    }
+
+    fn render(self, e: &JournalEntry) -> String {
+        let actor = if e.actor.is_empty() { "-" } else { &e.actor };
+        match self {
+            DiffKey::Full => format!("#{:<5} {:<8} {:<36} {}", e.seq, actor, e.phase, e.detail),
+            DiffKey::PhaseOnly => format!("#{:<5} {:<8} {}", e.seq, actor, e.phase),
+        }
+    }
+}
+
+/// The first position at which two journals disagree.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index into both journals (entries before it match under the key).
+    pub index: usize,
+    /// Left entry at `index` (`None` when the left journal ended).
+    pub left: Option<JournalEntry>,
+    /// Right entry at `index` (`None` when the right journal ended).
+    pub right: Option<JournalEntry>,
+}
+
+/// Result of diffing two journals.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Key the comparison ran under.
+    pub key: DiffKey,
+    /// Entries in the left journal.
+    pub left_len: usize,
+    /// Entries in the right journal.
+    pub right_len: usize,
+    /// First divergence, or `None` when the journals match end to end.
+    pub divergence: Option<Divergence>,
+}
+
+impl DiffReport {
+    /// True when the journals match end to end under the key.
+    pub fn identical(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// Human-readable report with up to `context` aligned matching
+    /// entries (from the left journal) before the divergence.
+    pub fn render(&self, left: &[JournalEntry], context: usize) -> String {
+        let mut out = String::new();
+        let d = match &self.divergence {
+            None => {
+                out.push_str(&format!(
+                    "identical: {} entries on both sides\n",
+                    self.left_len
+                ));
+                return out;
+            }
+            Some(d) => d,
+        };
+        out.push_str(&format!(
+            "first divergence at index {} (left has {} entries, right has {})\n",
+            d.index, self.left_len, self.right_len
+        ));
+        let from = d.index.saturating_sub(context);
+        if from < d.index {
+            out.push_str(&format!("  ...{} matching entries before:\n", d.index - from));
+        }
+        for e in left.iter().skip(from).take(d.index - from) {
+            out.push_str(&format!("  = {}\n", self.key.render(e)));
+        }
+        match &d.left {
+            Some(e) => out.push_str(&format!("  < {}\n", self.key.render(e))),
+            None => out.push_str("  < <end of journal>\n"),
+        }
+        match &d.right {
+            Some(e) => out.push_str(&format!("  > {}\n", self.key.render(e))),
+            None => out.push_str("  > <end of journal>\n"),
+        }
+        out
+    }
+}
+
+/// Diff `left` against `right` under `key`.
+pub fn diff(left: &[JournalEntry], right: &[JournalEntry], key: DiffKey) -> DiffReport {
+    let mut index = 0;
+    loop {
+        match (left.get(index), right.get(index)) {
+            (None, None) => {
+                return DiffReport {
+                    key,
+                    left_len: left.len(),
+                    right_len: right.len(),
+                    divergence: None,
+                }
+            }
+            (a, b) => {
+                let matched = match (a, b) {
+                    (Some(a), Some(b)) => key.equal(a, b),
+                    _ => false,
+                };
+                if !matched {
+                    return DiffReport {
+                        key,
+                        left_len: left.len(),
+                        right_len: right.len(),
+                        divergence: Some(Divergence {
+                            index,
+                            left: a.cloned(),
+                            right: b.cloned(),
+                        }),
+                    };
+                }
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::GENESIS_HASH;
+
+    fn seq(phases: &[(&str, &str)]) -> Vec<JournalEntry> {
+        let mut prev = GENESIS_HASH;
+        phases
+            .iter()
+            .enumerate()
+            .map(|(i, (phase, detail))| {
+                let e = JournalEntry::chained(i as u64, prev, "rank0", phase, detail, i as u64);
+                prev = e.hash;
+                e
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_journals_report_identical() {
+        let a = seq(&[("x.y", "1"), ("x.z", "2")]);
+        let b = seq(&[("x.y", "1"), ("x.z", "2")]);
+        let report = diff(&a, &b, DiffKey::Full);
+        assert!(report.identical());
+        assert!(report.render(&a, 3).contains("identical"));
+    }
+
+    #[test]
+    fn first_divergence_is_pinpointed() {
+        let a = seq(&[("x.y", "1"), ("x.z", "2"), ("x.w", "3")]);
+        let b = seq(&[("x.y", "1"), ("x.q", "2"), ("x.w", "3")]);
+        let report = diff(&a, &b, DiffKey::Full);
+        let d = report.divergence.as_ref().unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left.as_ref().unwrap().phase, "x.z");
+        assert_eq!(d.right.as_ref().unwrap().phase, "x.q");
+        let rendered = report.render(&a, 2);
+        assert!(rendered.contains("index 1"), "{rendered}");
+        assert!(rendered.contains("= #0"), "{rendered}");
+        assert!(rendered.contains("< #1"), "{rendered}");
+    }
+
+    #[test]
+    fn prefix_ending_diverges_at_the_shorter_end() {
+        let a = seq(&[("x.y", "1"), ("x.z", "2")]);
+        let b = seq(&[("x.y", "1")]);
+        let report = diff(&a, &b, DiffKey::Full);
+        let d = report.divergence.as_ref().unwrap();
+        assert_eq!(d.index, 1);
+        assert!(d.right.is_none());
+        assert!(report.render(&a, 1).contains("<end of journal>"));
+    }
+
+    #[test]
+    fn phase_only_key_ignores_details() {
+        let a = seq(&[("x.y", "/tmp/run_a/snap")]);
+        let b = seq(&[("x.y", "/tmp/run_b/snap")]);
+        assert!(!diff(&a, &b, DiffKey::Full).identical());
+        assert!(diff(&a, &b, DiffKey::PhaseOnly).identical());
+    }
+}

@@ -1,0 +1,375 @@
+//! Reading and verifying journals.
+//!
+//! [`parse_bytes`] is the single total parser everything builds on: it
+//! walks the records front to back, validating the frame CRC, the decoded
+//! seq, and the hash chain as it goes, and stops at the *first* break —
+//! so a verify failure always names the exact broken link.  Single-byte
+//! corruption is caught by the record CRC (or the header/length checks)
+//! at the record containing the byte; truncation is caught as an
+//! incomplete tail record; a consistent rewrite (valid CRC, recomputed
+//! entry hash) is caught by the `prev_hash` link of the first record
+//! after the tampered one.
+
+use std::fmt;
+use std::path::Path;
+
+use cr_core::CrError;
+
+use crate::entry::{JournalEntry, GENESIS_HASH};
+use crate::format::{HEADER_LEN, MAGIC, RECORD_HEADER_LEN, VERSION};
+
+/// The first structural or chain break found in a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Break {
+    /// The fixed file header is missing, truncated, or wrong.
+    BadHeader {
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A record failed its CRC, failed to decode, or carries the wrong seq.
+    BadRecord {
+        /// Seq this chain position should hold (the breaking seq).
+        seq: u64,
+        /// Byte offset of the record's frame in the file.
+        offset: u64,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The file ends in the middle of a record.
+    Truncated {
+        /// Seq of the first incomplete record (the breaking seq).
+        seq: u64,
+        /// Byte offset where the incomplete record starts.
+        offset: u64,
+        /// Bytes present past that offset.
+        have: u64,
+        /// Bytes the record frame requires.
+        need: u64,
+    },
+    /// The hash chain is broken at this record.
+    ChainBreak {
+        /// Seq of the record whose link is broken (the breaking seq).
+        seq: u64,
+        /// What is wrong with the link.
+        detail: String,
+    },
+}
+
+impl Break {
+    /// The breaking seq: the chain position at which the journal stops
+    /// being trustworthy (`None` when the header itself is bad).
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Break::BadHeader { .. } => None,
+            Break::BadRecord { seq, .. }
+            | Break::Truncated { seq, .. }
+            | Break::ChainBreak { seq, .. } => Some(*seq),
+        }
+    }
+}
+
+impl fmt::Display for Break {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Break::BadHeader { detail } => write!(f, "bad journal header: {detail}"),
+            Break::BadRecord { seq, offset, detail } => {
+                write!(f, "bad record at seq {seq} (offset {offset}): {detail}")
+            }
+            Break::Truncated { seq, offset, have, need } => write!(
+                f,
+                "journal truncated at seq {seq} (offset {offset}): record needs {need} \
+                 bytes, file has {have}"
+            ),
+            Break::ChainBreak { seq, detail } => {
+                write!(f, "hash chain broken at seq {seq}: {detail}")
+            }
+        }
+    }
+}
+
+/// Outcome of verifying one journal file.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Entries intact before the break (all of them when `broken` is
+    /// `None`).
+    pub entries: usize,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// Hash of the last intact entry ([`GENESIS_HASH`] for an empty
+    /// journal).
+    pub tail_hash: u64,
+    /// The first break, if any.
+    pub broken: Option<Break>,
+}
+
+impl VerifyReport {
+    /// True when the whole file verified.
+    pub fn ok(&self) -> bool {
+        self.broken.is_none()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        match &self.broken {
+            None => format!(
+                "ok: {} entries, {} bytes, tail hash {:016x}",
+                self.entries, self.bytes, self.tail_hash
+            ),
+            Some(b) => format!(
+                "BROKEN after {} intact entries ({} bytes): {b}",
+                self.entries, self.bytes
+            ),
+        }
+    }
+}
+
+/// Fixed-size field at `at`, or `None` past the end.
+fn field<const N: usize>(data: &[u8], at: usize) -> Option<[u8; N]> {
+    data.get(at..at.checked_add(N)?)?.try_into().ok()
+}
+
+/// Parse `data` front to back: the entries intact before the first break,
+/// plus the break itself (if any).  Total — never panics, never errors.
+pub fn parse_bytes(data: &[u8]) -> (Vec<JournalEntry>, Option<Break>) {
+    let mut entries = Vec::new();
+    if data.len() < HEADER_LEN {
+        let detail = format!("file has {} bytes, header needs {HEADER_LEN}", data.len());
+        return (entries, Some(Break::BadHeader { detail }));
+    }
+    if field::<4>(data, 0) != Some(MAGIC) {
+        let detail = "bad magic (not a journal file)".to_string();
+        return (entries, Some(Break::BadHeader { detail }));
+    }
+    let version = field::<2>(data, 4).map(u16::from_le_bytes);
+    if version != Some(VERSION) {
+        let detail = format!(
+            "unsupported journal version {} (this build reads {VERSION})",
+            version.unwrap_or(0)
+        );
+        return (entries, Some(Break::BadHeader { detail }));
+    }
+    if field::<2>(data, 6) != Some([0u8; 2]) {
+        // Every header byte is significant so single-byte corruption
+        // anywhere in the file is detectable.
+        let detail = "nonzero reserved header bytes".to_string();
+        return (entries, Some(Break::BadHeader { detail }));
+    }
+
+    let mut off = HEADER_LEN;
+    let mut prev_hash = GENESIS_HASH;
+    while off < data.len() {
+        let seq = entries.len() as u64;
+        let have = (data.len() - off) as u64;
+        let (len_bytes, crc_bytes) = match (field::<4>(data, off), field::<4>(data, off + 4)) {
+            (Some(l), Some(c)) => (l, c),
+            _ => {
+                let b = Break::Truncated {
+                    seq,
+                    offset: off as u64,
+                    have,
+                    need: RECORD_HEADER_LEN as u64,
+                };
+                return (entries, Some(b));
+            }
+        };
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let stored_crc = u32::from_le_bytes(crc_bytes);
+        let body_at = off + RECORD_HEADER_LEN;
+        let body = match body_at.checked_add(len).and_then(|end| data.get(body_at..end)) {
+            Some(b) => b,
+            None => {
+                let b = Break::Truncated {
+                    seq,
+                    offset: off as u64,
+                    have,
+                    need: RECORD_HEADER_LEN as u64 + len as u64,
+                };
+                return (entries, Some(b));
+            }
+        };
+        let computed = codec::crc32::crc32(body);
+        if computed != stored_crc {
+            let detail =
+                format!("CRC mismatch: stored {stored_crc:08x}, computed {computed:08x}");
+            let b = Break::BadRecord { seq, offset: off as u64, detail };
+            return (entries, Some(b));
+        }
+        let entry: JournalEntry = match codec::from_bytes(body) {
+            Ok(e) => e,
+            Err(e) => {
+                let detail = format!("payload decode failed: {e}");
+                let b = Break::BadRecord { seq, offset: off as u64, detail };
+                return (entries, Some(b));
+            }
+        };
+        if entry.seq != seq {
+            let detail = format!("record claims seq {}, chain position is {seq}", entry.seq);
+            let b = Break::BadRecord { seq, offset: off as u64, detail };
+            return (entries, Some(b));
+        }
+        if entry.prev_hash != prev_hash {
+            let detail = format!(
+                "prev_hash {:016x} does not match the previous entry's hash {prev_hash:016x}",
+                entry.prev_hash
+            );
+            return (entries, Some(Break::ChainBreak { seq, detail }));
+        }
+        let expect = entry.compute_hash();
+        if entry.hash != expect {
+            let detail = format!(
+                "stored hash {:016x} does not match recomputed {expect:016x}",
+                entry.hash
+            );
+            return (entries, Some(Break::ChainBreak { seq, detail }));
+        }
+        prev_hash = entry.hash;
+        entries.push(entry);
+        off = body_at + len;
+    }
+    (entries, None)
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, CrError> {
+    std::fs::read(path).map_err(|e| CrError::io(path.display().to_string(), &e))
+}
+
+/// Verify `path`'s hash chain and framing.  I/O failures are errors; a
+/// broken journal is a successful verification with a [`Break`] report.
+pub fn verify(path: &Path) -> Result<VerifyReport, CrError> {
+    let data = read_file(path)?;
+    Ok(verify_bytes(&data))
+}
+
+/// [`verify`] over in-memory bytes.
+pub fn verify_bytes(data: &[u8]) -> VerifyReport {
+    let (entries, broken) = parse_bytes(data);
+    let tail_hash = entries.last().map(|e| e.hash).unwrap_or(GENESIS_HASH);
+    VerifyReport { entries: entries.len(), bytes: data.len() as u64, tail_hash, broken }
+}
+
+/// All entries of `path`, erroring on any break.
+pub fn read_entries(path: &Path) -> Result<Vec<JournalEntry>, CrError> {
+    let data = read_file(path)?;
+    let (entries, broken) = parse_bytes(&data);
+    match broken {
+        None => Ok(entries),
+        Some(b) => Err(CrError::protocol(format!(
+            "journal {} is broken: {b}",
+            path.display()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{encode_record, header_bytes};
+
+    fn journal_bytes(n: u64) -> Vec<u8> {
+        let mut data = header_bytes().to_vec();
+        let mut prev = GENESIS_HASH;
+        for seq in 0..n {
+            let e = JournalEntry::chained(
+                seq,
+                prev,
+                &format!("rank{seq}"),
+                "snapc.global.request",
+                &format!("interval {seq}"),
+                seq * 10,
+            );
+            prev = e.hash;
+            data.extend_from_slice(&encode_record(&e).unwrap());
+        }
+        data
+    }
+
+    #[test]
+    fn clean_journal_verifies() {
+        let data = journal_bytes(5);
+        let report = verify_bytes(&data);
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.entries, 5);
+        let (entries, broken) = parse_bytes(&data);
+        assert!(broken.is_none());
+        assert_eq!(entries.len(), 5);
+        assert_eq!(entries[4].detail, "interval 4");
+        assert_eq!(report.tail_hash, entries[4].hash);
+    }
+
+    #[test]
+    fn empty_journal_is_ok() {
+        let report = verify_bytes(&header_bytes());
+        assert!(report.ok());
+        assert_eq!(report.entries, 0);
+        assert_eq!(report.tail_hash, GENESIS_HASH);
+    }
+
+    #[test]
+    fn bad_magic_and_short_header_reported() {
+        let report = verify_bytes(b"OC");
+        assert!(matches!(report.broken, Some(Break::BadHeader { .. })));
+        let mut data = journal_bytes(1);
+        data[0] = b'Z';
+        let report = verify_bytes(&data);
+        assert!(matches!(report.broken, Some(Break::BadHeader { .. })));
+    }
+
+    #[test]
+    fn payload_flip_breaks_at_that_record() {
+        let data = journal_bytes(3);
+        // Flip one byte inside record 1's payload.
+        let rec0_end = {
+            let (entries, _) = parse_bytes(&data);
+            let rec = encode_record(&entries[0]).unwrap();
+            HEADER_LEN + rec.len()
+        };
+        let mut bad = data.clone();
+        bad[rec0_end + RECORD_HEADER_LEN + 2] ^= 0x40;
+        let report = verify_bytes(&bad);
+        assert_eq!(report.entries, 1);
+        match report.broken {
+            Some(Break::BadRecord { seq: 1, .. }) => {}
+            other => panic!("expected BadRecord at seq 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewritten_record_with_valid_crc_breaks_the_chain() {
+        // A "smart" tamper: rewrite entry 1 with a recomputed entry hash
+        // and a valid CRC.  The record itself verifies, but entry 2's
+        // prev_hash no longer matches — the chain names seq 2.
+        let data = journal_bytes(3);
+        let (entries, _) = parse_bytes(&data);
+        let forged = JournalEntry::chained(
+            1,
+            entries[0].hash,
+            &entries[1].actor,
+            &entries[1].phase,
+            "forged detail",
+            entries[1].elapsed_ns,
+        );
+        let mut out = header_bytes().to_vec();
+        out.extend_from_slice(&encode_record(&entries[0]).unwrap());
+        out.extend_from_slice(&encode_record(&forged).unwrap());
+        out.extend_from_slice(&encode_record(&entries[2]).unwrap());
+        let report = verify_bytes(&out);
+        assert_eq!(report.entries, 2);
+        match report.broken {
+            Some(Break::ChainBreak { seq: 2, .. }) => {}
+            other => panic!("expected ChainBreak at seq 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_names_first_incomplete_seq() {
+        let data = journal_bytes(4);
+        let cut = data.len() - 3;
+        let report = verify_bytes(&data[..cut]);
+        assert_eq!(report.entries, 3);
+        match report.broken {
+            Some(Break::Truncated { seq: 3, .. }) => {}
+            other => panic!("expected Truncated at seq 3, got {other:?}"),
+        }
+        assert!(report.render().contains("BROKEN"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The `TraceSink` bridge: every `Tracer::record` call-site in the
+//! workspace lands in the journal without being rewritten.
+//!
+//! Journaling must never take down the job it is auditing (the same
+//! degrade-don't-abort rule as the rest of the C/R stack), so append
+//! failures here are counted and remembered, not propagated — the
+//! runtime can surface [`JournalSink::last_error`] at shutdown.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use cr_core::trace::{TraceEvent, TraceSink};
+use cr_core::CrError;
+
+use crate::writer::JournalWriter;
+
+/// A [`TraceSink`] writing every event through a [`JournalWriter`].
+pub struct JournalSink {
+    writer: Mutex<JournalWriter>,
+    path: PathBuf,
+    append_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl JournalSink {
+    /// Wrap an open writer.
+    pub fn new(writer: JournalWriter) -> Self {
+        let path = writer.path().to_path_buf();
+        JournalSink {
+            writer: Mutex::new(writer),
+            path,
+            append_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        }
+    }
+
+    /// Open (or create) the journal at `path` and wrap it.
+    pub fn open(path: &Path, fsync_every: u64) -> Result<Self, CrError> {
+        Ok(Self::new(JournalWriter::open(path, fsync_every)?))
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> PathBuf {
+        self.path.clone()
+    }
+
+    /// Sync appended records to disk.
+    pub fn flush(&self) -> Result<(), CrError> {
+        self.writer.lock().flush()
+    }
+
+    /// `(entries, bytes)` currently in the journal file.
+    pub fn stats(&self) -> (u64, u64) {
+        let w = self.writer.lock();
+        (w.next_seq(), w.bytes())
+    }
+
+    /// Number of appends that failed (disk full, I/O error).
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent append failure, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+}
+
+impl TraceSink for JournalSink {
+    fn append(&self, event: &TraceEvent) {
+        let result = self.writer.lock().append(
+            &event.actor,
+            &event.phase,
+            &event.detail,
+            event.elapsed_ns,
+        );
+        if let Err(e) = result {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            *self.last_error.lock() = Some(e.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use cr_core::Tracer;
+
+    use super::*;
+    use crate::read::read_entries;
+    use crate::writer::FILE_NAME;
+
+    fn tmpjournal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "journal_sink_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join(FILE_NAME)
+    }
+
+    #[test]
+    fn tracer_records_land_in_the_journal() {
+        let path = tmpjournal("record");
+        let sink = Arc::new(JournalSink::open(&path, 0).unwrap());
+        let tracer = Tracer::new();
+        tracer.set_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        tracer.record("snapc.global.request", "interval 0");
+        tracer
+            .with_actor("rank2")
+            .record("ompi.crcp.quiesced", "round 0");
+        assert_eq!(sink.stats().0, 2);
+        assert_eq!(sink.append_errors(), 0);
+        sink.flush().unwrap();
+        let entries = read_entries(&path).unwrap();
+        assert_eq!(entries[0].phase, "snapc.global.request");
+        assert_eq!(entries[1].actor, "rank2");
+        assert_eq!(entries[1].seq, 1);
+    }
+
+    #[test]
+    fn clean_appends_report_no_errors() {
+        let path = tmpjournal("clean");
+        let sink = JournalSink::open(&path, 0).unwrap();
+        sink.append(&TraceEvent {
+            seq: 0,
+            actor: String::new(),
+            phase: "a.b".into(),
+            detail: "x".into(),
+            elapsed_ns: 0,
+        });
+        assert_eq!(sink.append_errors(), 0);
+        assert!(sink.last_error().is_none());
+        assert_eq!(sink.path(), path);
+        assert_eq!(sink.stats().0, 1);
+    }
+}

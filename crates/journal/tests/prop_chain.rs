@@ -1,0 +1,170 @@
+//! Chain-integrity properties (ISSUE 8 satellite):
+//!
+//! * random event streams round-trip through append → reopen → append →
+//!   read back, and re-serializing the entries produces a byte-identical
+//!   file;
+//! * flipping any single byte of a journal file is detected by `verify`
+//!   with the correct breaking seq;
+//! * truncating any suffix is detected with the correct breaking seq.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use journal::{format, verify_bytes, Break, JournalEntry, JournalWriter, GENESIS_HASH};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmpfile(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "journal_prop_{tag}_{}_{:?}_{}",
+        std::process::id(),
+        std::thread::current().id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join(journal::FILE_NAME)
+}
+
+/// Re-encode `entries` into a fresh in-memory journal image.
+fn reserialize(entries: &[JournalEntry]) -> Vec<u8> {
+    let mut out = format::header_bytes().to_vec();
+    for e in entries {
+        out.extend_from_slice(&format::encode_record(e).expect("encode"));
+    }
+    out
+}
+
+/// Strategy for one event: printable-ish actor/phase plus arbitrary
+/// detail text (newlines, unicode, empty strings).
+fn arb_events() -> impl Strategy<Value = Vec<(String, String, String, u64)>> {
+    vec(
+        ("[a-z0-9]{0,8}", "[a-z0-9._]{1,24}", "\\PC*", any::<u64>()),
+        1..24,
+    )
+}
+
+/// Seq a byte offset belongs to, given the record boundaries.
+fn seq_of_offset(entries: &[JournalEntry], offset: usize) -> Option<u64> {
+    if offset < format::HEADER_LEN {
+        return None; // header byte
+    }
+    let mut at = format::HEADER_LEN;
+    for e in entries {
+        let end = at + format::encode_record(e).expect("encode").len();
+        if offset < end {
+            return Some(e.seq);
+        }
+        at = end;
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_across_reopen_is_byte_identical(
+        events in arb_events(),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let path = tmpfile("roundtrip");
+        let cut = split.index(events.len() + 1);
+        {
+            let mut w = JournalWriter::open(&path, 0).expect("open");
+            for (actor, phase, detail, ns) in events.iter().take(cut) {
+                w.append(actor, phase, detail, *ns).expect("append");
+            }
+        }
+        {
+            // Reopen recovers the tail and keeps chaining.
+            let mut w = JournalWriter::open(&path, 0).expect("reopen");
+            prop_assert_eq!(w.next_seq(), cut as u64);
+            for (actor, phase, detail, ns) in events.iter().skip(cut) {
+                w.append(actor, phase, detail, *ns).expect("append");
+            }
+        }
+        let data = std::fs::read(&path).expect("read file");
+        let report = verify_bytes(&data);
+        prop_assert!(report.ok(), "{}", report.render());
+        let entries = journal::read_entries(&path).expect("read entries");
+        prop_assert_eq!(entries.len(), events.len());
+        for (e, (actor, phase, detail, ns)) in entries.iter().zip(events.iter()) {
+            prop_assert_eq!(&e.actor, actor);
+            prop_assert_eq!(&e.phase, phase);
+            prop_assert_eq!(&e.detail, detail);
+            prop_assert_eq!(e.elapsed_ns, *ns);
+        }
+        // Byte-identical: re-serializing the parsed entries reproduces
+        // the file exactly.
+        prop_assert_eq!(reserialize(&entries), data);
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected_with_the_breaking_seq(
+        events in arb_events(),
+        which in any::<prop::sample::Index>(),
+        flip in 1..=255u8,
+    ) {
+        let mut data = format::header_bytes().to_vec();
+        let mut prev = GENESIS_HASH;
+        let mut entries = Vec::new();
+        for (i, (actor, phase, detail, ns)) in events.iter().enumerate() {
+            let e = JournalEntry::chained(i as u64, prev, actor, phase, detail, *ns);
+            prev = e.hash;
+            data.extend_from_slice(&format::encode_record(&e).expect("encode"));
+            entries.push(e);
+        }
+        let at = which.index(data.len());
+        data[at] ^= flip;
+        let report = verify_bytes(&data);
+        prop_assert!(!report.ok(), "flip at {at} went undetected");
+        let hit = seq_of_offset(&entries, at);
+        match (&report.broken, hit) {
+            // Header byte: must be a header break.
+            (Some(Break::BadHeader { .. }), None) => {}
+            // A record byte: the break must name that record's seq.  A
+            // corrupted length field may also read past the end of the
+            // file, which still reports the same seq as truncation.
+            (Some(b), Some(seq)) => {
+                prop_assert_eq!(b.seq(), Some(seq), "flip at {} in seq {}: {}", at, seq, b);
+                prop_assert_eq!(report.entries as u64, seq, "entries before break");
+            }
+            (b, hit) => prop_assert!(false, "unexpected: {:?} for offset {:?} -> {:?}", b, at, hit),
+        }
+    }
+
+    #[test]
+    fn any_suffix_truncation_is_detected_with_the_breaking_seq(
+        events in arb_events(),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let mut data = format::header_bytes().to_vec();
+        let mut boundaries = vec![data.len()]; // boundaries[i] = end of record i-1
+        let mut prev = GENESIS_HASH;
+        for (i, (actor, phase, detail, ns)) in events.iter().enumerate() {
+            let e = JournalEntry::chained(i as u64, prev, actor, phase, detail, *ns);
+            prev = e.hash;
+            data.extend_from_slice(&format::encode_record(&e).expect("encode"));
+            boundaries.push(data.len());
+        }
+        let cut = cut_at.index(data.len()); // strictly shorter than the file
+        let report = verify_bytes(&data[..cut]);
+        prop_assert!(!report.ok(), "truncation to {cut} bytes went undetected");
+        // Number of complete records that survive the cut.
+        let intact = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+        if cut < format::HEADER_LEN {
+            prop_assert!(matches!(report.broken, Some(Break::BadHeader { .. })));
+        } else {
+            prop_assert_eq!(report.entries, intact);
+            match &report.broken {
+                Some(Break::Truncated { seq, .. }) => {
+                    prop_assert_eq!(*seq, intact as u64);
+                }
+                other => prop_assert!(false, "expected Truncated, got {:?}", other),
+            }
+        }
+    }
+}

@@ -7,9 +7,11 @@
 //! registered for `ompi-info` to enumerate, that `CommitState` values are
 //! minted only by the snapshot authority (`cr_core::snapshot`), and that
 //! every trace-event phase recorded is registered in
-//! `cr_core::events::KNOWN_TRACE_EVENTS`. `cr-lint` walks the workspace's
+//! `cr_core::events::KNOWN_TRACE_EVENTS` — and, inversely, that every
+//! registered phase is recorded somewhere (no dead registry rows rotting
+//! under the replay tooling). `cr-lint` walks the workspace's
 //! Rust sources with a lightweight tokenizer (no syntax tree, no external
-//! dependencies) and enforces those six invariants; see DESIGN.md section
+//! dependencies) and enforces those seven invariants; see DESIGN.md section
 //! "Static analysis" for the rationale and ROADMAP.md for its place in the
 //! tier-1 checks.
 //!
@@ -38,7 +40,8 @@ pub struct LintRun {
     /// Hard findings (lock-order, ft-event, mca-keys, commit-state,
     /// trace-keys): always violations.
     pub hard: Vec<Finding>,
-    /// Baselined findings (panic-path): all sites, pre-ratchet.
+    /// Baselined findings (panic-path, dead-events): all sites,
+    /// pre-ratchet.
     pub baselined: Vec<Finding>,
     /// Result of comparing `baselined` against `lint.allow`.
     pub baseline_check: BaselineCheck,
@@ -74,6 +77,8 @@ pub fn analyze_sources(sources: &[(String, String)], baseline: &Baseline) -> Lin
     let mut uses = Vec::new();
     let mut trace_registered: BTreeSet<String> = BTreeSet::new();
     let mut trace_uses = Vec::new();
+    let mut event_rows = Vec::new();
+    let mut recorded: BTreeSet<String> = BTreeSet::new();
     for m in &models {
         rules::ft_event::check(m, &mut hard);
         rules::panic_path::check(m, &mut baselined);
@@ -82,9 +87,12 @@ pub fn analyze_sources(sources: &[(String, String)], baseline: &Baseline) -> Lin
         rules::mca_keys::collect_uses(m, &mut uses);
         rules::trace_keys::collect_registered(m, &mut trace_registered);
         rules::trace_keys::collect_uses(m, &mut trace_uses);
+        rules::dead_events::collect_registered(m, &mut event_rows);
+        rules::dead_events::collect_recorded(m, &mut recorded);
     }
     rules::mca_keys::check(&registered, &uses, &mut hard);
     rules::trace_keys::check(&trace_registered, &trace_uses, &mut hard);
+    rules::dead_events::check(&event_rows, &recorded, &mut baselined);
 
     let baseline_check = baseline.check(&baselined);
     LintRun {

@@ -17,6 +17,8 @@ pub enum Rule {
     CommitState,
     /// Trace-event phase strings recorded must be registered.
     TraceKeys,
+    /// Registered trace events must be recorded somewhere (no dead rows).
+    DeadEvents,
 }
 
 impl Rule {
@@ -29,6 +31,7 @@ impl Rule {
             Rule::McaKeys => "mca-keys",
             Rule::CommitState => "commit-state",
             Rule::TraceKeys => "trace-keys",
+            Rule::DeadEvents => "dead-events",
         }
     }
 }

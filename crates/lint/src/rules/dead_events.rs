@@ -1,0 +1,103 @@
+//! Rule `dead-events`: every registered trace event must be recorded.
+//!
+//! The inverse of `trace-keys`.  `cr_core::events::KNOWN_TRACE_EVENTS` is
+//! the contract surface that `cr-replay` and the journal tooling replay
+//! against; a registered phase that no `.record(...)` site emits is dead
+//! weight that silently rots — replay rule tables and ordering assertions
+//! keep referencing it while no run can ever produce it.  Every `phase:
+//! "..."` row of the registry (`crates/core/src/events.rs`) must therefore
+//! have at least one literal `.record("...")` site somewhere in the
+//! workspace sources — test functions count, since an event exercised
+//! only by tests is still alive.
+//!
+//! Phases recorded through runtime-built strings (`format!`, variables)
+//! are invisible to a token lint; if one ever exists, grandfather it
+//! through `lint.allow` (`dead-events<TAB>crates/core/src/events.rs<TAB>n`)
+//! — the rule is ratcheted, not hard, for exactly that escape hatch.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use crate::report::{Finding, Rule};
+
+/// The registration site scanned for `phase: "..."` rows.
+const REGISTRY_FILE: &str = "core/src/events.rs";
+
+/// One `phase: "..."` row of the registry, with its location.
+#[derive(Debug)]
+pub struct RegisteredEvent {
+    /// The phase string.
+    pub phase: String,
+    /// File (the registry).
+    pub file: String,
+    /// Line of the phase row.
+    pub line: u32,
+}
+
+/// Collect registry rows with their lines from the events registry file.
+pub fn collect_registered(file: &FileModel, registered: &mut Vec<RegisteredEvent>) {
+    if !file.rel.ends_with(REGISTRY_FILE) {
+        return;
+    }
+    let toks = &file.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks.get(i).is_some_and(|t| t.is_ident("phase"))
+            && toks.get(i + 1).is_some_and(|p| p.is_punct(':'))
+        {
+            if let Some(k) = toks.get(i + 2).filter(|k| k.kind == TokKind::Str) {
+                registered.push(RegisteredEvent {
+                    phase: k.text.clone(),
+                    file: file.rel.clone(),
+                    line: k.line,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collect every literal phase passed to a `.record(...)` call, anywhere
+/// in the file — test functions included (the lexer strips doc-comment
+/// examples, and token adjacency spans newlines, so multiline call
+/// formatting is matched too).
+pub fn collect_recorded(file: &FileModel, recorded: &mut BTreeSet<String>) {
+    let toks = &file.toks;
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        let Some(t) = toks.get(i) else { break };
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("record"))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            if let Some(k) = toks.get(i + 3).filter(|k| k.kind == TokKind::Str) {
+                recorded.insert(k.text.clone());
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Turn registered-but-never-recorded phases into findings, anchored at
+/// the registry row so the fix site is one click away.
+pub fn check(
+    registered: &[RegisteredEvent],
+    recorded: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    for r in registered {
+        if !recorded.contains(&r.phase) {
+            findings.push(Finding::new(
+                Rule::DeadEvents,
+                &r.file,
+                r.line,
+                format!(
+                    "trace event {:?} is registered here but never recorded \
+                     anywhere (remove the registry row or add the emission)",
+                    r.phase
+                ),
+            ));
+        }
+    }
+}

@@ -211,6 +211,83 @@ fn trace_registered_phases_are_clean() {
 }
 
 #[test]
+fn dead_event_detected() {
+    // The registry fixture registers two phases; only one is ever
+    // recorded (multiline call formatting, to prove token adjacency
+    // spans newlines), so the other is a dead row.
+    let out = run(&[
+        (
+            "crates/core/src/events.rs",
+            include_str!("fixtures/trace_registry.rs"),
+        ),
+        (
+            "crates/demo/src/ready_only.rs",
+            "pub fn ready(tracer: &cr_core::Tracer) {\n    \
+             tracer.record(\n        \"demo.component.ready\",\n        \"ok\",\n    );\n}\n",
+        ),
+    ]);
+    let dead: Vec<_> = out
+        .baselined
+        .iter()
+        .filter(|f| f.rule == Rule::DeadEvents)
+        .collect();
+    assert_eq!(dead.len(), 1, "exactly the unrecorded phase fires: {dead:?}");
+    assert!(
+        dead[0].message.contains("snapc.global.initiate"),
+        "{}",
+        dead[0].message
+    );
+    assert_eq!(
+        dead[0].file, "crates/core/src/events.rs",
+        "finding anchors at the registry row"
+    );
+    assert!(dead[0].line > 0);
+    // With an empty baseline the dead row fails the run; a grandfathering
+    // `lint.allow` entry ratchets it instead.
+    assert!(out.violations().iter().any(|f| f.rule == Rule::DeadEvents));
+    let out = run_with_baseline(
+        &[
+            (
+                "crates/core/src/events.rs",
+                include_str!("fixtures/trace_registry.rs"),
+            ),
+            (
+                "crates/demo/src/ready_only.rs",
+                "pub fn ready(tracer: &cr_core::Tracer) {\n    \
+                 tracer.record(\"demo.component.ready\", \"ok\");\n}\n",
+            ),
+        ],
+        "dead-events\tcrates/core/src/events.rs\t1\n",
+    );
+    assert!(out.violations().is_empty(), "{:?}", out.violations());
+}
+
+#[test]
+fn recorded_everywhere_is_clean() {
+    // Both registered phases have record sites — one in library code, one
+    // only inside a test function, which still counts as alive.
+    let out = run(&[
+        (
+            "crates/core/src/events.rs",
+            include_str!("fixtures/trace_registry.rs"),
+        ),
+        (
+            "crates/demo/src/both.rs",
+            "pub fn ready(tracer: &cr_core::Tracer) {\n    \
+             tracer.record(\"demo.component.ready\", \"ok\");\n}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn initiates() {\n        \
+             let t = cr_core::Tracer::new();\n        \
+             t.record(\"snapc.global.initiate\", \"interval 0\");\n    }\n}\n",
+        ),
+    ]);
+    assert!(
+        out.baselined.iter().all(|f| f.rule != Rule::DeadEvents),
+        "clean fixture flagged: {:?}",
+        out.baselined
+    );
+}
+
+#[test]
 fn panic_path_counted_and_ratcheted() {
     let files = &[(
         "crates/demo/src/risky.rs",

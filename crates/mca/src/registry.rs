@@ -177,6 +177,22 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         default: Some("64"),
         help: "dedup store: maximum count-zero blobs swept per GC batch at interval retirement",
     },
+    // Durable FT event journal (ORTE runtime).
+    ParamDef {
+        key: "journal_enabled",
+        default: Some("true"),
+        help: "append every trace event to the hash-chained FT journal (cr-replay verifies/replays it)",
+    },
+    ParamDef {
+        key: "journal_dir",
+        default: Some(""),
+        help: "journal directory override (empty = <runtime base dir>/journal)",
+    },
+    ParamDef {
+        key: "journal_fsync_every",
+        default: Some("0"),
+        help: "fsync the journal after every N appends (0 = OS writeback; shutdown still syncs)",
+    },
     // Launcher-written informational keys (recorded in snapshot metadata
     // so a restart can reconstruct the original launch).
     ParamDef {

@@ -71,17 +71,27 @@ pub struct CommitSt {
 }
 
 /// The commit-pipeline model; flags select mutated (buggy) variants.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Copy)]
 pub struct CommitModel {
     /// Mutation: promote without waiting for the gather to drain.
     pub promote_before_gather: bool,
     /// Mutation: allow a direct demotion of a committed interval.
     pub allow_regress: bool,
+    /// Maximum concurrent intervals (default 2: tiny space that still
+    /// covers cross-interval interleavings; journal replay sizes it to
+    /// the number of `begin`s actually observed).
+    pub max_intervals: usize,
 }
 
-/// Maximum concurrent intervals in the model (keeps the space tiny while
-/// still covering cross-interval interleavings).
-const MAX_INTERVALS: usize = 2;
+impl Default for CommitModel {
+    fn default() -> Self {
+        CommitModel {
+            promote_before_gather: false,
+            allow_regress: false,
+            max_intervals: 2,
+        }
+    }
+}
 
 impl Model for CommitModel {
     type State = CommitSt;
@@ -96,7 +106,7 @@ impl Model for CommitModel {
 
     fn transitions(&self, s: &CommitSt, out: &mut Vec<(String, CommitSt)>) {
         // begin: open a new interval on a live node.
-        if s.node_alive && s.intervals.len() < MAX_INTERVALS {
+        if s.node_alive && s.intervals.len() < self.max_intervals {
             let mut t = s.clone();
             t.intervals.push(IntervalSt { commit: Commit::Uncommitted, gather: Gather::NotStarted });
             out.push((format!("begin({})", s.intervals.len()), t));

@@ -21,9 +21,11 @@ pub mod checker;
 pub mod commit;
 pub mod gc;
 pub mod quiesce;
+pub mod replay;
 pub mod replica;
 
 pub use checker::{check, Bounds, CheckReport, Counterexample, Model, TraceStep};
+pub use replay::{conformance, ConformanceReport, PhaseRule, ReplayEvent};
 
 /// Names of the shipped models, in canonical run order.
 pub const MODEL_NAMES: &[&str] = &["commit", "quiesce", "replica", "gc"];

@@ -178,9 +178,9 @@ fn proc_body<A: MpiApp>(
     sync_tx: Sender<CheckpointOptions>,
 ) -> Result<(A::State, RunEnd), MpiError> {
     let runtime = &ctx.runtime;
-    let tracer = runtime.tracer().clone();
-    let params = &ctx.params;
     let me = ctx.name.rank.0;
+    let tracer = runtime.tracer().with_actor(&format!("rank{me}"));
+    let params = &ctx.params;
     let nprocs = ctx.nprocs;
     let job = ctx.name.job;
 

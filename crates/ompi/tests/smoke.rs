@@ -7,7 +7,7 @@ use cr_core::request::CheckpointOptions;
 use mca::McaParams;
 use netsim::{LinkSpec, Topology};
 use ompi::app::{MpiApp, RunEnd, StepOutcome};
-use ompi::{mpirun, restart_from, Mpi, MpiError, RunConfig};
+use ompi::{mpirun, restart, Mpi, MpiError, RestartOptions, RunConfig};
 use orte::Runtime;
 use serde::{Deserialize, Serialize};
 
@@ -131,7 +131,7 @@ fn checkpoint_then_restart_reproduces_the_answer() {
 
     // Restart from the snapshot in a fresh runtime and compare.
     let rt3 = runtime("cr_restart", 3);
-    let job = restart_from(&rt3, Arc::clone(&app), &outcome.global_snapshot, None).unwrap();
+    let job = restart(&rt3, Arc::clone(&app), &outcome.global_snapshot, RestartOptions::default()).unwrap();
     let restarted = job.wait().unwrap();
     assert_eq!(restarted.len(), 4);
     for (r, (state, end)) in restarted.iter().enumerate() {

@@ -8,7 +8,7 @@
 //! requests checkpoints through the selected SNAPC component, and carries
 //! the job's global snapshot reference across checkpoint intervals.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -259,6 +259,20 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
     // snapshot metadata records the complete effective configuration and
     // `ompi-info` agrees with what components will actually read.
     mca::registry::register_defaults(&spec.params);
+    // Attach the durable FT event journal (idempotent across launches into
+    // the same runtime) before any of this job's events are recorded.
+    let journal_enabled = spec
+        .params
+        .get_bool_or("journal_enabled", true)
+        .map_err(|e| CrError::protocol(e.to_string()))?;
+    if journal_enabled {
+        let dir = spec.params.get("journal_dir").filter(|d| !d.is_empty());
+        let fsync_every: u64 = spec
+            .params
+            .get_parsed_or("journal_fsync_every", 0)
+            .map_err(|e| CrError::protocol(e.to_string()))?;
+        runtime.enable_journal(dir.as_deref().map(Path::new), fsync_every)?;
+    }
     if let Some(images) = &spec.restored {
         if images.len() != spec.nprocs as usize {
             return Err(CrError::BadSnapshot {
@@ -292,7 +306,8 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
         let node = placement.node_of[rank.index()];
         let hostname = runtime.topology().hostname(node).to_string();
         let name = ProcessName::new(job, rank);
-        let container = ProcessContainer::new(name, hostname, runtime.tracer().clone());
+        let container =
+            ProcessContainer::new(name, hostname, runtime.tracer().with_actor(&name.to_string()));
 
         let daemon = runtime.ensure_daemon(node);
         let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded();

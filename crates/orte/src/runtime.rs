@@ -38,6 +38,9 @@ struct RtInner {
     daemons: Mutex<HashMap<NodeId, Arc<Orted>>>,
     drains: Mutex<Vec<std::thread::JoinHandle<()>>>,
     failed: Mutex<HashSet<NodeId>>,
+    /// The durable FT event journal, once enabled: every tracer record is
+    /// appended to it through the `TraceSink` bridge.
+    journal: Mutex<Option<Arc<journal::JournalSink>>>,
 }
 
 /// Cheap-to-clone handle to the simulated cluster environment.
@@ -70,6 +73,7 @@ impl Runtime {
                 daemons: Mutex::new(HashMap::new()),
                 drains: Mutex::new(Vec::new()),
                 failed: Mutex::new(HashSet::new()),
+                journal: Mutex::new(None),
             }),
         })
     }
@@ -121,6 +125,57 @@ impl Runtime {
         JobId(self.inner.next_job.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Route every tracer record into a durable hash-chained journal file.
+    ///
+    /// Idempotent: once a journal is attached, later calls return its path
+    /// without reopening (so repeated `launch` calls share one chain).
+    /// `dir` defaults to `<base_dir>/journal`; the file inside it is
+    /// [`journal::FILE_NAME`]. Reopening an existing file re-verifies the
+    /// whole chain and keeps appending after its tail, so the journal
+    /// accumulates across restarts of the same runtime directory.
+    pub fn enable_journal(
+        &self,
+        dir: Option<&Path>,
+        fsync_every: u64,
+    ) -> Result<PathBuf, CrError> {
+        let path = {
+            let mut slot = self.inner.journal.lock();
+            if let Some(sink) = slot.as_ref() {
+                return Ok(sink.path().to_path_buf());
+            }
+            let path = dir
+                .map(Path::to_path_buf)
+                .unwrap_or_else(|| self.inner.base_dir.join("journal"))
+                .join(journal::FILE_NAME);
+            let sink = Arc::new(journal::JournalSink::open(&path, fsync_every)?);
+            self.inner
+                .tracer
+                .set_sink(Arc::clone(&sink) as Arc<dyn cr_core::trace::TraceSink>);
+            *slot = Some(sink);
+            path
+        };
+        // Recorded after the journal lock is released; the sink is already
+        // attached, so this is the first (or first-after-reopen) entry.
+        self.inner
+            .tracer
+            .record("journal.open", &path.display().to_string());
+        Ok(path)
+    }
+
+    /// Path of the attached journal file, if any.
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        self.inner
+            .journal
+            .lock()
+            .as_ref()
+            .map(|s| s.path().to_path_buf())
+    }
+
+    /// The attached journal sink, if any (for stats and flushing).
+    pub fn journal_sink(&self) -> Option<Arc<journal::JournalSink>> {
+        self.inner.journal.lock().as_ref().map(Arc::clone)
+    }
+
     /// The daemon of `node`, starting it if necessary.
     pub fn ensure_daemon(&self, node: NodeId) -> Arc<Orted> {
         self.inner.failed.lock().remove(&node);
@@ -131,7 +186,7 @@ impl Runtime {
                 self.inner.fabric.clone(),
                 node,
                 self.node_dir(node),
-                self.inner.tracer.clone(),
+                self.inner.tracer.with_actor(&node.to_string()),
             )
         }))
     }
@@ -197,6 +252,12 @@ impl Runtime {
         };
         for daemon in daemons {
             daemon.shutdown();
+        }
+        // Journal stays attached (restart may keep recording) but what was
+        // appended so far is made durable.
+        let sink = self.inner.journal.lock().as_ref().map(Arc::clone);
+        if let Some(sink) = sink {
+            let _ = sink.flush();
         }
     }
 }
@@ -273,6 +334,33 @@ mod tests {
         rt.ensure_daemon(NodeId(1));
         assert!(!rt.node_failed(NodeId(1)));
         rt.shutdown();
+    }
+
+    #[test]
+    fn journal_captures_runtime_events_and_survives_kill() {
+        let rt = Runtime::new(
+            Topology::uniform(2, LinkSpec::gigabit_ethernet()),
+            tmpbase("journal"),
+        )
+        .unwrap();
+        assert!(rt.journal_path().is_none());
+        let path = rt.enable_journal(None, 0).unwrap();
+        // Idempotent: second call returns the same path without reopening.
+        assert_eq!(rt.enable_journal(None, 0).unwrap(), path);
+        rt.ensure_daemon(NodeId(1));
+        rt.kill_daemon(NodeId(1));
+        rt.shutdown();
+        let entries = journal::read_entries(&path).unwrap();
+        let phases: Vec<&str> = entries.iter().map(|e| e.phase.as_str()).collect();
+        assert_eq!(phases[0], "journal.open");
+        assert!(phases.contains(&"orte.daemon.spawn"));
+        assert!(phases.contains(&"orte.daemon.kill"));
+        // The journal lives on the host filesystem at runtime level: the
+        // node's death does not take it down, and the file verifies clean.
+        let report = journal::verify(&path).unwrap();
+        assert!(report.ok(), "{}", report.render());
+        let sink = rt.journal_sink().expect("sink still attached");
+        assert_eq!(sink.append_errors(), 0);
     }
 
     #[test]

@@ -78,7 +78,37 @@ fn run() -> Result<(), String> {
     for (k, v) in global.launch_params() {
         println!("    {k} = {v}");
     }
+    print_journal_summary(&global);
     Ok(())
+}
+
+/// The runtime's FT event journal, when present next to the stable
+/// storage tree (`<base>/journal/ft.jrnl` for a reference under
+/// `<base>/stable/`): entry/byte counts and chain status, so an operator
+/// sees at a glance whether the audit trail is intact and where to point
+/// `cr-replay`.
+fn print_journal_summary(global: &GlobalSnapshot) {
+    let path = match global.dir().parent().and_then(|stable| stable.parent()) {
+        Some(base) => base.join("journal").join(journal::FILE_NAME),
+        None => return,
+    };
+    if !path.exists() {
+        return;
+    }
+    println!("  journal: {}", path.display());
+    match journal::verify(&path) {
+        Ok(report) => {
+            println!(
+                "    {} entries, {} bytes, tail hash {:016x}",
+                report.entries, report.bytes, report.tail_hash
+            );
+            match &report.broken {
+                None => println!("    chain: intact"),
+                Some(b) => println!("    chain: BROKEN — {b}"),
+            }
+        }
+        Err(e) => println!("    unreadable: {e}"),
+    }
 }
 
 /// One dedup interval: per-rank manifest chunk counts and the interval's

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use cr_core::request::CheckpointOptions;
-use ompi::{mpirun, restart_from, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use workloads::stencil::{reference_rod, StencilApp};
 
@@ -59,8 +59,13 @@ fn main() {
     // reference is all the operator has — and all they need.
     let degraded = test_runtime("maintenance_degraded", 4);
     println!("cluster back with 4 nodes; restarting from {}", final_ckpt.global_snapshot.display());
-    let job = restart_from(&degraded, Arc::clone(&app), &final_ckpt.global_snapshot, None)
-        .expect("restart");
+    let job = restart(
+        &degraded,
+        Arc::clone(&app),
+        &final_ckpt.global_snapshot,
+        RestartOptions::default(),
+    )
+    .expect("restart");
     let results = job.wait().expect("completes after maintenance");
 
     // Physics check: final rod matches the serial fault-free solution.

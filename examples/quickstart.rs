@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use cr_core::request::CheckpointOptions;
-use ompi::{mpirun, restart_from, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use workloads::ring::{reference_checksums, RingApp};
 
@@ -43,8 +43,13 @@ fn main() {
     // no parameters, no application state supplied; it is all read from
     // the snapshot metadata. We even restart on a *different* cluster.
     let runtime2 = test_runtime("quickstart_restart", 2);
-    let job = restart_from(&runtime2, Arc::clone(&app), &outcome.global_snapshot, None)
-        .expect("restart");
+    let job = restart(
+        &runtime2,
+        Arc::clone(&app),
+        &outcome.global_snapshot,
+        RestartOptions::default(),
+    )
+    .expect("restart");
     println!(
         "restarted job {} on a {}-node cluster",
         job.handle().job(),

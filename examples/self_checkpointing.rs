@@ -18,7 +18,7 @@ use std::sync::Arc;
 use cr_core::request::CheckpointOptions;
 use mca::McaParams;
 use ompi::app::{MpiApp, StepOutcome};
-use ompi::{mpirun, restart_from, Mpi, MpiError, RunConfig};
+use ompi::{mpirun, restart, Mpi, MpiError, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use serde::{Deserialize, Serialize};
 
@@ -124,7 +124,7 @@ fn main() {
         .path();
     println!("restarting from {} just to prove it is valid", global_ref.display());
     let rt2 = test_runtime("self_ckpt_restart", 1);
-    let job = restart_from(&rt2, app, &global_ref, None).expect("restart");
+    let job = restart(&rt2, app, &global_ref, RestartOptions::default()).expect("restart");
     let results = job.wait().expect("restarted run completes");
     println!(
         "restarted run finished at step {} with value {:.6}",

@@ -37,6 +37,20 @@ CKPT_INCREMENTAL_SMOKE=1 CKPT_DEDUP_SMOKE=1 BENCH_CKPT_JSON="$PWD/BENCH_ckpt.jso
 CKPT_OVERLAP_SMOKE=1 BENCH_COMMIT_JSON="$PWD/BENCH_commit.json" \
   cargo bench -q -p bench --bench ckpt_overlap
 
+# Journal smoke: the append-overhead ratchet (the bench asserts the
+# journaled record cost stays under 40 µs/event and 1 KiB/event, writing
+# BENCH_journal.json), then cr-replay over the real 4-rank early-release
+# run the bench leaves behind: the hash chain must verify end-to-end and
+# the event sequence must replay as reachable in the commit protocol
+# model.
+journal_smoke_dir="$PWD/target/journal_smoke"
+JOURNAL_SMOKE=1 JOURNAL_SMOKE_DIR="$journal_smoke_dir" \
+  BENCH_JOURNAL_JSON="$PWD/BENCH_journal.json" \
+  cargo bench -q -p bench --bench journal_append
+run_journal="$journal_smoke_dir/run/journal/ft.jrnl"
+cargo run --release -q -p tools --bin cr-replay -- verify "$run_journal"
+cargo run --release -q -p tools --bin cr-replay -- replay --model commit "$run_journal"
+
 # Ratchet: the cr-lint baseline may shrink but never grow.
 baseline_lines=$(grep -cv '^#' lint.allow)
 baseline_sites=$(grep -v '^#' lint.allow | awk -F'\t' '{s+=$3} END {print s}')

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use cr_core::request::CheckpointOptions;
 use mca::McaParams;
 use ompi::app::RunEnd;
-use ompi::{mpirun, restart_from, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use workloads::ring::{reference_checksums, RingApp};
 
@@ -48,8 +48,9 @@ fn run_combination(crs: &str, crcp: &str, snapc: &str, filem: &str) {
     // Restart on a *different* cluster shape (3 nodes instead of 2): the
     // snapshot reference alone must be enough.
     let rt2 = test_runtime(&format!("{tag}_restart"), 3);
-    let job = restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, None)
-        .unwrap_or_else(|e| panic!("restart with {tag} failed: {e}"));
+    let job =
+        restart(&rt2, Arc::clone(&app), &outcome.global_snapshot, RestartOptions::default())
+            .unwrap_or_else(|e| panic!("restart with {tag} failed: {e}"));
     let results = job.wait().unwrap();
 
     let expected = reference_checksums(u64::from(NPROCS), ROUNDS);

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use cr_core::request::CheckpointOptions;
 use mca::McaParams;
-use ompi::{mpirun, restart_from, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use workloads::ring::{reference_checksums, RingApp};
 use workloads::stencil::StencilApp;
@@ -55,7 +55,9 @@ fn checkpoint_with_progress_engine_enabled() {
 
     // Restart (progress engine restarts too) and complete correctly.
     let rt2 = test_runtime("progress_restart", 1);
-    let job = restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, None).unwrap();
+    let job =
+        restart(&rt2, Arc::clone(&app), &outcome.global_snapshot, RestartOptions::default())
+            .unwrap();
     let results = job.wait().unwrap();
     let expected = reference_checksums(2, 300_000);
     for (r, (state, _)) in results.iter().enumerate() {

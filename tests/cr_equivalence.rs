@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use cr_core::request::CheckpointOptions;
 use ompi::app::{MpiApp, RunEnd};
-use ompi::{mpirun, restart_from, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use workloads::master_worker::{reference_total, MasterWorkerApp};
 use workloads::ring::{reference_checksums, RingApp};
@@ -63,7 +63,9 @@ fn checkpointed_equals_fault_free<A>(
 
     // Restart and run to completion.
     let rt2 = test_runtime(&format!("{tag}_restart"), 2);
-    let job = restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, None).unwrap();
+    let job =
+        restart(&rt2, Arc::clone(&app), &outcome.global_snapshot, RestartOptions::default())
+            .unwrap();
     let restarted = job.wait().unwrap();
     assert_eq!(restarted.len(), reference.len());
     for (r, (_, end)) in restarted.iter().enumerate() {
@@ -200,11 +202,11 @@ fn multiple_checkpoints_then_restart_from_each() {
 
     for outcome in &snapshots {
         let rt2 = test_runtime(&format!("multi_ckpt_i{}", outcome.interval), 2);
-        let job = restart_from(
+        let job = restart(
             &rt2,
             Arc::clone(&app),
             &outcome.global_snapshot,
-            Some(outcome.interval),
+            RestartOptions::default().at_interval(outcome.interval),
         )
         .unwrap();
         let results = job.wait().unwrap();
@@ -238,7 +240,8 @@ fn restarted_job_can_checkpoint_again() {
     assert_eq!(first.interval, 0);
 
     let rt2 = test_runtime("chain1", 1);
-    let job = restart_from(&rt2, Arc::clone(&app), &first.global_snapshot, None).unwrap();
+    let job = restart(&rt2, Arc::clone(&app), &first.global_snapshot, RestartOptions::default())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(30));
     let second = job
         .checkpoint(&CheckpointOptions::tool().and_terminate())
@@ -250,7 +253,8 @@ fn restarted_job_can_checkpoint_again() {
     );
 
     let rt3 = test_runtime("chain2", 1);
-    let job = restart_from(&rt3, Arc::clone(&app), &second.global_snapshot, None).unwrap();
+    let job = restart(&rt3, Arc::clone(&app), &second.global_snapshot, RestartOptions::default())
+        .unwrap();
     let results = job.wait().unwrap();
     let expected = reference_checksums(u64::from(nprocs), rounds);
     for (r, (state, end)) in results.iter().enumerate() {

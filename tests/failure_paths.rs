@@ -9,7 +9,7 @@ use cr_core::{CommitState, CrError, GlobalSnapshot};
 use mca::McaParams;
 use netsim::NodeId;
 use ompi::app::RunEnd;
-use ompi::{mpirun, restart_from, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use proptest::prelude::*;
 use workloads::ring::{reference_checksums, RingApp};
@@ -91,7 +91,7 @@ fn restart_from_corrupted_context_fails_loudly() {
     std::fs::write(&path, bytes).unwrap();
 
     let rt2 = test_runtime("corrupt_restart", 1);
-    let err = match restart_from(&rt2, app, &outcome.global_snapshot, None) {
+    let err = match restart(&rt2, app, &outcome.global_snapshot, RestartOptions::default()) {
         Err(e) => e,
         Ok(_) => panic!("restart from corrupted snapshot must fail"),
     };
@@ -116,13 +116,20 @@ fn restart_from_missing_interval_fails_loudly() {
 
     let rt2 = test_runtime("noiv_restart", 1);
     // Interval 7 was never committed.
-    let err = match restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, Some(7)) {
+    let err = match restart(
+        &rt2,
+        Arc::clone(&app),
+        &outcome.global_snapshot,
+        RestartOptions::default().at_interval(7),
+    ) {
         Err(e) => e,
         Ok(_) => panic!("restart from uncommitted interval must fail"),
     };
     assert!(err.to_string().contains("never committed"));
     // Restarting from the real interval still works afterwards.
-    let job = restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, None).unwrap();
+    let job =
+        restart(&rt2, Arc::clone(&app), &outcome.global_snapshot, RestartOptions::default())
+            .unwrap();
     let results = job.wait().unwrap();
     let expected = reference_checksums(2, 200_000);
     assert_eq!(results[0].0.checksum, expected[0]);
@@ -133,11 +140,11 @@ fn restart_from_missing_interval_fails_loudly() {
 #[test]
 fn restart_from_nonexistent_reference_fails_loudly() {
     let rt = test_runtime("noref", 1);
-    let err = match restart_from(
+    let err = match restart(
         &rt,
         Arc::new(RingApp { rounds: 1 }),
         std::path::Path::new("/definitely/not/a/snapshot.ckpt"),
-        None,
+        RestartOptions::default(),
     ) {
         Err(e) => e,
         Ok(_) => panic!("must fail"),
@@ -182,10 +189,12 @@ fn mid_gather_node_failure_falls_back_to_last_global_commit() {
     // now unreachable, so interval 1 can never be promoted.
     rt.kill_daemon(NodeId(1));
 
-    // `restart_from` first joins the in-flight gather (which aborts on
-    // the dead source), then selects the newest *globally* committed
+    // `restart` first joins the in-flight gather (which aborts on the
+    // dead source), then selects the newest *globally* committed
     // interval.
-    let restarted = restart_from(&rt, Arc::clone(&app), &second.global_snapshot, None).unwrap();
+    let restarted =
+        restart(&rt, Arc::clone(&app), &second.global_snapshot, RestartOptions::default())
+            .unwrap();
     let results = restarted.wait().unwrap();
 
     let global = GlobalSnapshot::open(&second.global_snapshot).unwrap();

@@ -12,7 +12,7 @@ use cr_core::inc::LayerInc;
 use cr_core::request::CheckpointOptions;
 use cr_core::{GlobalSnapshot, Rank};
 use mca::McaParams;
-use ompi::{mpirun, restart_from_with_source, RestartSource, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RestartSource, RunConfig};
 use ompi_cr::{scratch_dir, test_runtime};
 use opal::crs::{crs_framework, SelfCallbacks};
 use orte::job::{launch, JobSpec, LaunchCtx};
@@ -231,12 +231,13 @@ fn incremental_restart_end_to_end_both_sources() {
 
     // Replica source: both chain links come from daemon peer memory.
     rt.tracer().clear();
-    let restarted = restart_from_with_source(
+    let restarted = restart(
         &rt,
         Arc::clone(&app),
         &outcome.global_snapshot,
-        Some(1),
-        RestartSource::Replica,
+        RestartOptions::default()
+            .at_interval(1)
+            .with_source(RestartSource::Replica),
     )
     .unwrap();
     restarted.handle().request_terminate();
@@ -247,12 +248,13 @@ fn incremental_restart_end_to_end_both_sources() {
     // Stable source: both links come from the drained global snapshot.
     rt.drain_writebehind();
     rt.tracer().clear();
-    let restarted = restart_from_with_source(
+    let restarted = restart(
         &rt,
         Arc::clone(&app),
         &outcome.global_snapshot,
-        Some(1),
-        RestartSource::Stable,
+        RestartOptions::default()
+            .at_interval(1)
+            .with_source(RestartSource::Stable),
     )
     .unwrap();
     restarted.handle().request_terminate();

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use cr_core::request::CheckpointOptions;
 use ompi::app::RunEnd;
-use ompi::{mpirun, restart_from, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use proptest::prelude::*;
 use workloads::traffic::{digests_agree, TrafficApp, TrafficState};
@@ -51,7 +51,9 @@ fn checkpointed(
     job.wait().unwrap();
 
     let rt2 = test_runtime(&format!("{tag}_rs"), 3);
-    let job = restart_from(&rt2, Arc::clone(app), &outcome.global_snapshot, None).unwrap();
+    let job =
+        restart(&rt2, Arc::clone(app), &outcome.global_snapshot, RestartOptions::default())
+            .unwrap();
     let results = job.wait().unwrap();
     for (r, (_, end)) in results.iter().enumerate() {
         assert_eq!(*end, RunEnd::Completed, "rank {r}");

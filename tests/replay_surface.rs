@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use cr_core::request::CheckpointOptions;
 use ompi::app::{MpiApp, RunEnd, StepOutcome};
-use ompi::{mpirun, restart_from, Mpi, MpiError, RunConfig};
+use ompi::{mpirun, restart, Mpi, MpiError, RestartOptions, RunConfig};
 use ompi_cr::test_runtime;
 use serde::{Deserialize, Serialize};
 
@@ -122,7 +122,9 @@ fn every_op_kind_replays_exactly() {
         job.wait().unwrap();
 
         let rt2 = test_runtime(&format!("sink_rs_{delay_ms}"), 2);
-        let job = restart_from(&rt2, Arc::clone(&app), &outcome.global_snapshot, None).unwrap();
+        let job =
+            restart(&rt2, Arc::clone(&app), &outcome.global_snapshot, RestartOptions::default())
+                .unwrap();
         let restarted = job.wait().unwrap();
         for (r, ((ref_state, _), (new_state, end))) in
             reference.iter().zip(&restarted).enumerate()

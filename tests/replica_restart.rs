@@ -13,7 +13,7 @@ use cr_core::request::CheckpointOptions;
 use cr_core::{GlobalSnapshot, Rank};
 use mca::McaParams;
 use netsim::NodeId;
-use ompi::{mpirun, restart_from, restart_from_with_source, RestartSource, RunConfig};
+use ompi::{mpirun, restart, RestartOptions, RestartSource, RunConfig};
 use ompi_cr::test_runtime;
 use workloads::ring::RingApp;
 
@@ -76,12 +76,11 @@ fn restart_survives_k_node_losses_without_stable_storage() {
     rt.kill_daemon(NodeId(2));
 
     rt.tracer().clear();
-    let job = restart_from_with_source(
+    let job = restart(
         &rt,
         Arc::new(RingApp { rounds: 1_000_000 }),
         &outcome.global_snapshot,
-        None,
-        RestartSource::Replica,
+        RestartOptions::default().with_source(RestartSource::Replica),
     )
     .unwrap();
     job.handle().request_terminate();
@@ -110,12 +109,11 @@ fn losing_more_than_k_holders_falls_back_to_stable() {
     rt.kill_daemon(NodeId(2));
 
     // A replica-only restart must refuse...
-    let err = match restart_from_with_source(
+    let err = match restart(
         &rt,
         Arc::new(RingApp { rounds: 1_000_000 }),
         &outcome.global_snapshot,
-        None,
-        RestartSource::Replica,
+        RestartOptions::default().with_source(RestartSource::Replica),
     ) {
         Err(e) => e,
         Ok(_) => panic!("replica-only restart must fail with a holder-less rank"),
@@ -125,11 +123,11 @@ fn losing_more_than_k_holders_falls_back_to_stable() {
     // ...while auto serves the survivors from memory and only the
     // orphaned ranks from stable storage.
     rt.tracer().clear();
-    let job = restart_from(
+    let job = restart(
         &rt,
         Arc::new(RingApp { rounds: 1_000_000 }),
         &outcome.global_snapshot,
-        None,
+        RestartOptions::default(),
     )
     .unwrap();
     job.handle().request_terminate();
@@ -154,11 +152,11 @@ fn fresh_host_process_restarts_from_stable() {
     // A brand-new host process has empty daemon replica stores; every
     // rank must come from stable storage — transparently.
     let rt2 = test_runtime("replica_fresh_restart", 4);
-    let job = restart_from(
+    let job = restart(
         &rt2,
         Arc::new(RingApp { rounds: 1_000_000 }),
         &outcome.global_snapshot,
-        None,
+        RestartOptions::default(),
     )
     .unwrap();
     job.handle().request_terminate();
@@ -220,12 +218,11 @@ fn expired_interval_reclaims_stable_and_replica_storage() {
     assert!(global.replica_holders(first.interval, Rank(0)).is_empty());
 
     // The surviving interval still restores — from peer memory.
-    let restarted = restart_from_with_source(
+    let restarted = restart(
         &rt,
         Arc::new(RingApp { rounds: 1_000_000 }),
         &second.global_snapshot,
-        None,
-        RestartSource::Replica,
+        RestartOptions::default().with_source(RestartSource::Replica),
     )
     .unwrap();
     restarted.handle().request_terminate();
