@@ -29,12 +29,25 @@ pub const HEADER_LEN: usize = 4 + 2 + 8 + 4;
 /// Wrap `payload` in a checksummed frame.
 pub fn write_frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    write_frame_into(&mut out, payload);
+    out
+}
+
+/// Wrap `payload` in a checksummed frame, reusing `out`'s allocation.
+///
+/// `out` is cleared first; after the call it holds exactly what
+/// [`write_frame`] would have returned. Hot paths that frame many
+/// payloads (the chunk store's blob writer) call this with a pooled
+/// buffer so steady-state framing allocates O(pool) buffers, not
+/// O(payloads).
+pub fn write_frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.clear();
+    out.reserve(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
 }
 
 /// Fixed-size header field at `at`, or a truncation error.

@@ -56,5 +56,5 @@ pub mod varint;
 pub use binary::{from_bytes, to_bytes};
 pub use chunk::{changed_chunks, chunk_digest, ChunkManifest, ChunkRecord, SectionManifest};
 pub use error::{Error, Result};
-pub use frame::{read_frame, write_frame};
+pub use frame::{read_frame, write_frame, write_frame_into};
 pub use meta::MetaDoc;

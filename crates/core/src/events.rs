@@ -66,6 +66,10 @@ pub const KNOWN_TRACE_EVENTS: &[TraceEventDef] = &[
         help: "checkpoint image pushed to its ring-successor holders",
     },
     TraceEventDef {
+        phase: "filem.sched.plan",
+        help: "gather batch planned into contention-aware waves (policy, peak link load)",
+    },
+    TraceEventDef {
         phase: "journal.open",
         help: "durable FT event journal opened (all later records are chained into it)",
     },
@@ -128,6 +132,10 @@ pub const KNOWN_TRACE_EVENTS: &[TraceEventDef] = &[
     TraceEventDef {
         phase: "opal.crs.post_event_error",
         help: "a CRS component's ft_event handler returned an error",
+    },
+    TraceEventDef {
+        phase: "opal.hash.pool",
+        help: "parallel hash pool verified a commit's chunk digests with pooled buffers",
     },
     TraceEventDef {
         phase: "opal.notify.complete",

@@ -523,6 +523,22 @@ impl GlobalSnapshot {
             .collect()
     }
 
+    /// Record the rendered gather-schedule stats line for `interval`
+    /// (policy, wave count, peak link concurrency, wall clock, per-link
+    /// bytes — see `orte::sched::GatherSchedStats::render`), so
+    /// `ompi-snapshot-info` can show how the gather was scheduled.
+    pub fn record_gather_stats(&mut self, interval: u64, rendered: &str) -> Result<(), CrError> {
+        self.meta
+            .set(&format!("gather_{interval}"), "stats", rendered.to_string());
+        self.save_meta()
+    }
+
+    /// The gather-schedule stats line recorded for `interval`, if the
+    /// interval was committed through the scheduled gather path.
+    pub fn gather_stats(&self, interval: u64) -> Option<&str> {
+        self.meta.get(&format!("gather_{interval}"), "stats")
+    }
+
     /// Record each rank's incremental-chain links for `interval`: what
     /// kind of context it wrote (`full`/`delta`) and, for deltas, the
     /// interval of the chain's full base and of the immediate predecessor.
@@ -632,6 +648,7 @@ impl GlobalSnapshot {
         self.meta.remove_section(&format!("interval_{interval}"));
         self.meta.remove_section(&format!("replica_{interval}"));
         self.meta.remove_section(&format!("incr_{interval}"));
+        self.meta.remove_section(&format!("gather_{interval}"));
         // Dedup GC ordering: this persists the manifest removal *before*
         // the caller decrefs and sweeps the interval's chunks (see the
         // `gc` model) — a crash here leaks references, never dangles them.

@@ -99,6 +99,17 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         default: Some("16"),
         help: "incremental checkpointing: force a full image every N intervals (caps delta-chain length)",
     },
+    // OPAL data-path pool tunables.
+    ParamDef {
+        key: "opal_hash_workers",
+        default: Some("4"),
+        help: "bounded worker pool size for parallel chunk hashing and digest verification",
+    },
+    ParamDef {
+        key: "opal_buffer_pool_cap",
+        default: Some("8"),
+        help: "maximum reusable chunk/frame buffers parked per data-path buffer pool",
+    },
     // PLM component tunables.
     ParamDef {
         key: "plm_map_by",
@@ -176,6 +187,11 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         key: "filem_dedup_gc_batch",
         default: Some("64"),
         help: "dedup store: maximum count-zero blobs swept per GC batch at interval retirement",
+    },
+    ParamDef {
+        key: "filem_sched_policy",
+        default: Some("spread"),
+        help: "gather wave scheduling: spread (least-loaded link first) | fifo (legacy index order)",
     },
     // Durable FT event journal (ORTE runtime).
     ParamDef {

@@ -28,6 +28,7 @@ use cr_core::snapshot::LocalSnapshot;
 use cr_core::CrError;
 
 use crate::image::ProcessImage;
+use crate::pool::BufferPool;
 
 /// Snapshot metadata key: `"full"`, `"delta"`, or `"dedup"`.
 pub const PARAM_KIND: &str = "ckpt_kind";
@@ -158,6 +159,10 @@ struct IncrCache {
 pub struct IncrEngine {
     config: IncrConfig,
     cache: Mutex<Option<IncrCache>>,
+    /// Hash lanes for manifest builds (`opal_hash_workers`).
+    workers: usize,
+    /// Reusable chunk buffers for delta builds (`opal_buffer_pool_cap`).
+    pool: BufferPool,
 }
 
 impl IncrEngine {
@@ -166,6 +171,8 @@ impl IncrEngine {
         IncrEngine {
             config: IncrConfig::from_params(params),
             cache: Mutex::new(None),
+            workers: crate::pool::hash_workers(params),
+            pool: BufferPool::new(crate::pool::buffer_pool_cap(params)),
         }
     }
 
@@ -175,12 +182,20 @@ impl IncrEngine {
         IncrEngine {
             config: IncrConfig::disabled(),
             cache: Mutex::new(None),
+            workers: 1,
+            pool: BufferPool::new(8),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> IncrConfig {
         self.config
+    }
+
+    /// The engine's reusable chunk-buffer pool (hit/miss counters feed
+    /// the `ckpt_datapath` allocation-flat ratchet).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Write `image` into `snapshot` as either a full context or a delta
@@ -199,7 +214,9 @@ impl IncrEngine {
         snapshot: &mut LocalSnapshot,
     ) -> Result<CkptKind, CrError> {
         let interval = snapshot.interval();
-        let manifest = ChunkManifest::of_sections(image.iter(), self.config.chunk_bytes);
+        let sections: Vec<(&str, &[u8])> = image.iter().collect();
+        let manifest =
+            crate::pool::manifest_parallel(&sections, self.config.chunk_bytes, self.workers);
         let mut cache = self.cache.lock();
         let base = cache.as_ref().filter(|c| {
             self.config.enabled
@@ -210,11 +227,20 @@ impl IncrEngine {
         });
         let kind = match base {
             Some(prev) => {
-                let ctx = build_delta(image, &manifest, &prev.manifest, self.config.chunk_bytes)
-                    .with_chain(prev.base_interval, prev.interval);
+                let ctx = build_delta_pooled(
+                    image,
+                    &manifest,
+                    &prev.manifest,
+                    self.config.chunk_bytes,
+                    &self.pool,
+                )
+                .with_chain(prev.base_interval, prev.interval);
                 snapshot.write_context(&codec::to_bytes(&ctx)?)?;
                 snapshot.set_param(PARAM_BASE, &ctx.base_interval.to_string())?;
                 snapshot.set_param(PARAM_PREV, &ctx.prev_interval.to_string())?;
+                // The serialized context is on disk; the chunk buffers go
+                // back to the pool for the next interval's delta.
+                recycle_delta(ctx, &self.pool);
                 CkptKind::Delta
             }
             None => {
@@ -246,8 +272,10 @@ impl IncrEngine {
     }
 }
 
-/// Compute the delta of `image` against the previous interval's manifest.
-fn build_delta(
+/// Compute the delta of `image` against the previous interval's manifest,
+/// allocating a fresh `Vec` per dirty chunk (the legacy path, kept as the
+/// reference the pooled builder is property-tested against).
+pub fn build_delta(
     image: &ProcessImage,
     manifest: &ChunkManifest,
     prev: &ChunkManifest,
@@ -279,6 +307,59 @@ fn build_delta(
         base_interval: 0,
         prev_interval: 0,
         sections,
+    }
+}
+
+/// [`build_delta`] with chunk buffers drawn from `pool` instead of fresh
+/// allocations. Byte-identical output (a pooled buffer's spare capacity
+/// never reaches the serializer); pair with [`recycle_delta`] once the
+/// context is serialized so steady-state delta builds allocate O(pool)
+/// buffers, not O(dirty chunks).
+pub fn build_delta_pooled(
+    image: &ProcessImage,
+    manifest: &ChunkManifest,
+    prev: &ChunkManifest,
+    chunk_bytes: usize,
+    pool: &BufferPool,
+) -> DeltaContext {
+    let sections = image
+        .iter()
+        .map(|(name, bytes)| {
+            let dirty = match manifest.section(name) {
+                Some(cur) => codec::changed_chunks(prev.section(name), cur),
+                None => Vec::new(), // unreachable: manifest was built from image
+            };
+            DeltaSection {
+                name: name.to_string(),
+                total_len: bytes.len() as u64,
+                chunks: dirty
+                    .into_iter()
+                    .map(|id| {
+                        let start = id as usize * chunk_bytes;
+                        let end = (start + chunk_bytes).min(bytes.len());
+                        let chunk = bytes.get(start..end).unwrap_or(&[]);
+                        let mut buf = pool.take(chunk.len());
+                        buf.extend_from_slice(chunk);
+                        (id, buf)
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    DeltaContext {
+        chunk_bytes: chunk_bytes as u32,
+        base_interval: 0,
+        prev_interval: 0,
+        sections,
+    }
+}
+
+/// Return a serialized delta's chunk buffers to `pool` for reuse.
+pub fn recycle_delta(ctx: DeltaContext, pool: &BufferPool) {
+    for section in ctx.sections {
+        for (_, buf) in section.chunks {
+            pool.put(buf);
+        }
     }
 }
 

@@ -143,13 +143,32 @@ impl ChunkStore {
     /// [`incref_all`](ChunkStore::incref_all) before recording a manifest.
     pub fn insert(&self, bytes: &[u8]) -> Result<(ChunkId, bool), CrError> {
         let id = ChunkId::of(bytes);
-        let path = self.blob_path(&id);
+        let mut scratch = Vec::new();
+        let fresh = self.insert_precomputed(&id, bytes, &mut scratch)?;
+        Ok((id, fresh))
+    }
+
+    /// Store `bytes` under the *caller-computed* address `id`, framing
+    /// through `scratch` so hot paths reuse one buffer across inserts
+    /// (see [`crate::pool::BufferPool`]). Returns whether a new blob was
+    /// written. The caller vouches that `id == ChunkId::of(bytes)` — the
+    /// dedup commit path verifies digests over the parallel hash pool
+    /// before fanning inserts out, so re-digesting here would double the
+    /// hash cost of every fresh chunk.
+    pub fn insert_precomputed(
+        &self,
+        id: &ChunkId,
+        bytes: &[u8],
+        scratch: &mut Vec<u8>,
+    ) -> Result<bool, CrError> {
+        let path = self.blob_path(id);
         if path.exists() {
-            return Ok((id, false));
+            return Ok(false);
         }
-        std::fs::write(&path, codec::write_frame(bytes))
+        codec::write_frame_into(scratch, bytes);
+        std::fs::write(&path, &scratch)
             .map_err(|e| CrError::io(path.display().to_string(), &e))?;
-        Ok((id, true))
+        Ok(true)
     }
 
     /// True when a blob for `id` is present.

@@ -1,0 +1,97 @@
+//! Property test: pooled-buffer delta builds are byte-identical to the
+//! legacy per-chunk-allocation path across random mutation schedules.
+//!
+//! The buffer pool hands out recycled `Vec`s with arbitrary spare
+//! capacity; if any of that state ever leaked into the serialized delta
+//! context, a restart replaying the chain would reassemble a corrupt
+//! image. So the gate is at the byte level: for every schedule of image
+//! mutations (overwrites, growth, shrinkage, across sections), both
+//! builders must serialize to identical context payloads, interval after
+//! interval, while the pooled path recycles its buffers.
+
+use codec::chunk::ChunkManifest;
+use opal::image::ProcessImage;
+use opal::incr::{build_delta, build_delta_pooled, recycle_delta};
+use opal::BufferPool;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One step of a mutation schedule.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Overwrite one byte of section `sec` at a position index.
+    Poke { sec: prop::sample::Index, at: prop::sample::Index, val: u8 },
+    /// Resize section `sec` to a new length in `0..4096`, filling with `val`.
+    Resize { sec: prop::sample::Index, len: u16, val: u8 },
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>(), any::<u8>())
+            .prop_map(|(sec, at, val)| Mutation::Poke { sec, at, val }),
+        (any::<prop::sample::Index>(), 0..4096u16, any::<u8>())
+            .prop_map(|(sec, len, val)| Mutation::Resize { sec, len, val }),
+    ]
+}
+
+fn image_of(sections: &[Vec<u8>]) -> ProcessImage {
+    let mut img = ProcessImage::new();
+    for (i, bytes) in sections.iter().enumerate() {
+        img.insert(format!("sec{i}"), bytes.clone());
+    }
+    img
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pooled_delta_builds_are_byte_identical(
+        mut sections in vec(vec(any::<u8>(), 0..3000), 1..4),
+        schedule in vec(vec(arb_mutation(), 0..6), 1..5),
+        chunk_bytes in 1..512usize,
+        pool_cap in 1..6usize,
+    ) {
+        let pool = BufferPool::new(pool_cap);
+        let mut prev_manifest = {
+            let img = image_of(&sections);
+            let secs: Vec<(&str, &[u8])> = img.iter().collect();
+            ChunkManifest::of_sections(secs.into_iter(), chunk_bytes)
+        };
+        // Each schedule entry is one checkpoint interval's worth of
+        // mutations; deltas are built against the previous interval.
+        for step in &schedule {
+            for m in step {
+                match m {
+                    Mutation::Poke { sec, at, val } => {
+                        let s = sec.index(sections.len());
+                        if let Some(bytes) = sections.get_mut(s) {
+                            if !bytes.is_empty() {
+                                let i = at.index(bytes.len());
+                                bytes[i] = *val;
+                            }
+                        }
+                    }
+                    Mutation::Resize { sec, len, val } => {
+                        let s = sec.index(sections.len());
+                        if let Some(bytes) = sections.get_mut(s) {
+                            bytes.resize(*len as usize, *val);
+                        }
+                    }
+                }
+            }
+            let img = image_of(&sections);
+            let secs: Vec<(&str, &[u8])> = img.iter().collect();
+            let manifest = ChunkManifest::of_sections(secs.iter().copied(), chunk_bytes);
+            let legacy = build_delta(&img, &manifest, &prev_manifest, chunk_bytes);
+            let pooled = build_delta_pooled(&img, &manifest, &prev_manifest, chunk_bytes, &pool);
+            let legacy_bytes = codec::to_bytes(&legacy).unwrap();
+            let pooled_bytes = codec::to_bytes(&pooled).unwrap();
+            prop_assert_eq!(legacy_bytes, pooled_bytes, "chunk_bytes={}", chunk_bytes);
+            recycle_delta(pooled, &pool);
+            prev_manifest = manifest;
+        }
+        // The pool never parks more than its cap.
+        prop_assert!(pool.stats().pooled <= pool_cap);
+    }
+}

@@ -1,0 +1,496 @@
+//! Contention-aware gather scheduling for FILEM batches.
+//!
+//! The parallel gather (`filem::copy_all_parallel`) claims requests in
+//! index order, so a batch whose first `k` sources share one node saturates
+//! that node's uplink with `k` concurrent transfers — each priced at `1/k`
+//! bandwidth by the [`netsim::LinkMeter`] model — while other links sit
+//! idle. This module schedules the batch against that same pricing model
+//! instead: requests are grouped into *waves* of at most `workers`
+//! concurrent transfers, and the `spread` policy fills each wave greedily
+//! with the request whose link is currently least loaded, so no link
+//! carries `k` concurrent transfers while an idle path exists (unless every
+//! lane is already busy).
+//!
+//! The `filem_sched_policy` MCA parameter selects `spread` (default) or
+//! `fifo` (the legacy index-order behaviour, kept for ablation A12).
+//! [`simulated_critical_path`] prices a plan through
+//! `Topology::contended_cost` — the `ckpt_datapath` bench asserts the
+//! spread plan's critical path is strictly below fifo's whenever links are
+//! contended, and a deterministic test here pins the no-doubling
+//! invariant itself.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use mca::McaParams;
+use netsim::{NetView, SimTime, Topology};
+
+use cr_core::CrError;
+
+use crate::filem::{CopyRequest, FilemComponent, FilemReport};
+
+/// How a gather batch is assigned to the bounded worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Legacy behaviour: requests claimed in batch index order.
+    Fifo,
+    /// Greedy least-loaded-link assignment per wave.
+    Spread,
+}
+
+impl SchedPolicy {
+    /// Read `filem_sched_policy` (default `spread`; any value other than
+    /// `fifo` selects spread).
+    pub fn from_params(params: &McaParams) -> Self {
+        match params.get("filem_sched_policy").as_deref() {
+            Some("fifo") => SchedPolicy::Fifo,
+            _ => SchedPolicy::Spread,
+        }
+    }
+
+    /// Metadata/trace string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Spread => "spread",
+        }
+    }
+}
+
+/// A scheduled gather: waves of batch indices, each wave running its
+/// requests concurrently (one lane per request), waves in sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatherPlan {
+    /// Batch indices per wave; every index appears exactly once and no
+    /// wave exceeds the lane count it was planned for.
+    pub waves: Vec<Vec<usize>>,
+}
+
+/// Unordered link key of one request (loopback uses the `(n, n)` pair),
+/// matching the `netsim::LinkMeter` keying.
+fn link_of(req: &CopyRequest) -> (u32, u32) {
+    let (a, b) = (req.src_node.0, req.dest_node.0);
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Schedule `batch` onto `lanes` concurrent lanes under `policy`.
+pub fn plan(batch: &[CopyRequest], lanes: usize, policy: SchedPolicy) -> GatherPlan {
+    let lanes = lanes.max(1);
+    match policy {
+        SchedPolicy::Fifo => GatherPlan {
+            waves: (0..batch.len())
+                .collect::<Vec<_>>()
+                .chunks(lanes)
+                .map(<[usize]>::to_vec)
+                .collect(),
+        },
+        SchedPolicy::Spread => {
+            let mut pending: Vec<usize> = (0..batch.len()).collect();
+            let mut waves = Vec::new();
+            while !pending.is_empty() {
+                let mut wave: Vec<usize> = Vec::with_capacity(lanes);
+                let mut load: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+                while wave.len() < lanes && !pending.is_empty() {
+                    // Least-loaded link first, lowest index on ties: a
+                    // link only takes a second concurrent transfer once
+                    // every pending request's link already carries one.
+                    let pick = pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &i)| {
+                            let key = batch.get(i).map(link_of).unwrap_or((0, 0));
+                            (load.get(&key).copied().unwrap_or(0), i)
+                        })
+                        .map(|(p, _)| p);
+                    let Some(p) = pick else { break };
+                    let i = pending.remove(p);
+                    if let Some(req) = batch.get(i) {
+                        *load.entry(link_of(req)).or_insert(0) += 1;
+                    }
+                    wave.push(i);
+                }
+                waves.push(wave);
+            }
+            GatherPlan { waves }
+        }
+    }
+}
+
+/// Per-link concurrent-transfer counts of one wave.
+fn wave_loads(batch: &[CopyRequest], wave: &[usize]) -> BTreeMap<(u32, u32), u32> {
+    let mut load = BTreeMap::new();
+    for &i in wave {
+        if let Some(req) = batch.get(i) {
+            *load.entry(link_of(req)).or_insert(0) += 1;
+        }
+    }
+    load
+}
+
+/// Price a plan through the topology's 1/k contention model: each wave
+/// costs its slowest transfer (every transfer in a wave is charged the
+/// wave's concurrency on its link), and waves run back to back.
+pub fn simulated_critical_path(
+    plan: &GatherPlan,
+    topo: &Topology,
+    batch: &[CopyRequest],
+    bytes: &[usize],
+) -> SimTime {
+    let mut total = SimTime::ZERO;
+    for wave in &plan.waves {
+        let load = wave_loads(batch, wave);
+        let mut slowest = SimTime::ZERO;
+        for &i in wave {
+            let Some(req) = batch.get(i) else { continue };
+            let share = load.get(&link_of(req)).copied().unwrap_or(1);
+            let cost = topo.contended_cost(
+                req.src_node,
+                req.dest_node,
+                bytes.get(i).copied().unwrap_or(0),
+                share,
+            );
+            slowest = slowest.max(cost);
+        }
+        total += slowest;
+    }
+    total
+}
+
+/// What one scheduled gather did: the plan's shape, the real wall clock,
+/// and per-link byte totals. Rendered into the global snapshot metadata
+/// (`GlobalSnapshot::record_gather_stats`) so `ompi-snapshot-info` can
+/// show the schedule next to the commit state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatherSchedStats {
+    /// Scheduling policy that produced the plan.
+    pub policy: String,
+    /// Number of waves executed.
+    pub waves: usize,
+    /// Highest concurrent-transfer count any link saw in any wave.
+    pub peak_link_concurrency: u32,
+    /// Real wall-clock time of the whole gather.
+    pub wall: Duration,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Payload bytes per unordered link pair.
+    pub bytes_per_link: BTreeMap<(u32, u32), u64>,
+}
+
+impl GatherSchedStats {
+    /// Wall-clock throughput in MiB/s.
+    pub fn mib_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64().max(1e-9);
+        self.bytes as f64 / secs / (1024.0 * 1024.0)
+    }
+
+    /// Single-line metadata form:
+    /// `policy=spread waves=3 peak=2 wall_us=81 bytes=12288 links=0-1:8192,0-2:4096`
+    pub fn render(&self) -> String {
+        let links = self
+            .bytes_per_link
+            .iter()
+            .map(|((a, b), n)| format!("{a}-{b}:{n}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "policy={} waves={} peak={} wall_us={} bytes={} links={links}",
+            self.policy,
+            self.waves,
+            self.peak_link_concurrency,
+            self.wall.as_micros(),
+            self.bytes,
+        )
+    }
+
+    /// Parse the [`render`](GatherSchedStats::render) form back.
+    pub fn parse(line: &str) -> Option<GatherSchedStats> {
+        let mut policy = None;
+        let mut waves = None;
+        let mut peak = None;
+        let mut wall_us = None;
+        let mut bytes = None;
+        let mut links = BTreeMap::new();
+        for field in line.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "policy" => policy = Some(value.to_string()),
+                "waves" => waves = value.parse().ok(),
+                "peak" => peak = value.parse().ok(),
+                "wall_us" => wall_us = value.parse::<u64>().ok(),
+                "bytes" => bytes = value.parse().ok(),
+                "links" => {
+                    for entry in value.split(',').filter(|e| !e.is_empty()) {
+                        let (pair, n) = entry.split_once(':')?;
+                        let (a, b) = pair.split_once('-')?;
+                        links.insert((a.parse().ok()?, b.parse().ok()?), n.parse().ok()?);
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(GatherSchedStats {
+            policy: policy?,
+            waves: waves?,
+            peak_link_concurrency: peak?,
+            wall: Duration::from_micros(wall_us?),
+            bytes: bytes?,
+            bytes_per_link: links,
+        })
+    }
+}
+
+/// Execute `batch` wave-by-wave under `policy` over at most `workers`
+/// concurrent lanes, each in-flight copy holding its
+/// [`netsim::LinkSlot`] exactly like `copy_all_parallel`. Returns the
+/// combined report (serialized cost sums every copy; critical-path cost
+/// sums each wave's slowest lane) plus the schedule stats. The first
+/// copy error is returned after its wave's lanes finish.
+pub fn copy_all_scheduled(
+    filem: &dyn FilemComponent,
+    net: NetView<'_>,
+    batch: &[CopyRequest],
+    workers: usize,
+    policy: SchedPolicy,
+) -> Result<(FilemReport, GatherSchedStats), CrError> {
+    let started = Instant::now();
+    let plan = plan(batch, workers, policy);
+    let mut total = FilemReport::default();
+    let mut bytes_per_link: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut peak = 0u32;
+    for wave in &plan.waves {
+        peak = peak.max(wave_loads(batch, wave).values().copied().max().unwrap_or(0));
+        let lane_results: Vec<(usize, Result<FilemReport, CrError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .filter_map(|&i| batch.get(i).map(|req| (i, req)))
+                    .map(|(i, req)| {
+                        scope.spawn(move || {
+                            let _slot = net.begin_transfer(req.src_node, req.dest_node);
+                            (i, filem.copy_tree(net, req))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            (usize::MAX, Err(CrError::protocol("FILEM gather worker panicked")))
+                        })
+                    })
+                    .collect()
+            });
+        let mut wave_report = FilemReport::default();
+        for (i, lane) in lane_results {
+            let report = lane?;
+            if let Some(req) = batch.get(i) {
+                *bytes_per_link.entry(link_of(req)).or_insert(0) += report.bytes;
+            }
+            wave_report.merge_parallel(report);
+        }
+        total.merge(wave_report);
+    }
+    let stats = GatherSchedStats {
+        policy: policy.as_str().to_string(),
+        waves: plan.waves.len(),
+        peak_link_concurrency: peak,
+        wall: started.elapsed(),
+        bytes: total.bytes,
+        bytes_per_link,
+    };
+    Ok((total, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkSpec, NodeId};
+    use std::path::PathBuf;
+
+    /// A gather batch with the given source nodes, all destined for the
+    /// head node (the shape every SNAPC gather has).
+    fn batch_from(srcs: &[u32]) -> Vec<CopyRequest> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, &s)| CopyRequest {
+                src: PathBuf::from(format!("/scratch/{i}")),
+                src_node: NodeId(s),
+                dest: PathBuf::from(format!("/stable/{i}")),
+                dest_node: NodeId(0),
+            })
+            .collect()
+    }
+
+    /// The scheduler's invariant: in any wave whose most-loaded link
+    /// carries `m ≥ 2` concurrent transfers, every request deferred to a
+    /// later wave must itself be on a link already carrying `≥ m - 1`
+    /// transfers in this wave — i.e. the plan never doubles up a link
+    /// while a deferred request had an idle path.
+    fn assert_no_doubling_while_idle(plan: &GatherPlan, batch: &[CopyRequest], lanes: usize) {
+        let mut seen = vec![false; batch.len()];
+        for wave in &plan.waves {
+            assert!(wave.len() <= lanes.max(1), "wave exceeds lane count");
+            for &i in wave {
+                assert!(!seen[i], "index {i} scheduled twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index must be scheduled");
+        for (w, wave) in plan.waves.iter().enumerate() {
+            let load = wave_loads(batch, wave);
+            let m = load.values().copied().max().unwrap_or(0);
+            if m < 2 {
+                continue;
+            }
+            for later in &plan.waves[w + 1..] {
+                for &i in later {
+                    let Some(req) = batch.get(i) else { continue };
+                    let count = load.get(&link_of(req)).copied().unwrap_or(0);
+                    assert!(
+                        count >= m - 1,
+                        "wave {w} puts {m} transfers on one link while deferred \
+                         request {i} had a path with only {count} in flight"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_defaults_to_spread() {
+        let params = McaParams::new();
+        assert_eq!(SchedPolicy::from_params(&params), SchedPolicy::Spread);
+        params.set("filem_sched_policy", "fifo");
+        assert_eq!(SchedPolicy::from_params(&params), SchedPolicy::Fifo);
+    }
+
+    #[test]
+    fn fifo_plans_in_index_order() {
+        let batch = batch_from(&[1, 1, 2, 3, 1]);
+        let p = plan(&batch, 2, SchedPolicy::Fifo);
+        assert_eq!(p.waves, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn spread_never_doubles_a_link_while_an_idle_path_exists() {
+        // Deterministic sweep over skewed source layouts, lane counts,
+        // and batch sizes (SplitMix64 for variety without flakiness).
+        let mut seed = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for trial in 0..200 {
+            let n = 1 + (next() % 12) as usize;
+            let nodes = 1 + next() % 5;
+            let srcs: Vec<u32> = (0..n).map(|_| (1 + next() % nodes) as u32).collect();
+            let lanes = 1 + (trial % 6);
+            let batch = batch_from(&srcs);
+            let p = plan(&batch, lanes, SchedPolicy::Spread);
+            assert_no_doubling_while_idle(&p, &batch, lanes);
+        }
+        // The canonical contended shape: four ranks on node 1, one each
+        // on nodes 2 and 3, two lanes. Spread must interleave.
+        let batch = batch_from(&[1, 1, 1, 1, 2, 3]);
+        let p = plan(&batch, 2, SchedPolicy::Spread);
+        assert_no_doubling_while_idle(&p, &batch, 2);
+        for wave in &p.waves[..2] {
+            let load = wave_loads(&batch, wave);
+            assert!(
+                load.values().all(|&c| c == 1),
+                "first waves must not double the node-1 uplink: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spread_critical_path_strictly_below_fifo_when_contended() {
+        let topo = Topology::uniform(4, LinkSpec::gigabit_ethernet());
+        let batch = batch_from(&[1, 1, 1, 1, 2, 3]);
+        let bytes = vec![8 << 20; batch.len()];
+        let fifo = simulated_critical_path(&plan(&batch, 2, SchedPolicy::Fifo), &topo, &batch, &bytes);
+        let spread =
+            simulated_critical_path(&plan(&batch, 2, SchedPolicy::Spread), &topo, &batch, &bytes);
+        assert!(
+            spread < fifo,
+            "spread must beat fifo on a contended batch (spread={spread}, fifo={fifo})"
+        );
+        // Uncontended batch: both policies price identically.
+        let even = batch_from(&[1, 2, 3]);
+        let even_bytes = vec![8 << 20; 3];
+        let f = simulated_critical_path(&plan(&even, 3, SchedPolicy::Fifo), &topo, &even, &even_bytes);
+        let s =
+            simulated_critical_path(&plan(&even, 3, SchedPolicy::Spread), &topo, &even, &even_bytes);
+        assert_eq!(f, s);
+    }
+
+    #[test]
+    fn stats_render_parse_roundtrip() {
+        let mut bytes_per_link = BTreeMap::new();
+        bytes_per_link.insert((0, 1), 8192u64);
+        bytes_per_link.insert((0, 3), 4096u64);
+        let stats = GatherSchedStats {
+            policy: "spread".to_string(),
+            waves: 3,
+            peak_link_concurrency: 2,
+            wall: Duration::from_micros(81),
+            bytes: 12288,
+            bytes_per_link,
+        };
+        let back = GatherSchedStats::parse(&stats.render()).unwrap();
+        assert_eq!(back, stats);
+        assert!(stats.mib_per_sec() > 0.0);
+        assert!(GatherSchedStats::parse("policy=x nope").is_none());
+        assert!(GatherSchedStats::parse("").is_none());
+    }
+
+    #[test]
+    fn copy_all_scheduled_moves_every_tree() {
+        let base = std::env::temp_dir().join(format!("orte_sched_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let mut batch = Vec::new();
+        for i in 0..5usize {
+            let src = base.join(format!("src{i}"));
+            std::fs::create_dir_all(&src).unwrap();
+            std::fs::write(src.join("ctx"), vec![i as u8; 1000 + i]).unwrap();
+            batch.push(CopyRequest {
+                src,
+                src_node: NodeId(1 + (i as u32 % 2)),
+                dest: base.join(format!("dest{i}")),
+                dest_node: NodeId(0),
+            });
+        }
+        let topo = Topology::uniform(3, LinkSpec::gigabit_ethernet());
+        let params = McaParams::new();
+        let filem = crate::filem::RshSimFilem::from_params(&params);
+        let (report, stats) =
+            copy_all_scheduled(&filem, NetView::uncontended(&topo), &batch, 2, SchedPolicy::Spread)
+                .unwrap();
+        assert_eq!(report.files, 5);
+        assert_eq!(report.bytes, (0..5).map(|i| 1000 + i as u64).sum::<u64>());
+        assert_eq!(stats.bytes, report.bytes);
+        assert_eq!(stats.peak_link_concurrency, 1, "two lanes, two links: no doubling");
+        assert_eq!(
+            stats.bytes_per_link.values().sum::<u64>(),
+            report.bytes,
+            "every byte attributed to a link"
+        );
+        for i in 0..5usize {
+            assert!(base.join(format!("dest{i}")).join("ctx").exists());
+        }
+        // Sequential fallback shape: one lane → one wave per request,
+        // serialized and critical-path costs equal.
+        let (seq, seq_stats) =
+            copy_all_scheduled(&filem, NetView::uncontended(&topo), &batch, 1, SchedPolicy::Fifo)
+                .unwrap();
+        assert_eq!(seq_stats.waves, 5);
+        assert_eq!(seq.serialized_cost, seq.critical_path_cost);
+    }
+}

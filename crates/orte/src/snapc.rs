@@ -35,6 +35,7 @@ use cr_core::{CrError, JobId, Rank};
 use opal::container::OpalCtrl;
 
 use crate::filem::{copy_all_parallel, filem_framework, CopyRequest};
+use crate::sched::{copy_all_scheduled, SchedPolicy};
 use crate::job::JobHandle;
 use crate::oob::{recv_oob_timeout, send_oob, DaemonMsg, DaemonReply, RankCkpt};
 use crate::runtime::Runtime;
@@ -185,6 +186,9 @@ fn gather_commit_cleanup(
     let early_release = params
         .get_bool_or("snapc_early_release", false)
         .unwrap_or(false);
+    // Gathers to stable storage run through the contention-aware wave
+    // scheduler; `fifo` keeps the legacy index-order claiming for A12.
+    let policy = SchedPolicy::from_params(params);
 
     let batch: Vec<CopyRequest> = results
         .iter()
@@ -331,10 +335,16 @@ fn gather_commit_cleanup(
                 );
                 return;
             }
-            match copy_all_parallel(&*filem, drain_rt.netview(), &batch, workers) {
-                Ok(report) => {
+            match copy_all_scheduled(&*filem, drain_rt.netview(), &batch, workers, policy) {
+                Ok((report, sched)) => {
+                    drain_rt.tracer().record(
+                        "filem.sched.plan",
+                        &format!("interval {interval}: {}{tag}", sched.render()),
+                    );
                     let promoted = match cell.lock().as_mut() {
-                        Some(global) => global.promote_interval(interval),
+                        Some(global) => global
+                            .record_gather_stats(interval, &sched.render())
+                            .and_then(|()| global.promote_interval(interval)),
                         None => Err(CrError::protocol(
                             "global snapshot cell empty during promotion",
                         )),
@@ -384,8 +394,14 @@ fn gather_commit_cleanup(
     }
 
     // Classic path: blocking gather to stable storage (Figure 1-F) over
-    // the bounded worker pool, processes already resumed.
-    let report = copy_all_parallel(&*filem, runtime.netview(), &batch, workers)?;
+    // the bounded worker pool, processes already resumed. Waves are
+    // planned against the link-contention model so one node's uplink is
+    // never doubled up while another's sits idle.
+    let (report, sched) = copy_all_scheduled(&*filem, runtime.netview(), &batch, workers, policy)?;
+    tracer.record(
+        "filem.sched.plan",
+        &format!("interval {interval}: {}{tag}", sched.render()),
+    );
     tracer.record(
         "filem.gather",
         &format!(
@@ -396,6 +412,7 @@ fn gather_commit_cleanup(
     let commit = {
         let mut global = job.global_snapshot()?;
         global.record_ckpt_chain(interval, &chain_info)?;
+        global.record_gather_stats(interval, &sched.render())?;
         global.commit_interval(interval, &ranks_info)?;
         global.commit_state(interval)
     };

@@ -256,6 +256,13 @@ pub fn dedup_commit(
     let mut hits = 0u64;
     let mut sim_cost = SimTime::ZERO;
 
+    // Digest verification and blob writes run over the bounded OPAL hash
+    // pool; frame encoding reuses a small pool of scratch buffers instead
+    // of allocating per chunk.
+    let workers = opal::pool::hash_workers(params);
+    let pool = opal::BufferPool::new(opal::pool::buffer_pool_cap(params));
+    let mut verified_chunks = 0u64;
+
     for (node, ckpt) in results {
         let local = LocalSnapshot::open(&ckpt.dir)?;
         let rendered = local
@@ -273,7 +280,9 @@ pub fn dedup_commit(
         logical += manifest.total_bytes();
 
         let chunk_bytes = manifest.chunk_bytes as usize;
-        let mut fresh: Vec<(ChunkId, Vec<u8>)> = Vec::new();
+        // Collect every manifest occurrence with its backing slice, then
+        // verify all digests in one parallel pass over the hash pool.
+        let mut occs: Vec<(ChunkId, &[u8], &str, u32)> = Vec::new();
         for sec in &manifest.sections {
             let section = image.require_section(&sec.name)?;
             for rec in &sec.chunks {
@@ -294,24 +303,49 @@ pub fn dedup_commit(
                         section.len()
                     ),
                 })?;
-                let (actual, fresh_blob) = store.stable.insert(slice)?;
-                if actual != id {
-                    return Err(CrError::BadSnapshot {
-                        detail: format!(
-                            "rank {} section {} chunk {}: manifest says {id}, \
-                             bytes hash to {actual}",
-                            ckpt.rank, sec.name, rec.id
-                        ),
-                    });
-                }
-                if fresh_blob {
-                    moved += u64::from(rec.len);
-                    fresh.push((id, slice.to_vec()));
-                } else {
-                    hits += 1;
-                }
+                occs.push((id, slice, sec.name.as_str(), rec.id));
             }
         }
+        let slices: Vec<&[u8]> = occs.iter().map(|(_, s, _, _)| *s).collect();
+        let digests = opal::pool::digest_all_parallel(&slices, workers);
+        for ((id, slice, sec_name, rec_id), digest) in occs.iter().zip(&digests) {
+            let actual = ChunkId {
+                digest: *digest,
+                len: slice.len() as u32,
+            };
+            if actual != *id {
+                return Err(CrError::BadSnapshot {
+                    detail: format!(
+                        "rank {} section {} chunk {}: manifest says {id}, \
+                         bytes hash to {actual}",
+                        ckpt.rank, sec_name, rec_id
+                    ),
+                });
+            }
+        }
+        verified_chunks += occs.len() as u64;
+
+        // Write never-before-seen blobs in parallel with pooled frame
+        // buffers. Duplicate ids within the batch are collapsed first —
+        // the parallel inserter requires unique ids — which preserves the
+        // serial loop's accounting exactly: one fresh write per new id,
+        // every other occurrence a hit.
+        let mut unique: Vec<(ChunkId, &[u8])> = Vec::new();
+        let mut seen: std::collections::HashSet<ChunkId> = std::collections::HashSet::new();
+        for (id, slice, _, _) in &occs {
+            if seen.insert(*id) {
+                unique.push((*id, slice));
+            }
+        }
+        let fresh_flags = opal::pool::insert_all_parallel(&store.stable, &unique, workers, &pool)?;
+        let mut fresh: Vec<(ChunkId, Vec<u8>)> = Vec::new();
+        for ((id, slice), is_fresh) in unique.iter().zip(&fresh_flags) {
+            if *is_fresh {
+                moved += slice.len() as u64;
+                fresh.push((*id, slice.to_vec()));
+            }
+        }
+        hits += occs.len() as u64 - fresh.len() as u64;
 
         // Push this rank's fresh chunks into peer memory on its own node
         // plus its ring neighbors, so a dedup restart can come from
@@ -322,6 +356,16 @@ pub fn dedup_commit(
         sim_cost += cost;
         manifests.push((Rank(ckpt.rank), rendered));
     }
+
+    tracer.record(
+        "opal.hash.pool",
+        &format!(
+            "interval {interval}: {workers} workers verified {verified_chunks} chunks \
+             ({logical} B), {} pooled buffers ({} reuses){tag}",
+            pool.stats().pooled,
+            pool.stats().hits
+        ),
+    );
 
     if hits > 0 {
         tracer.record(

@@ -50,6 +50,7 @@ fn run() -> Result<(), String> {
         if !global.chunk_manifests(*interval).is_empty() {
             any_dedup = true;
             print_dedup_interval(&global, *interval)?;
+            print_gather_stats(&global, *interval);
             continue;
         }
         let size = global
@@ -70,6 +71,7 @@ fn run() -> Result<(), String> {
                 local.size_bytes().map_err(|e| e.to_string())?
             );
         }
+        print_gather_stats(&global, *interval);
     }
     if any_dedup {
         print_chunk_store(&global)?;
@@ -141,6 +143,33 @@ fn print_dedup_interval(global: &GlobalSnapshot, interval: u64) -> Result<(), St
         println!("    rank {}: {chunks} chunks, {bytes} bytes", rank.0);
     }
     Ok(())
+}
+
+/// How the interval's gather to stable storage was scheduled, when the
+/// commit went through the contention-aware wave scheduler: policy, wave
+/// shape, peak concurrent transfers on any one link, real wall-clock
+/// throughput, and the per-link byte split.
+fn print_gather_stats(global: &GlobalSnapshot, interval: u64) {
+    let Some(line) = global.gather_stats(interval) else {
+        return;
+    };
+    let Some(stats) = orte::sched::GatherSchedStats::parse(line) else {
+        println!("    gather schedule (unparsed): {line}");
+        return;
+    };
+    println!(
+        "    gather schedule: policy={}, {} waves, peak {} transfers/link, \
+         {} bytes in {} us ({:.1} MiB/s)",
+        stats.policy,
+        stats.waves,
+        stats.peak_link_concurrency,
+        stats.bytes,
+        stats.wall.as_micros(),
+        stats.mib_per_sec()
+    );
+    for ((a, b), bytes) in &stats.bytes_per_link {
+        println!("      link {a}-{b}: {bytes} bytes");
+    }
 }
 
 /// The stable chunk tier: totals plus a refcount histogram (references

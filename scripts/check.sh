@@ -37,6 +37,16 @@ CKPT_INCREMENTAL_SMOKE=1 CKPT_DEDUP_SMOKE=1 BENCH_CKPT_JSON="$PWD/BENCH_ckpt.jso
 CKPT_OVERLAP_SMOKE=1 BENCH_COMMIT_JSON="$PWD/BENCH_commit.json" \
   cargo bench -q -p bench --bench ckpt_overlap
 
+# Data-path smoke: the bench asserts the parallel manifest builder is
+# byte-identical to the sequential one, that pooled delta builds allocate
+# O(pool) buffers across many intervals (flat in chunks), and that the
+# spread gather plan's simulated critical path is strictly below fifo's
+# on a contended batch.  The >= 1.8x hash-speedup wall-clock gate binds
+# only on hosts with >= 4 cores (waived, but still measured, elsewhere).
+# Throughput per worker count lands in BENCH_datapath.json.
+CKPT_DATAPATH_SMOKE=1 BENCH_DATAPATH_JSON="$PWD/BENCH_datapath.json" \
+  cargo bench -q -p bench --bench ckpt_datapath
+
 # Journal smoke: the append-overhead ratchet (the bench asserts the
 # journaled record cost stays under 40 µs/event and 1 KiB/event, writing
 # BENCH_journal.json), then cr-replay over the real 4-rank early-release
@@ -51,10 +61,18 @@ run_journal="$journal_smoke_dir/run/journal/ft.jrnl"
 cargo run --release -q -p tools --bin cr-replay -- verify "$run_journal"
 cargo run --release -q -p tools --bin cr-replay -- replay --model commit "$run_journal"
 
-# Ratchet: the cr-lint baseline may shrink but never grow.
+# Ratchet: the cr-lint baseline may shrink but never grow.  The limits
+# live in lint.allow itself (the "# ratchet: files=NN sites=NN" header),
+# so tightening the baseline is a one-file change.
+ratchet_files=$(sed -n 's/^# ratchet: files=\([0-9]*\) sites=[0-9]*$/\1/p' lint.allow)
+ratchet_sites=$(sed -n 's/^# ratchet: files=[0-9]* sites=\([0-9]*\)$/\1/p' lint.allow)
+if [ -z "$ratchet_files" ] || [ -z "$ratchet_sites" ]; then
+  echo "lint.allow is missing its '# ratchet: files=NN sites=NN' header" >&2
+  exit 1
+fi
 baseline_lines=$(grep -cv '^#' lint.allow)
 baseline_sites=$(grep -v '^#' lint.allow | awk -F'\t' '{s+=$3} END {print s}')
-if [ "$baseline_lines" -gt 31 ] || [ "$baseline_sites" -gt 146 ]; then
-  echo "lint.allow grew (files=$baseline_lines > 31 or sites=$baseline_sites > 146)" >&2
+if [ "$baseline_lines" -gt "$ratchet_files" ] || [ "$baseline_sites" -gt "$ratchet_sites" ]; then
+  echo "lint.allow grew (files=$baseline_lines > $ratchet_files or sites=$baseline_sites > $ratchet_sites)" >&2
   exit 1
 fi
