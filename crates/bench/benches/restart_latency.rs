@@ -10,6 +10,13 @@
 //!
 //! `RESTART_LATENCY_SMOKE=1` (used by `scripts/check.sh`) runs one timed
 //! restart per source instead of the full criterion sampling.
+//!
+//! `RESTART_PARTIAL_SMOKE=1` instead compares the simulated recovery
+//! cost of a *partial* restart (1 failed rank: one image fetch plus one
+//! launcher session) against a *full* restart (every rank re-fetched and
+//! relaunched) at 4, 8, and 16 ranks, asserting partial is strictly
+//! cheaper from 8 ranks up, and splices the rows into `BENCH_ckpt.json`
+//! (`restart_partial` key) when `BENCH_CKPT_JSON` is set.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -119,9 +126,127 @@ fn disk_sim_cost(
     report.serialized_cost
 }
 
+/// Simulated launcher-session cost per restarted process (the
+/// `plm_rsh_sim_session_ms` default).
+const SESSION: SimTime = SimTime::from_millis(150);
+
+/// One `restart_partial` comparison row.
+struct PartialRow {
+    ranks: u32,
+    partial_sim: SimTime,
+    full_sim: SimTime,
+}
+
+/// Checkpoint an `n`-rank replica job and compare the simulated recovery
+/// cost of restoring one failed rank (one image fetch + one launcher
+/// session, the survivors stay live) against relaunching the whole job
+/// (every image fetched, every rank a session).
+fn partial_vs_full_once(base: &std::path::Path, n: u32) -> PartialRow {
+    let rt = Runtime::new(Topology::uniform(n, LinkSpec::gigabit_ethernet()), base)
+        .expect("runtime");
+    let params = Arc::new(McaParams::new());
+    params.set("filem", "replica");
+    params.set("filem_replica_factor", "1");
+    let job = mpirun(
+        &rt,
+        Arc::new(RingApp { rounds: 1_000_000 }),
+        RunConfig { nprocs: n, params },
+    )
+    .expect("launch");
+    std::thread::sleep(Duration::from_millis(30));
+    let outcome = job
+        .handle()
+        .checkpoint(&cr_core::request::CheckpointOptions::tool().and_terminate())
+        .expect("checkpoint");
+    job.wait().expect("wait");
+    rt.drain_writebehind();
+
+    let global = GlobalSnapshot::open(&outcome.global_snapshot).expect("open global");
+    let interval = global.latest_interval().expect("committed interval");
+
+    let mut fetch = Vec::with_capacity(n as usize);
+    for r in 0..n {
+        let rank = Rank(r);
+        let holders = global.replica_holders(interval, rank);
+        let (_, cost) = orte::replica::fetch_image(&rt, global.job(), interval, rank, &holders)
+            .expect("replica image");
+        fetch.push(cost);
+    }
+    let full_sim = fetch.iter().copied().sum::<SimTime>() + SESSION * n as u64;
+    // Rank n-1 fails: its image plus one launcher session on the spare.
+    let partial_sim = fetch[(n - 1) as usize] + SESSION;
+    rt.shutdown();
+    PartialRow { ranks: n, partial_sim, full_sim }
+}
+
+/// Splice the `restart_partial` rows into `BENCH_ckpt.json` (created by
+/// the `ckpt_incremental` smoke earlier in `scripts/check.sh`), or write
+/// a standalone document when the file does not exist yet.
+fn splice_partial_json(path: &str, rows: &[PartialRow]) {
+    let mut body = String::from("  \"restart_partial\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"ranks\": {}, \"failed\": 1, \"partial_sim_ns\": {}, \
+             \"full_sim_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            row.ranks,
+            row.partial_sim.as_nanos(),
+            row.full_sim.as_nanos(),
+            row.full_sim.as_nanos() as f64 / row.partial_sim.as_nanos().max(1) as f64,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]");
+    let json = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let without_close = trimmed
+                .strip_suffix('}')
+                .map(|s| s.trim_end().to_string())
+                .unwrap_or_else(|| trimmed.to_string());
+            format!("{without_close},\n{body}\n}}\n")
+        }
+        Err(_) => format!("{{\n{body}\n}}\n"),
+    };
+    std::fs::write(path, json).expect("write BENCH_ckpt.json");
+    println!("restart_latency: spliced restart_partial into {path}");
+}
+
+fn partial_smoke(base: &std::path::Path) {
+    let mut rows = Vec::new();
+    for n in [4u32, 8, 16] {
+        let row = partial_vs_full_once(&base.join(format!("pvf_{n}")), n);
+        println!(
+            "restart_partial: ranks={} partial={} full={} ({:.2}x)",
+            row.ranks,
+            row.partial_sim,
+            row.full_sim,
+            row.full_sim.as_nanos() as f64 / row.partial_sim.as_nanos().max(1) as f64
+        );
+        if n >= 8 {
+            assert!(
+                row.partial_sim < row.full_sim,
+                "partial restart of 1/{n} ranks must be strictly cheaper than a \
+                 full relaunch (partial={}, full={})",
+                row.partial_sim,
+                row.full_sim
+            );
+        }
+        rows.push(row);
+    }
+    if let Ok(path) = std::env::var("BENCH_CKPT_JSON") {
+        splice_partial_json(&path, &rows);
+    }
+}
+
 fn restart_latency(c: &mut Criterion) {
     let base = std::env::temp_dir().join(format!("bench_restart_latency_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
+
+    if std::env::var("RESTART_PARTIAL_SMOKE").is_ok() {
+        partial_smoke(&base);
+        return;
+    }
+
     let (rt, snapshot) = checkpointed(&base);
 
     let global = GlobalSnapshot::open(&snapshot).expect("open global");

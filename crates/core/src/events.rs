@@ -26,6 +26,22 @@ pub struct TraceEventDef {
 /// tests below enforce ordering and uniqueness.
 pub const KNOWN_TRACE_EVENTS: &[TraceEventDef] = &[
     TraceEventDef {
+        phase: "crcp.replay.begin",
+        help: "restarted rank announced its new endpoint and asked survivors to replay",
+    },
+    TraceEventDef {
+        phase: "crcp.replay.done",
+        help: "restarted rank collected every survivor's replay-done fence",
+    },
+    TraceEventDef {
+        phase: "crcp.replay.gc",
+        help: "sender-side message log garbage-collected at global commit",
+    },
+    TraceEventDef {
+        phase: "crcp.replay.resent",
+        help: "survivor replayed its logged backlog to a restarted rank",
+    },
+    TraceEventDef {
         phase: "filem.drain",
         help: "write-behind gather drained for one interval",
     },
@@ -162,6 +178,14 @@ pub const KNOWN_TRACE_EVENTS: &[TraceEventDef] = &[
         help: "out-of-band channel handled a fault-tolerance event",
     },
     TraceEventDef {
+        phase: "orte.spare.claim",
+        help: "partial restart claimed a node from the spare pool",
+    },
+    TraceEventDef {
+        phase: "orte.spare.register",
+        help: "node registered into the partial-restart spare pool",
+    },
+    TraceEventDef {
         phase: "plm.launch",
         help: "process lifecycle manager launched (or relaunched) a job",
     },
@@ -236,6 +260,14 @@ pub const KNOWN_TRACE_EVENTS: &[TraceEventDef] = &[
     TraceEventDef {
         phase: "supervisor.recover",
         help: "supervisor recovered a failed process from a snapshot",
+    },
+    TraceEventDef {
+        phase: "supervisor.partial_recover",
+        help: "supervisor restored only the failed ranks in place (partial restart)",
+    },
+    TraceEventDef {
+        phase: "supervisor.partial_refused",
+        help: "partial restart was refused; supervisor fell back to a full relaunch",
     },
 ];
 

@@ -523,6 +523,65 @@ impl GlobalSnapshot {
             .collect()
     }
 
+    /// Record the runtime's spare-node pool (`orte_spare_nodes`): the node
+    /// ids held out of placement for partial restart. Job-level, not
+    /// per-interval — the pool is fixed at launch. Snapshots taken with no
+    /// spares simply lack the key.
+    pub fn record_spare_pool(&mut self, nodes: &[u32]) -> Result<(), CrError> {
+        let list = nodes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.meta.set("global", "spare_nodes", list);
+        self.save_meta()
+    }
+
+    /// Spare-node pool recorded at checkpoint time, ascending. Empty when
+    /// the job ran without `orte_spare_nodes`.
+    pub fn spare_pool(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .meta
+            .get("global", "spare_nodes")
+            .map(|list| list.split(',').filter_map(|n| n.parse().ok()).collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Record each rank's partial-restart message-log footprint at
+    /// `interval` (entries retained by the `crcp_msg_log_enabled` sender
+    /// log, in bytes), read from the containers after the gather commits.
+    /// Ranks with an empty log are recorded too — the zero distinguishes
+    /// "log enabled, nothing pending" from "log disabled" (absent
+    /// section).
+    pub fn record_msg_log_bytes(
+        &mut self,
+        interval: u64,
+        per_rank: &[(Rank, u64)],
+    ) -> Result<(), CrError> {
+        let section = format!("msglog_{interval}");
+        for (rank, bytes) in per_rank {
+            self.meta
+                .set(&section, &format!("rank_{}", rank.0), bytes.to_string());
+        }
+        self.save_meta()
+    }
+
+    /// Per-rank message-log bytes recorded for `interval`, rank-ascending.
+    /// Empty when the interval was taken without the message log.
+    pub fn msg_log_bytes(&self, interval: u64) -> Vec<(Rank, u64)> {
+        let section = format!("msglog_{interval}");
+        (0..self.nprocs())
+            .filter_map(|r| {
+                self.meta
+                    .get(&section, &format!("rank_{r}"))
+                    .and_then(|s| s.parse().ok())
+                    .map(|b| (Rank(r), b))
+            })
+            .collect()
+    }
+
     /// Record the rendered gather-schedule stats line for `interval`
     /// (policy, wave count, peak link concurrency, wall clock, per-link
     /// bytes — see `orte::sched::GatherSchedStats::render`), so
@@ -649,6 +708,7 @@ impl GlobalSnapshot {
         self.meta.remove_section(&format!("replica_{interval}"));
         self.meta.remove_section(&format!("incr_{interval}"));
         self.meta.remove_section(&format!("gather_{interval}"));
+        self.meta.remove_section(&format!("msglog_{interval}"));
         // Dedup GC ordering: this persists the manifest removal *before*
         // the caller decrefs and sweeps the interval's chunks (see the
         // `gc` model) — a crash here leaks references, never dangles them.
@@ -994,6 +1054,26 @@ mod tests {
         assert_eq!(global.chunk_manifest(1, Rank(0)), None);
         let reopened = GlobalSnapshot::open(global.dir()).unwrap();
         assert!(reopened.chunk_manifests(1).is_empty());
+    }
+
+    #[test]
+    fn spare_pool_and_msg_log_roundtrip_and_retire() {
+        let mut global = committed_global("partialmeta", 2, 2);
+        global.record_spare_pool(&[4, 3]).unwrap();
+        global
+            .record_msg_log_bytes(1, &[(Rank(0), 1024), (Rank(1), 0)])
+            .unwrap();
+        let reopened = GlobalSnapshot::open(global.dir()).unwrap();
+        assert_eq!(reopened.spare_pool(), vec![3, 4]);
+        assert_eq!(reopened.msg_log_bytes(1), vec![(Rank(0), 1024), (Rank(1), 0)]);
+        // Pre-message-log intervals and pre-spare snapshots: empty.
+        assert!(reopened.msg_log_bytes(0).is_empty());
+        // The per-interval log record dies with its interval; the pool is
+        // job-level and survives.
+        let mut global = reopened;
+        global.retire_interval(1).unwrap();
+        assert!(global.msg_log_bytes(1).is_empty());
+        assert_eq!(global.spare_pool(), vec![3, 4]);
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         help: "interpose the C/R wrapper on the PML (paper's overhead baseline: false)",
     },
     ParamDef {
+        key: "crcp_msg_log_enabled",
+        default: Some("false"),
+        help: "sender-side message log between commits (required for partial restart replay)",
+    },
+    ParamDef {
+        key: "crcp_msg_log_cap_kb",
+        default: Some("256"),
+        help: "sender-side message log: per-rank payload cap in KiB (overflow disables partial restart)",
+    },
+    ParamDef {
         key: "opal_progress",
         default: Some("false"),
         help: "run the OPAL progress engine thread",
@@ -109,6 +119,12 @@ pub const KNOWN_PARAMS: &[ParamDef] = &[
         key: "opal_buffer_pool_cap",
         default: Some("8"),
         help: "maximum reusable chunk/frame buffers parked per data-path buffer pool",
+    },
+    // ORTE runtime tunables.
+    ParamDef {
+        key: "orte_spare_nodes",
+        default: Some("0"),
+        help: "hold the last N topology nodes out of placement as a partial-restart spare pool",
     },
     // PLM component tunables.
     ParamDef {

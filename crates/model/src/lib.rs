@@ -10,6 +10,7 @@
 //! | `quiesce` | `ompi::crcp` bookmark/quiesce barrier      | no cross-round frame in an earlier round's drain |
 //! | `replica` | `orte::replica` ring placement             | committed images stay fetchable under `k` losses |
 //! | `gc`      | `opal::store` refcount GC at retirement    | no live-manifest chunk is ever swept; refcounts match manifests |
+//! | `partial` | `ompi::crcp` partial-restart replay        | survivors never regress past global commit; every logged gap replayed exactly once |
 //!
 //! See DESIGN.md §2.4 "Model-checked protocols" for how the models map
 //! to code and how to add a new one.  The `cr-model` binary runs them
@@ -20,6 +21,7 @@
 pub mod checker;
 pub mod commit;
 pub mod gc;
+pub mod partial;
 pub mod quiesce;
 pub mod replay;
 pub mod replica;
@@ -28,14 +30,15 @@ pub use checker::{check, Bounds, CheckReport, Counterexample, Model, TraceStep};
 pub use replay::{conformance, ConformanceReport, PhaseRule, ReplayEvent};
 
 /// Names of the shipped models, in canonical run order.
-pub const MODEL_NAMES: &[&str] = &["commit", "quiesce", "replica", "gc"];
+pub const MODEL_NAMES: &[&str] = &["commit", "quiesce", "replica", "gc", "partial"];
 
 /// Run one shipped model by name (optionally a mutated variant) under
 /// `bounds`.  Returns `None` for an unknown model or mutation name.
 ///
 /// Mutations: `commit` accepts `promote_before_gather` and
 /// `allow_regress`; `quiesce` accepts `skip_barrier`; `replica` accepts
-/// `under_replicate`; `gc` accepts `sweep_before_decrement`.
+/// `under_replicate`; `gc` accepts `sweep_before_decrement`; `partial`
+/// accepts `skip_replay`.
 pub fn run_model(name: &str, mutation: Option<&str>, bounds: &Bounds) -> Option<CheckReport> {
     match (name, mutation) {
         ("commit", None) => Some(check(&commit::CommitModel::default(), bounds)),
@@ -59,6 +62,11 @@ pub fn run_model(name: &str, mutation: Option<&str>, bounds: &Bounds) -> Option<
         ("gc", None) => Some(check(&gc::GcModel::default(), bounds)),
         ("gc", Some("sweep_before_decrement")) => Some(check(
             &gc::GcModel { sweep_before_decrement: true },
+            bounds,
+        )),
+        ("partial", None) => Some(check(&partial::PartialModel::default(), bounds)),
+        ("partial", Some("skip_replay")) => Some(check(
+            &partial::PartialModel { skip_replay: true, ..Default::default() },
             bounds,
         )),
         _ => None,

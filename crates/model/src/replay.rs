@@ -30,7 +30,7 @@
 use std::collections::BTreeSet;
 
 use crate::checker::Model;
-use crate::{commit, gc, quiesce, replica};
+use crate::{commit, gc, partial, quiesce, replica};
 
 /// One journal event to replay: its seq (for violation reports) and
 /// phase string.  Built by `cr-replay` from `journal::JournalEntry`;
@@ -265,6 +265,24 @@ const GC_RULES: &[PhaseRule] = &[
 /// Internal actions of the gc model (no trace phase maps to them).
 const GC_INTERNAL: &[&str] = &["prepare", "retire", "decref"];
 
+/// Lenient sanity rules for the `partial` model.  The model is a
+/// two-rank abstraction while a real partial-restart journal interleaves
+/// every survivor's handshake, so the mapping is advisory: each phase
+/// *may* be the corresponding model action.  `crcp.replay.resent`
+/// records a whole backlog per survivor, hence `replay_one` is also an
+/// internal action (one event can explain several replayed frames).
+const PARTIAL_RULES: &[PhaseRule] = &[
+    PhaseRule { phase: "snapc.global.global_commit", actions: &["checkpoint"], strict: false },
+    PhaseRule { phase: "orte.daemon.kill", actions: &["kill"], strict: false },
+    PhaseRule { phase: "orte.spare.claim", actions: &["restore"], strict: false },
+    PhaseRule { phase: "crcp.replay.begin", actions: &["restore"], strict: false },
+    PhaseRule { phase: "crcp.replay.resent", actions: &["replay_one"], strict: false },
+    PhaseRule { phase: "crcp.replay.done", actions: &["replay_done"], strict: false },
+];
+
+/// Internal (trace-silent) actions of the partial model.
+const PARTIAL_INTERNAL: &[&str] = &["send", "deliver", "replay_one"];
+
 /// Replay `events` against the named shipped model.  Returns `None` for
 /// an unknown model name.  The commit model's interval bound is sized to
 /// the number of `snapc.global.initiate` events observed (capped at 8 to
@@ -295,6 +313,12 @@ pub fn conformance(model: &str, events: &[ReplayEvent]) -> Option<ConformanceRep
             events,
         )),
         "gc" => Some(conform(&gc::GcModel::default(), GC_RULES, GC_INTERNAL, events)),
+        "partial" => Some(conform(
+            &partial::PartialModel::default(),
+            PARTIAL_RULES,
+            PARTIAL_INTERNAL,
+            events,
+        )),
         _ => None,
     }
 }
@@ -417,6 +441,27 @@ mod tests {
             let report = conformance(model, &noisy).expect("model known");
             assert!(report.ok(), "{model}: {}", report.render());
         }
+    }
+
+    #[test]
+    fn partial_restart_journal_conforms() {
+        // The phase stream a one-kill partial-restart run records:
+        // commit, node loss, spare claim, replay handshake, next commit.
+        let report = conformance(
+            "partial",
+            &events(&[
+                "snapc.global.global_commit",
+                "orte.daemon.kill",
+                "orte.spare.claim",
+                "crcp.replay.begin",
+                "crcp.replay.resent",
+                "crcp.replay.done",
+                "snapc.global.global_commit",
+            ]),
+        )
+        .expect("partial model known");
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.matched >= 5, "{}", report.render());
     }
 
     #[test]

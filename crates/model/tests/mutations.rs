@@ -7,6 +7,7 @@
 use model::checker::{check, Bounds};
 use model::commit::CommitModel;
 use model::gc::GcModel;
+use model::partial::PartialModel;
 use model::quiesce::QuiesceModel;
 use model::replica::ReplicaModel;
 
@@ -127,6 +128,32 @@ fn with_decrement_first_the_gc_is_safe() {
     // reachable state, so "node death between decrement and sweep" is
     // covered — a crash can leak a blob, never dangle one.
     let report = check(&GcModel::default(), &Bounds::exhaustive());
+    assert!(report.ok() && report.exhaustive());
+}
+
+#[test]
+fn skipping_replay_leaves_a_message_gap() {
+    // Weakened fence: `replay_done` no longer waits for the logged
+    // backlog to drain.  Minimal failure: commit a checkpoint, send one
+    // frame (it dies with the peer's endpoint), kill, restore from the
+    // commit point, and fence immediately — the rejoined rank is live
+    // with frame 1 neither delivered nor replayed.
+    let m = PartialModel { skip_replay: true, ..Default::default() };
+    let report = check(&m, &Bounds::exhaustive());
+    let cx = report.violation.expect("fence-first partial model must fail");
+    assert_eq!(
+        cx.actions(),
+        vec!["checkpoint(0)", "send(1)", "kill", "restore(0)", "replay_done"]
+    );
+    assert!(cx.invariant.contains("message gap"), "{}", cx.invariant);
+}
+
+#[test]
+fn with_the_replay_guard_partial_restart_is_green() {
+    // The production order (repoint, replay backlog, then fence) is
+    // exhaustively green, including a second kill after a completed
+    // recovery — survivors never regress and no gap survives the fence.
+    let report = check(&PartialModel::default(), &Bounds::exhaustive());
     assert!(report.ok() && report.exhaustive());
 }
 

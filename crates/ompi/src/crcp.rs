@@ -26,11 +26,12 @@
 //!   interposition machinery runs but does nothing: the configuration the
 //!   paper benchmarks against the infrastructure-disabled build (§7).
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use mca::Framework;
+use mca::{Framework, McaParams};
 
 use cr_core::{CrError, FtEvent, FtEventState, Tracer};
 
@@ -79,6 +80,16 @@ pub trait CrcpComponent: Send + Sync {
     /// React to the post-checkpoint state (continue in place, restarted
     /// image, or failed checkpoint).
     fn resume(&self, pml: &PmlShared, state: FtEventState) -> Result<(), CrError>;
+
+    /// Wire up the job's global-commit watermark (highest globally
+    /// committed interval + 1; 0 = nothing committed yet). Components
+    /// that garbage-collect replay state must key the GC off this rather
+    /// than off `Continue`: the INC chain delivers `Continue` at *local*
+    /// commit, and a checkpoint that quiesces but never reaches global
+    /// commit (a rank dies mid-interval) must leave survivor logs intact
+    /// or a later partial restart replays with a sequence gap. No-op for
+    /// components without replay state.
+    fn set_commit_watermark(&self, _watermark: Arc<AtomicU64>) {}
 }
 
 /// Which CRCP control message a collection phase expects.
@@ -157,18 +168,128 @@ fn collect_counts(pml: &PmlShared, kind: CollectKind) -> Result<HashMap<u32, u64
 /// Coordinated bookmark-exchange protocol.
 pub struct CoordCrcp {
     tracer: Tracer,
+    /// Retain sent payloads for partial-restart replay
+    /// (`crcp_msg_log_enabled`).
+    msg_log: bool,
+    /// Message-log cap in bytes (`crcp_msg_log_cap_kb`); sends past the
+    /// cap are not logged and mark the log overflowed.
+    msg_log_cap: u64,
+    /// The job's global-commit watermark, when running under a real
+    /// SNAPC (set once at bring-up). Absent in standalone use, where the
+    /// caller's `Continue` is taken as the commit signal.
+    commit_watermark: OnceLock<Arc<AtomicU64>>,
 }
 
 impl CoordCrcp {
-    /// Build with a tracer for phase events.
+    /// Build with a tracer for phase events (message log disabled).
     pub fn new(tracer: Tracer) -> Self {
-        CoordCrcp { tracer }
+        CoordCrcp {
+            tracer,
+            msg_log: false,
+            msg_log_cap: 0,
+            commit_watermark: OnceLock::new(),
+        }
+    }
+
+    /// Build from MCA parameters (`crcp_msg_log_enabled`,
+    /// `crcp_msg_log_cap_kb`).
+    pub fn from_params(tracer: Tracer, params: &McaParams) -> Self {
+        let msg_log = params.get_bool_or("crcp_msg_log_enabled", false).unwrap_or(false);
+        let cap_kb = params.get_parsed_or("crcp_msg_log_cap_kb", 256u64).unwrap_or(256);
+        CoordCrcp {
+            tracer,
+            msg_log,
+            msg_log_cap: cap_kb.saturating_mul(1024),
+            commit_watermark: OnceLock::new(),
+        }
+    }
+
+    /// Drop message-log entries below `mark` and record the GC.
+    fn gc_to(&self, st: &mut PmlState, me: u32, mark: u64) {
+        let mark = (mark as usize).min(st.msg_log.len());
+        if mark == 0 {
+            return;
+        }
+        let freed: u64 = st
+            .msg_log
+            .iter()
+            .take(mark)
+            .map(|l| l.payload.len() as u64)
+            .sum();
+        st.msg_log.drain(..mark);
+        st.msg_log_bytes = st.msg_log_bytes.saturating_sub(freed);
+        for m in &mut st.msg_log_marks {
+            m.mark = m.mark.saturating_sub(mark as u64);
+        }
+        self.tracer.record(
+            "crcp.replay.gc",
+            &format!("rank {me}: dropped {mark} logged sends ({freed} B) at global commit"),
+        );
+    }
+
+    /// Drop every quiesce mark whose interval the job has published as
+    /// globally committed, draining the log to the highest such mark.
+    /// Marks of checkpoints that failed before commit linger harmlessly
+    /// until a later interval commits past them (their marks are bounded
+    /// by the later one's). No-op without a watermark.
+    fn gc_committed(&self, st: &mut PmlState, me: u32) {
+        let Some(watermark) = self.commit_watermark.get() else {
+            return;
+        };
+        if st.msg_log_marks.is_empty() {
+            return;
+        }
+        let committed = watermark.load(Ordering::SeqCst);
+        let mut drain_to = 0u64;
+        st.msg_log_marks.retain(|m| {
+            if m.interval < committed {
+                drain_to = drain_to.max(m.mark);
+                false
+            } else {
+                true
+            }
+        });
+        if drain_to > 0 {
+            self.gc_to(st, me, drain_to);
+        }
     }
 }
 
 impl CrcpComponent for CoordCrcp {
     fn name(&self) -> &'static str {
         "coord"
+    }
+
+    fn on_send(
+        &self,
+        st: &mut PmlState,
+        me: u32,
+        dst: u32,
+        ctx: u32,
+        tag: u32,
+        seq: u64,
+        payload: &[u8],
+    ) {
+        // The partial-restart tax: retain the payload so a survivor can
+        // replay it to a restarted peer. Dropped below the quiesce mark
+        // once the marked interval reaches global commit.
+        if !self.msg_log {
+            return;
+        }
+        self.gc_committed(st, me);
+        let add = payload.len() as u64;
+        if st.msg_log_bytes.saturating_add(add) > self.msg_log_cap {
+            st.msg_log_overflow = true;
+            return;
+        }
+        st.msg_log.push(crate::pml::LoggedSend {
+            dst,
+            ctx,
+            tag,
+            seq,
+            payload: payload.to_vec(),
+        });
+        st.msg_log_bytes += add;
     }
 
     fn coordinate(&self, pml: &PmlShared) -> Result<(), CrError> {
@@ -236,14 +357,140 @@ impl CrcpComponent for CoordCrcp {
         collect_counts(pml, CollectKind::Quiesced)?;
         self.tracer
             .record("ompi.crcp.quiesced", &format!("rank {me}"));
+        // Mark the log at the quiesce point: everything below the mark
+        // belongs to the interval being captured and becomes garbage once
+        // that interval reaches global commit. The INC handle stashes
+        // SNAPC's interval number before the chain runs; standalone
+        // callers (no SNAPC) have none, and their single anonymous mark
+        // commits on the caller's `Continue`.
+        if self.msg_log {
+            pml.with_state(|st| {
+                self.gc_committed(st, me);
+                let len = st.msg_log.len() as u64;
+                match st.ckpt_interval {
+                    Some(interval) => {
+                        st.msg_log_marks.retain(|m| m.interval != interval);
+                        st.msg_log_marks.push(crate::pml::MsgLogMark { interval, mark: len });
+                    }
+                    None => {
+                        st.msg_log_marks.clear();
+                        st.msg_log_marks.push(crate::pml::MsgLogMark {
+                            interval: u64::MAX,
+                            mark: len,
+                        });
+                    }
+                }
+            });
+        }
         Ok(())
     }
 
     fn resume(&self, pml: &PmlShared, state: FtEventState) -> Result<(), CrError> {
+        let me = pml.me();
         self.tracer
-            .record("ompi.crcp.resume", &format!("rank {} {state}", pml.me()));
+            .record("ompi.crcp.resume", &format!("rank {me} {state}"));
+        // The INC chain delivers `Continue` at *local* commit — global
+        // commit lands later (and, for a checkpoint whose rank dies
+        // mid-interval, never). With a watermark wired up the GC keys off
+        // that instead; draining here would strand a later partial
+        // restart (restored from the last *committed* interval) without
+        // the frames its survivors must replay. Standalone components
+        // keep the caller-driven contract: `Continue` commits the mark.
+        if self.msg_log && state == FtEventState::Continue {
+            pml.with_state(|st| {
+                if self.commit_watermark.get().is_some() {
+                    self.gc_committed(st, me);
+                } else {
+                    let drain_to = st.msg_log_marks.iter().map(|m| m.mark).max().unwrap_or(0);
+                    st.msg_log_marks.clear();
+                    self.gc_to(st, me, drain_to);
+                }
+            });
+        }
         Ok(())
     }
+
+    fn set_commit_watermark(&self, watermark: Arc<AtomicU64>) {
+        let _ = self.commit_watermark.set(watermark);
+    }
+}
+
+/// Partial-restart rejoin handshake, run by a restarted rank after its
+/// image is restored and before the application step re-enters: announce
+/// this rank's replacement endpoint to every survivor, then block until
+/// each has replayed its logged backlog and fenced it with `ReplayDone`.
+/// FIFO channel order guarantees the fence arrives after every replayed
+/// frame, so once all fences are in the channel is caught up.
+pub fn rejoin_replay(
+    pml: &PmlShared,
+    rejoining: &BTreeSet<u32>,
+    tracer: &Tracer,
+) -> Result<(), CrError> {
+    let me = pml.me();
+    let n = pml.nprocs();
+    let survivors: Vec<u32> = (0..n)
+        .filter(|q| *q != me && !rejoining.contains(q))
+        .collect();
+    tracer.record(
+        "crcp.replay.begin",
+        &format!(
+            "rank {me}: announcing endpoint {} to {} survivors",
+            pml.endpoint_id(),
+            survivors.len()
+        ),
+    );
+    for q in &survivors {
+        pml.send_crcp(
+            *q,
+            &CrcpMsg::ReplayBegin {
+                from: me,
+                endpoint: pml.endpoint_id().0,
+            },
+        )
+        .map_err(|e| CrError::protocol(e.to_string()))?;
+    }
+    let mut fenced: BTreeSet<u32> = BTreeSet::new();
+    let mut deferred: Vec<CrcpMsg> = Vec::new();
+    let deadline = Instant::now() + COORD_TIMEOUT;
+    while fenced.len() < survivors.len() {
+        pml.with_state(|st| {
+            while let Some(msg) = st.crcp_inbox.pop_front() {
+                match msg {
+                    CrcpMsg::ReplayDone { from } => {
+                        fenced.insert(from);
+                    }
+                    other => deferred.push(other),
+                }
+            }
+        });
+        if fenced.len() == survivors.len() {
+            break;
+        }
+        if Instant::now() > deadline {
+            let missing: Vec<u32> = survivors
+                .iter()
+                .copied()
+                .filter(|q| !fenced.contains(q))
+                .collect();
+            return Err(CrError::PeerLost {
+                detail: format!("no ReplayDone fence from survivors {missing:?}"),
+            });
+        }
+        pml.poll_wire_once(Duration::from_millis(1))
+            .map_err(|e| CrError::protocol(e.to_string()))?;
+    }
+    if !deferred.is_empty() {
+        pml.with_state(|st| {
+            for msg in deferred.drain(..).rev() {
+                st.crcp_inbox.push_front(msg);
+            }
+        });
+    }
+    tracer.record(
+        "crcp.replay.done",
+        &format!("rank {me}: {} survivor channels fenced", survivors.len()),
+    );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -378,8 +625,8 @@ impl CrcpComponent for NoneCrcp {
 pub fn crcp_framework(tracer: Tracer) -> Framework<dyn CrcpComponent> {
     let mut fw: Framework<dyn CrcpComponent> = Framework::new("crcp");
     let t = tracer.clone();
-    fw.register("coord", 20, "coordinated bookmark-exchange protocol", move |_| {
-        Box::new(CoordCrcp::new(t.clone()))
+    fw.register("coord", 20, "coordinated bookmark-exchange protocol", move |p| {
+        Box::new(CoordCrcp::from_params(t.clone(), p))
     });
     let t = tracer.clone();
     fw.register(
@@ -399,12 +646,27 @@ pub fn crcp_framework(tracer: Tracer) -> Framework<dyn CrcpComponent> {
 /// (paper §5.3).
 pub struct CrcpFtHandle {
     pml: Arc<PmlShared>,
+    /// The process control plane, queried for the in-flight request's
+    /// interval so quiesce marks carry SNAPC's numbering. Absent in
+    /// standalone use (tests driving the component directly).
+    container: Option<Arc<opal::ProcessContainer>>,
 }
 
 impl CrcpFtHandle {
     /// Wrap a PML for INC registration.
     pub fn new(pml: Arc<PmlShared>) -> Self {
-        CrcpFtHandle { pml }
+        CrcpFtHandle { pml, container: None }
+    }
+
+    /// Wrap a PML whose checkpoints run under a process container: the
+    /// handle tags each coordination round with the container's pending
+    /// interval, which the message-log GC needs to match quiesce marks
+    /// against the job's global-commit watermark.
+    pub fn with_container(pml: Arc<PmlShared>, container: Arc<opal::ProcessContainer>) -> Self {
+        CrcpFtHandle {
+            pml,
+            container: Some(container),
+        }
     }
 }
 
@@ -414,7 +676,11 @@ impl FtEvent for CrcpFtHandle {
             return Ok(()); // infrastructure disabled
         };
         match state {
-            FtEventState::Checkpoint => component.coordinate(&self.pml),
+            FtEventState::Checkpoint => {
+                let interval = self.container.as_ref().and_then(|c| c.pending_interval());
+                self.pml.with_state(|st| st.ckpt_interval = interval);
+                component.coordinate(&self.pml)
+            }
             FtEventState::Continue | FtEventState::Restart | FtEventState::Error => {
                 component.resume(&self.pml, state)
             }
@@ -508,5 +774,113 @@ mod tests {
             assert_eq!(st.recv_counts[0], 1);
             assert_eq!(st.unmatched.len(), 1);
         });
+    }
+
+    fn msg_log_coord(cap_kb: u64) -> Arc<CoordCrcp> {
+        let params = McaParams::new();
+        params.set("crcp_msg_log_enabled", "true");
+        params.set("crcp_msg_log_cap_kb", &cap_kb.to_string());
+        Arc::new(CoordCrcp::from_params(Tracer::new(), &params))
+    }
+
+    /// The partial-restart message log retains payloads up to the cap and
+    /// flags overflow beyond it instead of evicting entries.
+    #[test]
+    fn msg_log_respects_cap_and_flags_overflow() {
+        let (pml0, _pml1) = pair();
+        pml0.set_crcp(Some(msg_log_coord(1)));
+        pml0.send(0, 1, 7, &[0u8; 600]).unwrap();
+        pml0.send(0, 1, 7, &[0u8; 600]).unwrap(); // would exceed 1 KB
+        let (entries, bytes, overflow) = pml0.msg_log_stats();
+        assert_eq!(entries, 1, "second send must not be logged past the cap");
+        assert_eq!(bytes, 600);
+        assert!(overflow, "cap hit must be flagged");
+    }
+
+    /// Coordination marks the log at the quiesce point and `Continue`
+    /// (delivered at global commit) garbage-collects below the mark.
+    #[test]
+    fn msg_log_gc_at_global_commit() {
+        let (pml0, pml1) = pair();
+        let crcp0 = msg_log_coord(256);
+        pml0.set_crcp(Some(Arc::clone(&crcp0) as Arc<dyn CrcpComponent>));
+        pml0.send(0, 1, 7, b"logged before quiesce").unwrap();
+        let t0 = {
+            let (pml0, crcp0) = (Arc::clone(&pml0), Arc::clone(&crcp0));
+            std::thread::spawn(move || crcp0.coordinate(&pml0))
+        };
+        let t1 = {
+            let pml1 = Arc::clone(&pml1);
+            std::thread::spawn(move || CoordCrcp::new(Tracer::new()).coordinate(&pml1))
+        };
+        t0.join().unwrap().unwrap();
+        t1.join().unwrap().unwrap();
+        let (entries, _, _) = pml0.msg_log_stats();
+        assert_eq!(entries, 1, "log survives until global commit");
+        crcp0.resume(&pml0, FtEventState::Continue).unwrap();
+        let (entries, bytes, _) = pml0.msg_log_stats();
+        assert_eq!(entries, 0, "global commit drops the committed interval's log");
+        assert_eq!(bytes, 0);
+    }
+
+    /// Full rejoin handshake: a restarted rank 1 (fresh endpoint, counters
+    /// rolled back to zero) announces itself; the survivor re-points its
+    /// peer table, replays its logged backlog, and fences it — after which
+    /// fresh traffic flows over the replacement endpoint.
+    #[test]
+    fn rejoin_replay_repoints_replays_and_fences() {
+        let fabric = netsim::Fabric::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()));
+        let ep0 = fabric.register(NodeId(0));
+        let ep1 = fabric.register(NodeId(1));
+        let peers = vec![ep0.id(), ep1.id()];
+        let pml0 = PmlShared::new(
+            0,
+            2,
+            ep0,
+            peers.clone(),
+            Arc::new(SafePointGate::new()),
+            Tracer::new(),
+        );
+        pml0.set_crcp(Some(msg_log_coord(256)));
+        // Two messages leave rank 0 for rank 1 and die with its first
+        // incarnation (never polled off the old endpoint).
+        pml0.send(0, 1, 7, b"lost one").unwrap();
+        pml0.send(0, 1, 7, b"lost two").unwrap();
+        // Rank 1 restarts on a fresh endpoint with restored (zero) counts.
+        let ep1b = fabric.register(NodeId(1));
+        let ep1b_id = ep1b.id();
+        let pml1b = PmlShared::new(
+            1,
+            2,
+            ep1b,
+            vec![peers[0], ep1b_id],
+            Arc::new(SafePointGate::new()),
+            Tracer::new(),
+        );
+        let rejoiner = {
+            let pml1b = Arc::clone(&pml1b);
+            std::thread::spawn(move || {
+                let rejoining: BTreeSet<u32> = [1u32].into_iter().collect();
+                rejoin_replay(&pml1b, &rejoining, &Tracer::new())
+            })
+        };
+        // The survivor notices the announcement while pumping its wire.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !rejoiner.is_finished() {
+            assert!(Instant::now() < deadline, "handshake did not converge");
+            pml0.poll_wire_once(Duration::from_millis(1)).unwrap();
+        }
+        rejoiner.join().unwrap().unwrap();
+        pml1b.with_state(|st| {
+            assert_eq!(st.recv_counts[0], 2, "backlog replayed exactly once");
+            assert_eq!(st.unmatched.len(), 2);
+            assert!(st.crcp_inbox.is_empty(), "fence consumed");
+        });
+        // The rolled-back receiver re-consumes the backlog in order, then
+        // fresh traffic rides the replacement endpoint.
+        pml0.send(0, 1, 7, b"fresh").unwrap();
+        assert_eq!(pml1b.recv(0, Some(0), Some(7)).unwrap().payload, b"lost one");
+        assert_eq!(pml1b.recv(0, Some(0), Some(7)).unwrap().payload, b"lost two");
+        assert_eq!(pml1b.recv(0, Some(0), Some(7)).unwrap().payload, b"fresh");
     }
 }

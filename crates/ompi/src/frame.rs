@@ -97,6 +97,25 @@ pub enum CrcpMsg {
         /// Sender's world rank.
         from: u32,
     },
+    /// Partial-restart replay handshake, restarted rank -> survivor:
+    /// "I was restored from the last committed interval onto a new
+    /// endpoint; re-point your channel at `endpoint` and replay every
+    /// logged message you sent me since that interval's quiesce". The
+    /// survivor pauses only for the replay, not for a job-wide rollback.
+    ReplayBegin {
+        /// The restarted rank.
+        from: u32,
+        /// Its new fabric endpoint id (the old one died with the node).
+        endpoint: u64,
+    },
+    /// Partial-restart replay handshake, survivor -> restarted rank:
+    /// "my logged backlog for you has been resent; everything I send
+    /// after this is new traffic". Per-channel FIFO ordering makes this
+    /// the fence between replayed and fresh messages.
+    ReplayDone {
+        /// The surviving rank that finished replaying.
+        from: u32,
+    },
 }
 
 /// Encode a CRCP control message.
@@ -148,6 +167,11 @@ mod tests {
             CrcpMsg::Bookmark { from: 1, sent: 99 },
             CrcpMsg::Have { from: 2, have: 0 },
             CrcpMsg::Quiesced { from: 3 },
+            CrcpMsg::ReplayBegin {
+                from: 4,
+                endpoint: 77,
+            },
+            CrcpMsg::ReplayDone { from: 5 },
         ] {
             let wire = encode_crcp(&msg).unwrap();
             assert_eq!(decode_crcp(&wire).unwrap(), msg);

@@ -74,6 +74,10 @@ pub struct MpiJob<S> {
     handle: Arc<JobHandle>,
     results: Arc<Mutex<Vec<RankResult<S>>>>,
     sync_thread: Mutex<Option<JoinHandle<()>>>,
+    // Tells the sync-checkpoint service to exit.  The job handle retains
+    // the entry closure for respawns, and that closure holds a sender
+    // clone — so the service cannot rely on channel disconnection alone.
+    sync_stop: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl<S: Send + 'static> MpiJob<S> {
@@ -109,9 +113,279 @@ impl<S: Send + 'static> MpiJob<S> {
         self.results.lock().iter().all(|slot| slot.is_some())
     }
 
+    /// Partial restart: restore only `opts.ranks` onto spare nodes while
+    /// every other rank stays live — O(failed) work instead of O(job).
+    ///
+    /// The failed ranks' images are fetched replica-first from the global
+    /// snapshot at `global_ref` (stable-storage fallback per image), one
+    /// spare node is claimed per distinct failed node, the dead nodes are
+    /// fenced, and each rank re-enters through the normal restart path
+    /// with a `rejoin` set; survivors then replay the logged in-flight
+    /// traffic through the `ReplayBegin`/`ReplayDone` handshake.
+    ///
+    /// Refuses (leaving the job untouched, so the caller can fall back to
+    /// a full restart) when the sender-side message log is disabled, when
+    /// no spare node is available, or when `source` is replica-only and
+    /// an image has no surviving holder.
+    pub fn restart_ranks(
+        &self,
+        global_ref: &Path,
+        opts: &RestartOptions,
+    ) -> Result<PartialRestartOutcome, CrError> {
+        let handle = &self.handle;
+        let runtime = handle.runtime();
+        let nprocs = handle.nprocs();
+        let mut ranks = match &opts.ranks {
+            Some(r) if !r.is_empty() => r.clone(),
+            _ => {
+                return Err(CrError::protocol(
+                    "partial restart needs a non-empty rank set (RestartOptions::with_ranks)",
+                ))
+            }
+        };
+        ranks.sort_unstable();
+        ranks.dedup();
+        if let Some(&bad) = ranks.iter().find(|&&r| r >= nprocs) {
+            return Err(CrError::protocol(format!(
+                "partial restart of rank {bad} in a {nprocs}-rank job"
+            )));
+        }
+        let msg_log = handle
+            .params()
+            .get_bool_or("crcp_msg_log_enabled", false)
+            .unwrap_or(false);
+        if !msg_log {
+            return Err(CrError::Unsupported {
+                detail: "partial restart requires the sender-side message log \
+                         (crcp_msg_log_enabled=true): without it survivors cannot \
+                         replay the in-flight traffic the restarted ranks missed"
+                    .into(),
+            });
+        }
+        if opts.source != RestartSource::Replica {
+            runtime.drain_writebehind();
+        }
+        let global = GlobalSnapshot::open(global_ref)?;
+        let interval = match opts.interval {
+            Some(i) => i,
+            None => global.latest_interval().ok_or(CrError::BadSnapshot {
+                detail: "global snapshot has no committed intervals".into(),
+            })?,
+        };
+        if !global.intervals().contains(&interval) {
+            return Err(CrError::BadSnapshot {
+                detail: format!("interval {interval} was never committed"),
+            });
+        }
+
+        // The failed nodes, in rank order. A node can only be fenced
+        // whole: every rank placed on it must be in the restart set.
+        let placement = handle.placement();
+        let rank_set: std::collections::BTreeSet<u32> = ranks.iter().copied().collect();
+        let mut old_nodes: Vec<netsim::NodeId> = Vec::new();
+        for &r in &ranks {
+            let Some(&node) = placement.node_of.get(r as usize) else {
+                return Err(CrError::protocol(format!("rank {r} has no placement entry")));
+            };
+            if !old_nodes.contains(&node) {
+                old_nodes.push(node);
+            }
+        }
+        for &node in &old_nodes {
+            for (pr, &pn) in placement.node_of.iter().enumerate() {
+                if pn == node && !rank_set.contains(&(pr as u32)) {
+                    return Err(CrError::protocol(format!(
+                        "partial restart of ranks {ranks:?} must also include rank \
+                         {pr}: it shares failed node {node}, which is fenced whole"
+                    )));
+                }
+            }
+        }
+
+        // One spare per distinct failed node; refusal here precedes any
+        // mutation of the live job.
+        let mut spare_of: std::collections::HashMap<u32, netsim::NodeId> =
+            std::collections::HashMap::new();
+        let mut spares: Vec<netsim::NodeId> = Vec::new();
+        for &node in &old_nodes {
+            let spare = runtime.claim_spare().ok_or_else(|| CrError::Unsupported {
+                detail: format!(
+                    "no spare node available to rehost the ranks of failed node \
+                     {node} (grow orte_spare_nodes or fall back to a full restart)"
+                ),
+            })?;
+            spare_of.insert(node.0, spare);
+            spares.push(spare);
+        }
+
+        let job = handle.job();
+        let launch_params = global.launch_params();
+        let params = Arc::new(McaParams::from_dump(
+            launch_params.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+        ));
+        let mut sim_cost = netsim::SimTime::ZERO;
+        let mut replica_images = 0u32;
+        let mut images: Vec<(u32, opal::ProcessImage)> = Vec::with_capacity(ranks.len());
+
+        if !global.chunk_manifests(interval).is_empty() {
+            // Dedup interval: assemble each failed rank's image straight
+            // from its chunk manifest.
+            let source = match opts.source {
+                RestartSource::Auto => orte::store::ChunkSource::Auto,
+                RestartSource::Replica => orte::store::ChunkSource::ReplicaOnly,
+                RestartSource::Stable => orte::store::ChunkSource::StableOnly,
+            };
+            let store = orte::store::SnapshotStore::open(runtime, job, global.dir())?;
+            for &r in &ranks {
+                let rank = cr_core::Rank(r);
+                let rendered =
+                    global
+                        .chunk_manifest(interval, rank)
+                        .ok_or_else(|| CrError::BadSnapshot {
+                            detail: format!(
+                                "dedup interval {interval} has no chunk manifest for rank {r}"
+                            ),
+                        })?;
+                let manifest = codec::ChunkManifest::parse(rendered).map_err(CrError::Codec)?;
+                let (image, stats) = store.fetch_image(&manifest, source, opts.verify)?;
+                sim_cost += stats.sim_cost;
+                if stats.replica_chunks > 0 {
+                    replica_images += 1;
+                }
+                images.push((r, image));
+            }
+        } else {
+            // Chain interval: replica-first with per-image stable
+            // fallback, walking only the failed ranks' chains.
+            let crs_fw = crs_framework(SelfCallbacks::new());
+            let filem = orte::filem::filem_framework()
+                .select(&params)
+                .map_err(|e| CrError::Unsupported {
+                    detail: e.to_string(),
+                })?;
+            for &r in &ranks {
+                let rank = cr_core::Rank(r);
+                let spare = placement
+                    .node_of
+                    .get(r as usize)
+                    .and_then(|n| spare_of.get(&n.0))
+                    .copied()
+                    .ok_or_else(|| CrError::protocol(format!("rank {r} has no claimed spare")))?;
+                let chain = global.ckpt_chain(interval, rank)?;
+                let mut locals = Vec::with_capacity(chain.len());
+                let mut scratch: Vec<std::path::PathBuf> = Vec::with_capacity(chain.len());
+                for &ci in &chain {
+                    let dest = runtime
+                        .node_dir(spare)
+                        .join("restart")
+                        .join(format!("{job}"))
+                        .join(format!("interval_{ci}"))
+                        .join(cr_core::snapshot::local_dir_name(rank));
+                    let holders = global.replica_holders(ci, rank);
+                    let fetched = if opts.source != RestartSource::Stable {
+                        orte::replica::fetch_image(runtime, job, ci, rank, &holders)
+                    } else {
+                        None
+                    };
+                    if let Some((image, cost)) = fetched {
+                        sim_cost += cost;
+                        replica_images += 1;
+                        image.write_to(&dest)?;
+                    } else {
+                        if opts.source == RestartSource::Replica {
+                            return Err(CrError::BadSnapshot {
+                                detail: format!(
+                                    "replica-only partial restart impossible: rank {r} \
+                                     interval {ci} has no surviving replica holder"
+                                ),
+                            });
+                        }
+                        let local = global.local_snapshot(ci, rank)?;
+                        let report = filem.copy_all(
+                            runtime.netview(),
+                            &[orte::filem::CopyRequest {
+                                src: local.dir().to_path_buf(),
+                                src_node: netsim::NodeId(0),
+                                dest: dest.clone(),
+                                dest_node: spare,
+                            }],
+                        )?;
+                        sim_cost += report.serialized_cost;
+                    }
+                    locals.push(cr_core::LocalSnapshot::open(&dest)?);
+                    scratch.push(dest);
+                }
+                let image = if let [local] = locals.as_slice() {
+                    let crs = crs_fw
+                        .instantiate(local.crs_component(), &params)
+                        .map_err(|e| CrError::Unsupported {
+                            detail: e.to_string(),
+                        })?;
+                    crs.restart(local)?
+                } else {
+                    opal::incr::reassemble(&locals)?
+                };
+                drop(locals);
+                for dir in &scratch {
+                    filem.remove_tree(dir)?;
+                }
+                images.push((r, image));
+            }
+        }
+
+        // Point of no return: fence the dead nodes, drop the failed
+        // ranks' stale endpoint advertisements and result slots, and
+        // respawn each rank on its spare with the rejoin set. One
+        // simulated launcher session per spare node.
+        for &node in &old_nodes {
+            if !runtime.node_failed(node) {
+                runtime.kill_daemon(node);
+            }
+        }
+        let rejoin = Arc::new(rank_set);
+        for &r in &ranks {
+            runtime.modex().remove(job, &format!("pml.{r}"));
+            if let Some(slot) = self.results.lock().get_mut(r as usize) {
+                *slot = None;
+            }
+        }
+        for (r, image) in images {
+            let spare = placement
+                .node_of
+                .get(r as usize)
+                .and_then(|n| spare_of.get(&n.0))
+                .copied()
+                .ok_or_else(|| CrError::protocol(format!("rank {r} has no claimed spare")))?;
+            handle.respawn_rank(cr_core::Rank(r), spare, image, Arc::clone(&rejoin))?;
+        }
+        let session_ms = handle
+            .params()
+            .get_parsed_or("plm_rsh_sim_session_ms", 150u64)
+            .unwrap_or(150);
+        sim_cost += netsim::SimTime::from_millis(session_ms.saturating_mul(spares.len() as u64));
+
+        runtime.tracer().record(
+            "ompi.restart",
+            &format!(
+                "partial: {} of {nprocs} ranks ({ranks:?}) onto spare nodes {:?} from \
+                 interval {interval} ({replica_images} images from peer memory, sim {sim_cost})",
+                ranks.len(),
+                spares.iter().map(|n| n.0).collect::<Vec<_>>(),
+            ),
+        );
+        Ok(PartialRestartOutcome {
+            interval,
+            ranks,
+            spares,
+            replica_images,
+            sim_cost,
+        })
+    }
+
     /// Wait for completion and collect every rank's final state.
     pub fn wait(self) -> Result<Vec<(S, RunEnd)>, CrError> {
         self.handle.join()?;
+        self.sync_stop.store(true, std::sync::atomic::Ordering::SeqCst);
         if let Some(t) = self.sync_thread.lock().take() {
             let _ = t.join();
         }
@@ -248,7 +522,26 @@ fn proc_body<A: MpiApp>(
                 detail: e.to_string(),
             })
         })?;
-        pml.set_crcp(Some(Arc::from(component)));
+        let component: Arc<dyn crate::crcp::CrcpComponent> = Arc::from(component);
+        // Replay-log GC keys off the job's commit watermark, not the INC
+        // chain's `Continue` (which lands at local commit — too early to
+        // drop frames a partial restart may still need to replay).
+        component.set_commit_watermark(Arc::clone(&ctx.commit_watermark));
+        pml.set_crcp(Some(component));
+    }
+    // With the sender-side message log on, expose its byte count to the
+    // runtime through the container probe channel: the global coordinator
+    // records it per interval in the snapshot metadata, and
+    // `ompi-snapshot-info` surfaces it.
+    let msg_log_enabled = params
+        .get_bool_or("crcp_msg_log_enabled", false)
+        .unwrap_or(false);
+    if msg_log_enabled {
+        let p = Arc::clone(&pml);
+        ctx.container.set_probe(
+            "crcp.msglog",
+            Arc::new(move || p.msg_log_stats().1.to_string()),
+        );
     }
 
     // 5. Capture sections.
@@ -288,7 +581,10 @@ fn proc_body<A: MpiApp>(
     let ompi_layer = LayerInc::new("ompi", tracer.clone())
         .subsystem(
             "crcp",
-            Arc::new(Mutex::new(OnceFt::new(CrcpFtHandle::new(Arc::clone(&pml))))),
+            Arc::new(Mutex::new(OnceFt::new(CrcpFtHandle::with_container(
+                Arc::clone(&pml),
+                Arc::clone(&ctx.container),
+            )))),
         )
         .subsystem(
             "pml",
@@ -318,6 +614,13 @@ fn proc_body<A: MpiApp>(
             .map_err(MpiError::Cr)?;
         if let Some(crs) = ctx.container.crs() {
             crs.post_event(FtEventState::Restart).map_err(MpiError::Cr)?;
+        }
+        // Partial restart: this rank rejoins a job whose other ranks are
+        // still live. Run the replay handshake — each survivor re-points
+        // its channel at the fresh endpoint and resends the logged frames
+        // this incarnation never saw — before the application resumes.
+        if let Some(rejoin) = &ctx.rejoin {
+            crate::crcp::rejoin_replay(&pml, rejoin, &tracer).map_err(MpiError::Cr)?;
         }
     }
 
@@ -355,7 +658,16 @@ fn make_proc_main<A: MpiApp>(
         };
         if outcome.is_err() {
             // Unblock peers waiting on messages this rank will never send.
-            ctx.terminate.store(true, Ordering::SeqCst);
+            // Under partial recovery (message log on) the survivors must
+            // stay live instead: the supervisor restores just this rank
+            // and the replay handshake catches it up.
+            let partial = ctx
+                .params
+                .get_bool_or("crcp_msg_log_enabled", false)
+                .unwrap_or(false);
+            if !partial {
+                ctx.terminate.store(true, Ordering::SeqCst);
+            }
         }
         results.lock()[rank] = Some(outcome);
         // The application thread is done with the checkpoint window.
@@ -386,17 +698,25 @@ fn spawn_job<A: MpiApp>(
     // requests; this thread plays the global coordinator for them.
     let service_handle = Arc::clone(&handle);
     let tracer = runtime.tracer().clone();
+    let sync_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = Arc::clone(&sync_stop);
     let sync_thread = std::thread::Builder::new()
         .name("ompi-sync-ckpt".into())
-        .spawn(move || {
-            while let Ok(options) = sync_rx.recv() {
-                match service_handle.checkpoint(&options) {
+        .spawn(move || loop {
+            match sync_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(options) => match service_handle.checkpoint(&options) {
                     Ok(outcome) => tracer.record(
                         "ompi.sync_ckpt.done",
                         &outcome.global_snapshot.display().to_string(),
                     ),
                     Err(e) => tracer.record("ompi.sync_ckpt.failed", &e.to_string()),
+                },
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        return;
+                    }
                 }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
             }
         })
         .map_err(|e| CrError::Io {
@@ -408,6 +728,7 @@ fn spawn_job<A: MpiApp>(
         handle,
         results,
         sync_thread: Mutex::new(Some(sync_thread)),
+        sync_stop,
     })
 }
 
@@ -451,12 +772,30 @@ impl std::str::FromStr for RestartSource {
     }
 }
 
+/// What a partial restart did: which interval the failed ranks resumed
+/// from, where they landed, and the simulated cost of the recovery
+/// (image fetches plus one launcher session per spare — the quantity the
+/// `restart_latency` bench compares against a full relaunch).
+#[derive(Debug, Clone)]
+pub struct PartialRestartOutcome {
+    /// Interval the restarted ranks resumed from.
+    pub interval: u64,
+    /// The ranks recovered, ascending.
+    pub ranks: Vec<u32>,
+    /// Spare nodes claimed, one per distinct failed node.
+    pub spares: Vec<netsim::NodeId>,
+    /// How many images (or chunk sets) came out of peer memory.
+    pub replica_images: u32,
+    /// Simulated recovery cost along the critical path.
+    pub sim_cost: netsim::SimTime,
+}
+
 /// Everything a restart can be told, in one struct — the single
 /// [`restart`] entry point replaces the old
 /// `restart_from` / `restart_from_with_source` sprawl (both survive as
 /// deprecated wrappers). `Default` restores the newest committed interval
 /// from the best available tier with digest verification on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RestartOptions {
     /// Which tier(s) images may come from (`ompi-restart --source`).
     pub source: RestartSource,
@@ -466,6 +805,10 @@ pub struct RestartOptions {
     /// (`ompi-restart --no-verify` clears it; the stable tier always
     /// verifies on read).
     pub verify: bool,
+    /// Restrict recovery to these ranks (partial restart). Only honoured
+    /// by [`MpiJob::restart_ranks`] on a live job; the whole-job
+    /// [`restart`] entry point refuses it.
+    pub ranks: Option<Vec<u32>>,
 }
 
 impl Default for RestartOptions {
@@ -474,6 +817,7 @@ impl Default for RestartOptions {
             source: RestartSource::Auto,
             interval: None,
             verify: true,
+            ranks: None,
         }
     }
 }
@@ -496,6 +840,12 @@ impl RestartOptions {
         self.verify = false;
         self
     }
+
+    /// Recover only these ranks ([`MpiJob::restart_ranks`]).
+    pub fn with_ranks(mut self, ranks: Vec<u32>) -> Self {
+        self.ranks = Some(ranks);
+        self
+    }
 }
 
 /// Restart a job from a global snapshot reference (the `ompi-restart`
@@ -516,9 +866,15 @@ pub fn restart<A: MpiApp>(
     global_ref: &Path,
     opts: RestartOptions,
 ) -> Result<MpiJob<A::State>, CrError> {
-    let RestartOptions {
-        source, interval, ..
-    } = opts;
+    if opts.ranks.is_some() {
+        return Err(CrError::Unsupported {
+            detail: "restart() relaunches the whole job; recovering specific ranks \
+                     goes through MpiJob::restart_ranks on the still-live job"
+                .into(),
+        });
+    }
+    let source = opts.source;
+    let interval = opts.interval;
     if source != RestartSource::Replica {
         // Join any in-flight early-release gather first: either it
         // promotes its interval to globally committed (and we restart
@@ -813,6 +1169,7 @@ pub fn restart_from_with_source<A: MpiApp>(
             source,
             interval,
             verify: true,
+            ranks: None,
         },
     )
 }

@@ -34,6 +34,7 @@
 //! `crcp logger` component) idempotent.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -154,6 +155,19 @@ pub enum OpRecord {
     },
 }
 
+/// A quiesce-point mark in the partial-restart message log: `mark` is
+/// the log length when `interval` quiesced. Once `interval` reaches
+/// global commit, entries below `mark` can never be needed by a replay
+/// (a partial restart restores from the latest committed interval).
+#[derive(Debug, Clone, Copy)]
+pub struct MsgLogMark {
+    /// SNAPC interval the mark belongs to (`u64::MAX` for standalone
+    /// coordination rounds with no SNAPC in sight).
+    pub interval: u64,
+    /// `msg_log` length at that interval's quiesce.
+    pub mark: u64,
+}
+
 /// The serializable PML state — the "pml" section of the process image.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PmlState {
@@ -173,6 +187,30 @@ pub struct PmlState {
     pub step_log: Vec<OpRecord>,
     /// Sender-based message log (used by the `logger` CRCP component).
     pub sender_log: Vec<LoggedSend>,
+    /// Partial-restart message log (`crcp_msg_log_enabled`): every
+    /// application send since the last global-commit GC, replayed by
+    /// survivors to a restarted peer over the `ReplayBegin` handshake.
+    pub msg_log: Vec<LoggedSend>,
+    /// Payload bytes currently retained in `msg_log`.
+    pub msg_log_bytes: u64,
+    /// Quiesce marks awaiting global commit: for each in-flight (or
+    /// failed-before-commit) checkpoint interval, the `msg_log` length at
+    /// its quiesce. Entries below a mark are dropped only once the job
+    /// publishes that mark's interval as globally committed — a
+    /// checkpoint that dies mid-interval must leave the log intact for a
+    /// partial restart from the previous commit. Never persisted: a
+    /// restarted incarnation re-marks from scratch.
+    #[serde(skip)]
+    pub msg_log_marks: Vec<MsgLogMark>,
+    /// Interval of the checkpoint currently coordinating, stashed by the
+    /// INC handle before the CRCP runs (the component has no view of
+    /// SNAPC's numbering). `None` outside a checkpoint or in standalone
+    /// use.
+    #[serde(skip)]
+    pub ckpt_interval: Option<u64>,
+    /// Set when `crcp_msg_log_cap_kb` truncated the log; a partial
+    /// restart that would need the missing entries must refuse.
+    pub msg_log_overflow: bool,
     /// CRCP control messages awaiting the coordination protocol.
     pub crcp_inbox: VecDeque<CrcpMsg>,
     /// Replay position into `step_log` (never persisted: restarts always
@@ -250,7 +288,10 @@ pub struct PmlShared {
     nprocs: u32,
     endpoint: Endpoint,
     fabric: Fabric,
-    peers: Vec<EndpointId>,
+    /// Raw [`EndpointId`] of each rank. Atomic because a survivor
+    /// re-points a restarted peer's entry from inside `classify` (state
+    /// lock held) when its `ReplayBegin` arrives.
+    peers: Vec<AtomicU64>,
     gate: Arc<SafePointGate>,
     tracer: Tracer,
     state: Mutex<PmlState>,
@@ -275,6 +316,7 @@ impl PmlShared {
     ) -> Arc<Self> {
         assert_eq!(peers.len(), nprocs as usize, "one endpoint per rank");
         let fabric = endpoint.fabric().clone();
+        let peers = peers.into_iter().map(|e| AtomicU64::new(e.0)).collect();
         Arc::new(PmlShared {
             me,
             nprocs,
@@ -308,6 +350,12 @@ impl PmlShared {
         self.me
     }
 
+    /// This rank's own fabric endpoint id (announced to survivors in the
+    /// partial-restart rejoin handshake).
+    pub fn endpoint_id(&self) -> EndpointId {
+        self.endpoint.id()
+    }
+
     /// World size.
     pub fn nprocs(&self) -> u32 {
         self.nprocs
@@ -334,6 +382,11 @@ impl PmlShared {
     }
 
     // -- wire helpers -------------------------------------------------------
+
+    /// Rank `dst`'s current fabric endpoint.
+    fn peer(&self, dst: u32) -> EndpointId {
+        EndpointId(self.peers[dst as usize].load(Ordering::SeqCst))
+    }
 
     fn classify(&self, st: &mut PmlState, delivery: netsim::Delivery) -> Result<(), MpiError> {
         match delivery.tag {
@@ -366,13 +419,50 @@ impl PmlShared {
                 Ok(())
             }
             CLASS_CRCP => {
-                st.crcp_inbox.push_back(decode_crcp(&delivery.payload)?);
+                let msg = decode_crcp(&delivery.payload)?;
+                if let CrcpMsg::ReplayBegin { from, endpoint } = msg {
+                    // Handled inline: a ReplayBegin can arrive at any
+                    // moment (its sender just restarted) and must never
+                    // linger in the inbox, where it would trip the
+                    // clean-checkpoint invariant in `PmlFtHandle`.
+                    return self.handle_replay_begin(st, from, endpoint);
+                }
+                st.crcp_inbox.push_back(msg);
                 Ok(())
             }
             other => Err(MpiError::PeerLost {
                 detail: format!("unknown traffic class {other}"),
             }),
         }
+    }
+
+    /// A restarted rank announced its replacement endpoint: re-point the
+    /// peer table, replay every logged message it may have missed
+    /// (duplicate suppression at the receiver discards the ones its
+    /// restored counters already account for), and fence the backlog
+    /// with `ReplayDone` so the rejoiner knows its channel is caught up.
+    fn handle_replay_begin(
+        &self,
+        st: &mut PmlState,
+        from: u32,
+        endpoint: u64,
+    ) -> Result<(), MpiError> {
+        if from as usize >= st.recv_counts.len() {
+            return Err(MpiError::PeerLost {
+                detail: format!("ReplayBegin from unknown rank {from}"),
+            });
+        }
+        self.peers[from as usize].store(endpoint, Ordering::SeqCst);
+        let mut resent = 0u64;
+        for logged in st.msg_log.iter().filter(|l| l.dst == from) {
+            self.resend_logged(logged)?;
+            resent += 1;
+        }
+        self.tracer.record(
+            "crcp.replay.resent",
+            &format!("rank {}: replayed {resent} logged sends to restarted rank {from}", self.me),
+        );
+        self.send_crcp(from, &CrcpMsg::ReplayDone { from: self.me })
     }
 
     /// Drain everything currently queued on the endpoint (non-blocking).
@@ -409,7 +499,7 @@ impl PmlShared {
     pub fn send_crcp(&self, dst: u32, msg: &CrcpMsg) -> Result<(), MpiError> {
         let wire = crate::frame::encode_crcp(msg)?;
         self.fabric
-            .send(self.endpoint.id(), self.peers[dst as usize], CLASS_CRCP, wire)
+            .send(self.endpoint.id(), self.peer(dst), CLASS_CRCP, wire)
             .map_err(|e| MpiError::PeerLost {
                 detail: format!("CRCP send to rank {dst}: {e}"),
             })?;
@@ -422,12 +512,7 @@ impl PmlShared {
     pub fn resend_logged(&self, logged: &LoggedSend) -> Result<(), MpiError> {
         let wire = encode_app(self.me, logged.ctx, logged.tag, logged.seq, &logged.payload);
         self.fabric
-            .send(
-                self.endpoint.id(),
-                self.peers[logged.dst as usize],
-                CLASS_APP,
-                wire,
-            )
+            .send(self.endpoint.id(), self.peer(logged.dst), CLASS_APP, wire)
             .map_err(|e| MpiError::PeerLost {
                 detail: format!("resend to rank {}: {e}", logged.dst),
             })?;
@@ -472,15 +557,28 @@ impl PmlShared {
         let crcp = self.crcp();
         let mut st = self.state.lock();
         let seq = st.sent_counts[dst as usize];
+        let logged_before = st.msg_log.len();
         if let Some(c) = &crcp {
             c.on_send(&mut st, self.me, dst, ctx, tag, seq, payload);
         }
+        let in_msg_log = st.msg_log.len() > logged_before;
         let wire = encode_app(self.me, ctx, tag, seq, payload);
-        self.fabric
-            .send(self.endpoint.id(), self.peers[dst as usize], CLASS_APP, wire)
-            .map_err(|e| MpiError::PeerLost {
-                detail: format!("send to rank {dst}: {e}"),
-            })?;
+        match self.fabric.send(self.endpoint.id(), self.peer(dst), CLASS_APP, wire) {
+            Ok(_) => {}
+            Err(NetError::Unreachable { .. }) if in_msg_log => {
+                // The peer's endpoint is gone — it died. The frame is in
+                // the partial-restart message log, so the send succeeds
+                // from the survivor's point of view: the logged copy is
+                // replayed over the `ReplayBegin` handshake once the rank
+                // rejoins on a spare node. Sequence numbers keep
+                // advancing so the log stays gap-free.
+            }
+            Err(e) => {
+                return Err(MpiError::PeerLost {
+                    detail: format!("send to rank {dst}: {e}"),
+                })
+            }
+        }
         st.sent_counts[dst as usize] += 1;
         st.step_log.push(OpRecord::Send {
             dst,
@@ -584,7 +682,7 @@ impl PmlShared {
         }
         let wire = encode_app(self.me, ctx, tag, seq, payload);
         self.fabric
-            .send(self.endpoint.id(), self.peers[dst as usize], CLASS_APP, wire)
+            .send(self.endpoint.id(), self.peer(dst), CLASS_APP, wire)
             .map_err(|e| MpiError::PeerLost {
                 detail: format!("isend to rank {dst}: {e}"),
             })?;
@@ -829,6 +927,14 @@ impl PmlShared {
     pub fn arm_replay(&self) {
         let mut st = self.state.lock();
         st.replay_cursor = if st.step_log.is_empty() { None } else { Some(0) };
+    }
+
+    /// Partial-restart message-log footprint: `(entries, payload bytes,
+    /// overflowed)`. Read by the container probe that feeds the
+    /// per-interval accounting recorded in snapshot metadata.
+    pub fn msg_log_stats(&self) -> (u64, u64, bool) {
+        let st = self.state.lock();
+        (st.msg_log.len() as u64, st.msg_log_bytes, st.msg_log_overflow)
     }
 
     /// Messages sent to `dst` so far.

@@ -36,6 +36,14 @@ pub struct RecoveryPolicy {
     /// interval, surviving peer memory first, stable storage for whatever
     /// it cannot serve, digest verification on.
     pub restart: RestartOptions,
+    /// Try partial restart first: recover only the failed ranks onto
+    /// spare nodes ([`MpiJob::restart_ranks`]) while the survivors stay
+    /// live, falling back to the terminate-and-relaunch path when it
+    /// refuses (no committed snapshot yet, message log off, spare pool
+    /// exhausted, no surviving replica holder, …). Needs
+    /// `crcp_msg_log_enabled=true` and `orte_spare_nodes>0` to ever
+    /// succeed.
+    pub partial: bool,
 }
 
 impl Default for RecoveryPolicy {
@@ -45,6 +53,7 @@ impl Default for RecoveryPolicy {
             max_restarts: 3,
             poll_every: Duration::from_millis(10),
             restart: RestartOptions::default(),
+            partial: false,
         }
     }
 }
@@ -52,8 +61,10 @@ impl Default for RecoveryPolicy {
 /// What the supervisor did on the way to the answer.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Restarts performed.
+    /// Full restarts performed (whole-job relaunches).
     pub restarts: u32,
+    /// Partial restarts performed (failed ranks only, survivors live).
+    pub partial_restarts: u32,
     /// Periodic checkpoints that committed successfully.
     pub checkpoints: u32,
     /// Failure descriptions observed (one per failed incarnation).
@@ -66,7 +77,7 @@ fn run_incarnation<A: MpiApp>(
     job: MpiJob<A::State>,
     policy: &RecoveryPolicy,
     last_snapshot: &Arc<Mutex<Option<PathBuf>>>,
-) -> (Result<Vec<(A::State, RunEnd)>, CrError>, u32) {
+) -> (Result<Vec<(A::State, RunEnd)>, CrError>, u32, u32) {
     let handle = Arc::clone(job.handle());
     let stop = Arc::new(AtomicBool::new(false));
     let checkpoints = Arc::new(Mutex::new(0u32));
@@ -98,12 +109,52 @@ fn run_incarnation<A: MpiApp>(
         })
     };
 
-    // Failure watchdog: when any rank reports a failure, terminate the
-    // survivors so `wait()` can complete.
+    // Failure watchdog. Under `policy.partial` a failed rank is first
+    // restored in place — only its image is fetched, only a spare node is
+    // claimed, and the survivors stay live through the replay handshake.
+    // Anything that makes partial recovery refuse (no committed snapshot
+    // yet, too many attempts, spare pool dry, …) falls back to the
+    // original path: terminate the survivors so `wait()` can complete and
+    // the outer loop relaunches the whole job.
+    let tracer = handle.runtime().tracer().clone();
+    let mut partials = 0u32;
     while !job.is_settled() {
-        if !job.failed_ranks().is_empty() {
-            handle.request_terminate();
-            break;
+        let failed = job.failed_ranks();
+        if !failed.is_empty() {
+            let mut recovered = false;
+            if policy.partial && partials < policy.max_restarts {
+                if let Some(snapshot) = last_snapshot.lock().clone() {
+                    let opts = policy
+                        .restart
+                        .clone()
+                        .with_ranks(failed.iter().map(|&r| r as u32).collect());
+                    match job.restart_ranks(&snapshot, &opts) {
+                        Ok(outcome) => {
+                            partials += 1;
+                            recovered = true;
+                            tracer.record(
+                                "supervisor.partial_recover",
+                                &format!(
+                                    "ranks {:?} -> spares {:?} (interval {}, sim {})",
+                                    outcome.ranks,
+                                    outcome.spares,
+                                    outcome.interval,
+                                    outcome.sim_cost
+                                ),
+                            );
+                        }
+                        Err(e) => tracer.record(
+                            "supervisor.partial_refused",
+                            &format!("falling back to full restart: {e}"),
+                        ),
+                    }
+                }
+            }
+            if !recovered {
+                handle.request_terminate();
+                break;
+            }
+            continue;
         }
         std::thread::sleep(policy.poll_every);
     }
@@ -112,7 +163,7 @@ fn run_incarnation<A: MpiApp>(
     stop.store(true, Ordering::SeqCst);
     let _ = ticker.join();
     let taken = *checkpoints.lock();
-    (result, taken)
+    (result, taken, partials)
 }
 
 /// Run `app` to completion with automatic checkpointing and recovery.
@@ -132,15 +183,16 @@ pub fn run_with_recovery<A: MpiApp>(
     loop {
         let job = match last_snapshot.lock().clone() {
             None => mpirun(runtime, Arc::clone(&app), config.clone())?,
-            Some(snapshot) => restart(runtime, Arc::clone(&app), &snapshot, policy.restart)?,
+            Some(snapshot) => restart(runtime, Arc::clone(&app), &snapshot, policy.restart.clone())?,
         };
         runtime.tracer().record(
             "supervisor.incarnation",
             &format!("restarts so far: {}", report.restarts),
         );
-        let (result, checkpoints) =
+        let (result, checkpoints, partials) =
             run_incarnation::<A>(job, policy, &last_snapshot);
         report.checkpoints += checkpoints;
+        report.partial_restarts += partials;
         match result {
             Ok(results) => {
                 // A terminated incarnation (watchdog fired between the

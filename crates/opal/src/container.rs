@@ -37,6 +37,10 @@ use crate::image::ProcessImage;
 /// Closure that serializes one subsystem's state for the process image.
 pub type CaptureFn = Arc<dyn Fn() -> Result<Vec<u8>, CrError> + Send + Sync>;
 
+/// Closure that renders one subsystem's live diagnostic value (a probe):
+/// cheap, side-effect free, readable from outside the process thread.
+pub type ProbeFn = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// Control messages delivered to a process's notification thread.
 pub enum OpalCtrl {
     /// Take a local checkpoint into `snapshot_parent` (the interval
@@ -93,6 +97,7 @@ pub struct ProcessContainer {
     window: Mutex<Window>,
     checkpointable: AtomicBool,
     captures: Mutex<Vec<(String, CaptureFn)>>,
+    probes: Mutex<Vec<(String, ProbeFn)>>,
     crs: Mutex<Option<Arc<dyn CrsComponent>>>,
     pending: Mutex<Option<Pending>>,
     park_timeout: Mutex<Duration>,
@@ -110,6 +115,7 @@ impl ProcessContainer {
             window: Mutex::new(Window::Disabled("MPI not yet initialized".into())),
             checkpointable: AtomicBool::new(true),
             captures: Mutex::new(Vec::new()),
+            probes: Mutex::new(Vec::new()),
             crs: Mutex::new(None),
             pending: Mutex::new(None),
             park_timeout: Mutex::new(Duration::from_secs(30)),
@@ -164,6 +170,39 @@ impl ProcessContainer {
     /// order at checkpoint time, with the application thread parked.
     pub fn register_capture(&self, section: impl Into<String>, f: CaptureFn) {
         self.captures.lock().push((section.into(), f));
+    }
+
+    /// Register (or replace) a named diagnostic probe. Layers above OPAL
+    /// expose live counters this way — e.g. the PML's sender-side
+    /// message-log size — without the coordinator having to know their
+    /// types: it reads the rendered string through [`Self::probe`].
+    pub fn set_probe(&self, key: impl Into<String>, f: ProbeFn) {
+        let key = key.into();
+        let mut probes = self.probes.lock();
+        if let Some(slot) = probes.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = f;
+        } else {
+            probes.push((key, f));
+        }
+    }
+
+    /// Read a named diagnostic probe, if registered.
+    pub fn probe(&self, key: &str) -> Option<String> {
+        let f = self
+            .probes
+            .lock()
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, f)| Arc::clone(f))?;
+        Some(f())
+    }
+
+    /// Interval of the in-flight checkpoint request, if one is being
+    /// handled. INC subsystems that tag per-interval state (the CRCP's
+    /// message-log quiesce marks) read SNAPC's numbering through this
+    /// mid-chain.
+    pub fn pending_interval(&self) -> Option<u64> {
+        self.pending.lock().as_ref().map(|p| p.interval)
     }
 
     /// Declare whether this process can be checkpointed at all
@@ -469,6 +508,20 @@ mod tests {
         // The app keeps running afterwards.
         app.join().unwrap();
         assert_eq!(state.lock().iteration, 2_000_000);
+    }
+
+    #[test]
+    fn probes_register_replace_and_read() {
+        let (container, _state, _dir) = ready_container("probes");
+        assert_eq!(container.probe("crcp.msglog"), None);
+        let n = Arc::new(AtomicU64::new(7));
+        let n2 = Arc::clone(&n);
+        container.set_probe("crcp.msglog", Arc::new(move || n2.load(Ordering::SeqCst).to_string()));
+        assert_eq!(container.probe("crcp.msglog").as_deref(), Some("7"));
+        n.store(9, Ordering::SeqCst);
+        assert_eq!(container.probe("crcp.msglog").as_deref(), Some("9"));
+        container.set_probe("crcp.msglog", Arc::new(|| "0".to_string()));
+        assert_eq!(container.probe("crcp.msglog").as_deref(), Some("0"));
     }
 
     #[test]

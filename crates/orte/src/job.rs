@@ -9,7 +9,7 @@
 //! the job's global snapshot reference across checkpoint intervals.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -19,7 +19,7 @@ use netsim::NodeId;
 use parking_lot::Mutex;
 
 use cr_core::request::{CheckpointOptions, CheckpointOutcome};
-use cr_core::snapshot::GlobalSnapshot;
+use cr_core::snapshot::{CommitState, GlobalSnapshot};
 use cr_core::{CrError, JobId, ProcessName, Rank};
 use opal::container::OpalCtrl;
 use opal::{ProcessContainer, ProcessImage};
@@ -45,9 +45,20 @@ pub struct LaunchCtx {
     /// Restored process image when this is a restart, `None` on a fresh
     /// launch.
     pub restored: Option<ProcessImage>,
+    /// Partial restart only: the set of ranks being respawned into a job
+    /// whose other ranks are still live. The rejoining process must
+    /// re-publish its endpoint and run the replay handshake with the
+    /// survivors instead of assuming a whole-job restart barrier.
+    pub rejoin: Option<Arc<std::collections::BTreeSet<u32>>>,
     /// Set when the job was asked to terminate (checkpoint-and-terminate);
     /// application loops must exit at their next safe point.
     pub terminate: Arc<AtomicBool>,
+    /// Highest globally committed checkpoint interval + 1 (0 = nothing
+    /// committed yet), published by the job as commits land. The OMPI
+    /// layer keys replay-log garbage collection off this: survivor
+    /// message logs must outlive any checkpoint that has not provably
+    /// reached global commit.
+    pub commit_watermark: Arc<AtomicU64>,
 }
 
 /// The per-process entry function supplied by the layer above (OMPI).
@@ -82,8 +93,10 @@ impl JobSpec {
 }
 
 struct ProcEntry {
-    container: Arc<ProcessContainer>,
-    ctrl: Sender<OpalCtrl>,
+    // Swappable: a partial restart replaces the dead incarnation's
+    // container/channel/threads in place while the other entries run on.
+    container: Mutex<Arc<ProcessContainer>>,
+    ctrl: Mutex<Sender<OpalCtrl>>,
     app: Mutex<Option<JoinHandle<()>>>,
     notify: Mutex<Option<JoinHandle<()>>>,
 }
@@ -94,8 +107,11 @@ pub struct JobHandle {
     job: JobId,
     nprocs: u32,
     params: Arc<McaParams>,
-    placement: Placement,
+    placement: Mutex<Placement>,
     procs: Vec<ProcEntry>,
+    /// Retained for partial restart: respawned ranks re-enter through the
+    /// same per-process entry the job was launched with.
+    proc_main: ProcMain,
     terminate: Arc<AtomicBool>,
     /// Shared with early-release gather threads: promotions must go
     /// through the same cached document a later interval's commit will
@@ -107,6 +123,9 @@ pub struct JobHandle {
     /// nodes, so the global coordinator admits one at a time (as the
     /// original implementation does).
     checkpoint_serial: Mutex<()>,
+    /// See [`LaunchCtx::commit_watermark`]; bumped here (blocking SNAPC
+    /// paths) and by write-behind gather threads at promotion.
+    commit_watermark: Arc<AtomicU64>,
 }
 
 impl JobHandle {
@@ -130,30 +149,37 @@ impl JobHandle {
         &self.runtime
     }
 
-    /// The job's placement.
-    pub fn placement(&self) -> &Placement {
-        &self.placement
+    /// The job's placement (a snapshot: partial restart moves respawned
+    /// ranks onto spare nodes in place).
+    pub fn placement(&self) -> Placement {
+        self.placement.lock().clone()
     }
 
     /// Node of `rank`.
     pub fn node_of(&self, rank: Rank) -> NodeId {
-        self.placement.node_of[rank.index()]
+        self.placement.lock().node_of[rank.index()]
     }
 
-    /// Control plane of `rank`.
-    pub fn container(&self, rank: Rank) -> &Arc<ProcessContainer> {
-        &self.procs[rank.index()].container
+    /// Control plane of `rank` (the current incarnation's).
+    pub fn container(&self, rank: Rank) -> Arc<ProcessContainer> {
+        Arc::clone(&self.procs[rank.index()].container.lock())
     }
 
     /// Notification channel of `rank` (used by the `direct` SNAPC
     /// component and by tests).
-    pub fn ctrl(&self, rank: Rank) -> &Sender<OpalCtrl> {
-        &self.procs[rank.index()].ctrl
+    pub fn ctrl(&self, rank: Rank) -> Sender<OpalCtrl> {
+        self.procs[rank.index()].ctrl.lock().clone()
     }
 
     /// The cooperative termination flag.
     pub fn terminate_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.terminate)
+    }
+
+    /// The job's global-commit watermark (highest globally committed
+    /// interval + 1; 0 = nothing committed yet).
+    pub fn commit_watermark(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.commit_watermark)
     }
 
     /// Ask every rank to exit at its next safe point.
@@ -176,6 +202,10 @@ impl JobHandle {
             // the user re-supplying anything (paper §4).
             dump.push(("np".to_string(), self.nprocs.to_string()));
             snap.record_launch_params(dump.iter().map(|(k, v)| (k.as_str(), v.as_str())))?;
+            let spares: Vec<u32> = self.runtime.spare_nodes().iter().map(|n| n.0).collect();
+            if !spares.is_empty() {
+                snap.record_spare_pool(&spares)?;
+            }
             *guard = Some(snap);
         }
         Ok(parking_lot::MutexGuard::map(guard, |g| {
@@ -203,6 +233,13 @@ impl JobHandle {
             .tracer()
             .record("snapc.global.request", &format!("{} by {}", self.job, options.origin));
         let outcome = snapc.checkpoint_job(self, options)?;
+        if outcome.stats.commit == CommitState::GlobalCommitted {
+            // Blocking paths reach global commit before returning; the
+            // early-release path stays LocalCommitted here and its gather
+            // thread advances the watermark at promotion instead.
+            self.commit_watermark
+                .fetch_max(outcome.interval + 1, Ordering::SeqCst);
+        }
         self.runtime.tracer().record(
             "snapc.global.reference_returned",
             &outcome.global_snapshot.display().to_string(),
@@ -211,6 +248,85 @@ impl JobHandle {
             self.request_terminate();
         }
         Ok(outcome)
+    }
+
+    /// Respawn one failed rank on `node` (typically a claimed spare) with
+    /// `image` as its restored state, while every other rank stays live.
+    ///
+    /// The dead incarnation's threads are reaped and its entry replaced in
+    /// place: a fresh container is registered with `node`'s daemon and the
+    /// job's entry function re-enters through the normal restart path with
+    /// `rejoin` naming the set of simultaneously restarting ranks (the
+    /// OMPI layer uses it to run the replay handshake with the survivors
+    /// instead of a whole-job init barrier).
+    pub fn respawn_rank(
+        &self,
+        rank: Rank,
+        node: NodeId,
+        image: ProcessImage,
+        rejoin: Arc<std::collections::BTreeSet<u32>>,
+    ) -> Result<(), CrError> {
+        let entry = self
+            .procs
+            .get(rank.index())
+            .ok_or_else(|| CrError::protocol(format!("respawn of unknown rank {rank}")))?;
+        // Reap the dead incarnation. Its app thread has already exited
+        // (that is how the failure was observed); the notification thread
+        // is told to shut down over the still-live channel.
+        let dead_app = { entry.app.lock().take() };
+        if let Some(handle) = dead_app {
+            let _ = handle.join();
+        }
+        entry.ctrl.lock().send(OpalCtrl::Shutdown).ok();
+        let dead_notify = { entry.notify.lock().take() };
+        if let Some(handle) = dead_notify {
+            let _ = handle.join();
+        }
+
+        let name = ProcessName::new(self.job, rank);
+        let hostname = self.runtime.topology().hostname(node).to_string();
+        let container = ProcessContainer::new(
+            name,
+            hostname,
+            self.runtime.tracer().with_actor(&name.to_string()),
+        );
+        let daemon = self.runtime.ensure_daemon(node);
+        let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded();
+        daemon.register_proc(self.job, rank, Arc::clone(&container), ctrl_tx.clone());
+        let notify = container.spawn_notification_thread(ctrl_rx);
+
+        let ctx = LaunchCtx {
+            runtime: self.runtime.clone(),
+            params: Arc::clone(&self.params),
+            name,
+            nprocs: self.nprocs,
+            node,
+            container: Arc::clone(&container),
+            restored: Some(image),
+            rejoin: Some(rejoin),
+            terminate: Arc::clone(&self.terminate),
+            commit_watermark: Arc::clone(&self.commit_watermark),
+        };
+        let main = Arc::clone(&self.proc_main);
+        let app = std::thread::Builder::new()
+            .name(format!("app-{name}"))
+            .spawn(move || main(ctx))
+            .map_err(|e| CrError::Io {
+                context: "spawning respawned application thread".into(),
+                detail: e.to_string(),
+            })?;
+
+        {
+            let mut placement = self.placement.lock();
+            if let Some(slot) = placement.node_of.get_mut(rank.index()) {
+                *slot = node;
+            }
+        }
+        *entry.container.lock() = container;
+        *entry.app.lock() = Some(app);
+        *entry.ctrl.lock() = ctrl_tx;
+        *entry.notify.lock() = Some(notify);
+        Ok(())
     }
 
     /// Path the job's global snapshot reference will live at.
@@ -232,14 +348,20 @@ impl JobHandle {
             }
         }
         for proc_entry in &self.procs {
-            let _ = proc_entry.ctrl.send(OpalCtrl::Shutdown);
+            let _ = proc_entry.ctrl.lock().send(OpalCtrl::Shutdown);
         }
         for proc_entry in &self.procs {
             if let Some(handle) = proc_entry.notify.lock().take() {
                 let _ = handle.join();
             }
         }
-        for node in self.placement.nodes() {
+        for node in self.placement().nodes() {
+            // A node that died mid-run must stay dead: ensure_daemon would
+            // resurrect it (and clear its failure mark) just to deregister
+            // a job its daemon no longer remembers.
+            if self.runtime.node_failed(node) {
+                continue;
+            }
             self.runtime.ensure_daemon(node).deregister_job(self.job);
         }
         self.runtime.modex().clear_job(self.job);
@@ -296,8 +418,21 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
         "plm.launch",
         &format!("{job} nprocs {} cost {}", spec.nprocs, placement.launch_cost),
     );
+    // The nodes the PLM held out of placement become the runtime's spare
+    // pool: partial restart claims them one at a time on node loss.
+    let spare_count: u32 = spec
+        .params
+        .get_parsed_or("orte_spare_nodes", 0u32)
+        .map_err(|e| CrError::protocol(e.to_string()))?;
+    if spare_count > 0 {
+        let total = runtime.topology().len() as u32;
+        for i in (total - spare_count)..total {
+            runtime.register_spare(NodeId(i));
+        }
+    }
 
     let terminate = Arc::new(AtomicBool::new(false));
+    let commit_watermark = Arc::new(AtomicU64::new(0));
     let mut restored_images = spec.restored;
     let mut procs = Vec::with_capacity(spec.nprocs as usize);
 
@@ -322,7 +457,9 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
             node,
             container: Arc::clone(&container),
             restored: restored_images.as_mut().map(|v| std::mem::take(&mut v[rank.index()])),
+            rejoin: None,
             terminate: Arc::clone(&terminate),
+            commit_watermark: Arc::clone(&commit_watermark),
         };
         let main = Arc::clone(&spec.proc_main);
         let app = std::thread::Builder::new()
@@ -334,8 +471,8 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
             })?;
 
         procs.push(ProcEntry {
-            container,
-            ctrl: ctrl_tx,
+            container: Mutex::new(container),
+            ctrl: Mutex::new(ctrl_tx),
             app: Mutex::new(Some(app)),
             notify: Mutex::new(Some(notify)),
         });
@@ -346,12 +483,14 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
         job,
         nprocs: spec.nprocs,
         params: spec.params,
-        placement,
+        placement: Mutex::new(placement),
         procs,
+        proc_main: spec.proc_main,
         terminate,
         global_snapshot: Arc::new(Mutex::new(None)),
         resume_floor: spec.resume_floor,
         checkpoint_serial: Mutex::new(()),
+        commit_watermark,
     })
 }
 

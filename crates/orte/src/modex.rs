@@ -83,6 +83,17 @@ impl Modex {
         }
     }
 
+    /// Retract a single `(job, key)` entry (partial-restart hygiene:
+    /// a failed rank's stale endpoint address must be removed *before*
+    /// its replacement is spawned, so simultaneously rejoining peers
+    /// block in [`Modex::wait`] until the fresh address is republished
+    /// instead of connecting to the dead incarnation).
+    pub fn remove(&self, job: JobId, key: &str) {
+        let mut inner = self.inner.lock();
+        inner.entries.remove(&(job, key.to_string()));
+        self.cv.notify_all();
+    }
+
     /// Remove every entry belonging to `job` (job teardown, and restart
     /// hygiene: stale addresses must not leak into the new incarnation).
     pub fn clear_job(&self, job: JobId) {
@@ -146,6 +157,24 @@ mod tests {
         m.clear_job(JobId(1));
         assert_eq!(m.get(JobId(1), "a"), None);
         assert!(m.get(JobId(2), "a").is_some());
+    }
+
+    #[test]
+    fn remove_retracts_single_key() {
+        let m = Arc::new(Modex::new());
+        m.publish(JobId(1), "pml.2", vec![1]);
+        m.publish(JobId(1), "pml.3", vec![2]);
+        m.remove(JobId(1), "pml.2");
+        assert_eq!(m.get(JobId(1), "pml.2"), None);
+        assert_eq!(m.get(JobId(1), "pml.3"), Some(vec![2]));
+        // A waiter blocks until the key is republished with a new value.
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || {
+            m2.wait(JobId(1), "pml.2", Duration::from_secs(5)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        m.publish(JobId(1), "pml.2", vec![9]);
+        assert_eq!(waiter.join().unwrap(), vec![9]);
     }
 
     #[test]

@@ -71,7 +71,21 @@ fn assign_nodes(
         });
     }
     let map_by = params.get("plm_map_by").unwrap_or_else(|| "node".into());
-    let n_nodes = topology.len() as u32;
+    // The spare pool (`orte_spare_nodes`) holds the last N topology nodes
+    // out of placement: they idle until a partial restart claims one for
+    // a failed rank, so a node loss never has to wait for repair.
+    let spares: u32 = params
+        .get_parsed_or("orte_spare_nodes", 0u32)
+        .map_err(|e| CrError::Unsupported { detail: e.to_string() })?;
+    let total = topology.len() as u32;
+    if spares >= total {
+        return Err(CrError::Unsupported {
+            detail: format!(
+                "orte_spare_nodes={spares} leaves no usable nodes in a {total}-node cluster"
+            ),
+        });
+    }
+    let n_nodes = total - spares;
     match map_by.as_str() {
         "node" => Ok((0..nprocs).map(|r| NodeId(r % n_nodes)).collect()),
         "slot" => {
@@ -231,6 +245,22 @@ mod tests {
         params.set("plm_slots_per_node", "1");
         let plm = RshSimPlm::from_params(&params);
         assert!(plm.map_job(4, &topo(2), &params).is_err());
+    }
+
+    #[test]
+    fn spare_nodes_held_out_of_placement() {
+        let params = McaParams::new();
+        params.set("orte_spare_nodes", "1");
+        let plm = RshSimPlm::from_params(&params);
+        // 3-node cluster, 1 spare: ranks round-robin over nodes 0 and 1 only.
+        let p = plm.map_job(4, &topo(3), &params).unwrap();
+        assert_eq!(
+            p.node_of,
+            vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)]
+        );
+        // Reserving the whole cluster is rejected.
+        params.set("orte_spare_nodes", "3");
+        assert!(plm.map_job(1, &topo(3), &params).is_err());
     }
 
     #[test]

@@ -38,6 +38,10 @@ struct RtInner {
     daemons: Mutex<HashMap<NodeId, Arc<Orted>>>,
     drains: Mutex<Vec<std::thread::JoinHandle<()>>>,
     failed: Mutex<HashSet<NodeId>>,
+    /// Spare-node pool for partial restart: nodes held out of placement
+    /// at launch (`orte_spare_nodes`) and handed out one at a time when a
+    /// failed rank needs a new home.
+    spares: Mutex<Vec<NodeId>>,
     /// The durable FT event journal, once enabled: every tracer record is
     /// appended to it through the `TraceSink` bridge.
     journal: Mutex<Option<Arc<journal::JournalSink>>>,
@@ -73,6 +77,7 @@ impl Runtime {
                 daemons: Mutex::new(HashMap::new()),
                 drains: Mutex::new(Vec::new()),
                 failed: Mutex::new(HashSet::new()),
+                spares: Mutex::new(Vec::new()),
                 journal: Mutex::new(None),
             }),
         })
@@ -221,6 +226,43 @@ impl Runtime {
         self.inner.failed.lock().contains(&node)
     }
 
+    /// Add `node` to the partial-restart spare pool (idempotent). The PLM
+    /// holds these nodes out of placement; `claim_spare` hands them back
+    /// one at a time when a failed rank needs a new home.
+    pub fn register_spare(&self, node: NodeId) {
+        let mut spares = self.inner.spares.lock();
+        if !spares.contains(&node) {
+            spares.push(node);
+            self.inner
+                .tracer
+                .record("orte.spare.register", &node.to_string());
+        }
+    }
+
+    /// Take one healthy node out of the spare pool, or `None` when the
+    /// pool is exhausted (the caller must then fall back to a full
+    /// restart). Nodes that failed while parked in the pool are skipped
+    /// and dropped.
+    pub fn claim_spare(&self) -> Option<NodeId> {
+        let mut spares = self.inner.spares.lock();
+        while !spares.is_empty() {
+            let node = spares.remove(0);
+            if self.inner.failed.lock().contains(&node) {
+                continue;
+            }
+            self.inner
+                .tracer
+                .record("orte.spare.claim", &node.to_string());
+            return Some(node);
+        }
+        None
+    }
+
+    /// Current spare-pool membership, pool order.
+    pub fn spare_nodes(&self) -> Vec<NodeId> {
+        self.inner.spares.lock().clone()
+    }
+
     /// Track a write-behind drain thread (FILEM `replica`'s asynchronous
     /// gather to stable storage). Joined by
     /// [`Runtime::drain_writebehind`] and on [`Runtime::shutdown`].
@@ -333,6 +375,27 @@ mod tests {
         assert!(!rt.node_failed(NodeId(0)));
         rt.ensure_daemon(NodeId(1));
         assert!(!rt.node_failed(NodeId(1)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spare_pool_skips_failed_nodes() {
+        let rt = Runtime::new(
+            Topology::uniform(4, LinkSpec::gigabit_ethernet()),
+            tmpbase("spares"),
+        )
+        .unwrap();
+        assert_eq!(rt.claim_spare(), None);
+        rt.register_spare(NodeId(2));
+        rt.register_spare(NodeId(3));
+        rt.register_spare(NodeId(2)); // idempotent
+        assert_eq!(rt.spare_nodes(), vec![NodeId(2), NodeId(3)]);
+        rt.ensure_daemon(NodeId(2));
+        rt.kill_daemon(NodeId(2));
+        // The dead spare is skipped and dropped; the healthy one is handed out.
+        assert_eq!(rt.claim_spare(), Some(NodeId(3)));
+        assert_eq!(rt.claim_spare(), None);
+        assert!(rt.spare_nodes().is_empty());
         rt.shutdown();
     }
 

@@ -211,6 +211,23 @@ fn gather_commit_cleanup(
         .map(|(_, c)| (Rank(c.rank), c.kind.as_str(), c.base_interval, c.prev_interval))
         .collect();
 
+    // Partial-restart accounting: ranks running with the CRCP message log
+    // expose its footprint through a container probe; record the per-rank
+    // bytes for this interval so `ompi-snapshot-info` can show how much
+    // in-flight traffic a partial restart would have to replay. Ranks
+    // without the probe (log disabled) leave the section absent.
+    let msg_log: Vec<(Rank, u64)> = (0..job.nprocs())
+        .filter_map(|r| {
+            job.container(Rank(r))
+                .probe("crcp.msglog")
+                .and_then(|s| s.parse().ok())
+                .map(|b| (Rank(r), b))
+        })
+        .collect();
+    if !msg_log.is_empty() {
+        job.global_snapshot()?.record_msg_log_bytes(interval, &msg_log)?;
+    }
+
     let dedup = params
         .get_bool_or("filem_dedup_enabled", false)
         .unwrap_or(false);
@@ -316,6 +333,7 @@ fn gather_commit_cleanup(
         let cell = job.global_snapshot_cell();
         let src_nodes: Vec<NodeId> = batch.iter().map(|r| r.src_node).collect();
         let drain_rt = runtime.clone();
+        let watermark = job.commit_watermark();
         let tag = tag.to_string();
         let gather = move || {
             if delay_ms > 0 {
@@ -368,6 +386,10 @@ fn gather_commit_cleanup(
                                     .tracer()
                                     .record("filem.gather.error", &e.to_string());
                             }
+                            watermark.fetch_max(
+                                interval + 1,
+                                std::sync::atomic::Ordering::SeqCst,
+                            );
                             drain_rt.tracer().record(
                                 "snapc.global.global_commit",
                                 &format!("interval {interval}"),

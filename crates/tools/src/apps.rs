@@ -148,6 +148,7 @@ pub fn restart_named_from(
             source,
             interval,
             verify: true,
+            ranks: None,
         },
     )
 }

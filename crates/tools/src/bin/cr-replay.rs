@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cr-replay verify <journal>
-//! cr-replay replay --model <commit|quiesce|replica|gc> <journal>
+//! cr-replay replay --model <commit|quiesce|replica|gc|partial> <journal>
 //! cr-replay diff [--phases-only] [--context N] <left> <right>
 //! cr-replay show [--tail N] <journal>
 //! ```
@@ -46,7 +46,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: cr-replay <verify|replay|diff|show> [options] <journal...>\n\
   verify <journal>                      check the hash chain end to end\n\
-  replay --model <name> <journal>       check model-reachability (commit|quiesce|replica|gc)\n\
+  replay --model <name> <journal>       check model-reachability (commit|quiesce|replica|gc|partial)\n\
   diff [--phases-only] [--context N] <left> <right>\n\
   show [--tail N] <journal>";
 

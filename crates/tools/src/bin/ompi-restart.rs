@@ -14,6 +14,13 @@
 //! `replica` (peer memory only, fail otherwise), or `stable` (disk only).
 //! `--no-verify` skips digest verification of peer-memory chunks on the
 //! dedup restart path. Every knob lands in one [`ompi::RestartOptions`].
+//!
+//! `--ranks R1,R2,...` prints a *partial-restart plan* instead of
+//! relaunching: which tier would serve each failed rank's image, the
+//! recorded spare-node pool, and the per-rank message-log bytes at the
+//! chosen interval. An actual partial restart runs inside a live job
+//! (`MpiJob::restart_ranks`, driven by the recovery supervisor) — a tool
+//! invoked after the job is gone can only relaunch everything.
 
 use tools::apps::{restart_named_with, tool_runtime};
 use tools::ArgSpec;
@@ -27,11 +34,11 @@ fn main() {
 
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let spec = ArgSpec::parse(&raw, &["nodes", "interval", "base", "source"])?;
+    let spec = ArgSpec::parse(&raw, &["nodes", "interval", "base", "source", "ranks"])?;
     let reference = spec
         .positional()
         .first()
-        .ok_or("usage: ompi-restart [--nodes N] [--interval I] [--source auto|replica|stable] <global-snapshot-ref>")?;
+        .ok_or("usage: ompi-restart [--nodes N] [--interval I] [--source auto|replica|stable] [--ranks R1,R2,...] <global-snapshot-ref>")?;
     let nodes: u32 = spec.option_parsed("nodes", 2)?;
     let interval: i64 = spec.option_parsed("interval", -1)?;
     let source: ompi::RestartSource = spec
@@ -46,12 +53,23 @@ fn run() -> Result<(), String> {
             std::env::temp_dir().join(format!("ompi_restart_{}", std::process::id()))
         });
 
+    if let Some(list) = spec.option("ranks") {
+        let ranks: Vec<u32> = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim().parse::<u32>().map_err(|e| format!("--ranks: {e}")))
+            .collect::<Result<_, _>>()?;
+        let interval = if interval < 0 { None } else { Some(interval as u64) };
+        return partial_plan(std::path::Path::new(reference), &ranks, interval);
+    }
+
     let rt = tool_runtime(&base, nodes).map_err(|e| e.to_string())?;
     println!("ompi-restart: restoring from {reference}");
     let opts = ompi::RestartOptions {
         source,
         interval: if interval < 0 { None } else { Some(interval as u64) },
         verify: !spec.flag("no-verify"),
+        ranks: None,
     };
     let job = restart_named_with(&rt, std::path::Path::new(reference), opts)
         .map_err(|e| e.to_string())?;
@@ -62,5 +80,62 @@ fn run() -> Result<(), String> {
     }
     rt.shutdown();
     println!("ompi-restart: job completed");
+    Ok(())
+}
+
+/// `--ranks`: print what a partial restart of these ranks would do.
+fn partial_plan(
+    reference: &std::path::Path,
+    ranks: &[u32],
+    interval: Option<u64>,
+) -> Result<(), String> {
+    let global = cr_core::GlobalSnapshot::open(reference).map_err(|e| e.to_string())?;
+    let interval = match interval {
+        Some(i) => i,
+        None => global
+            .latest_interval()
+            .ok_or("global snapshot has no committed intervals")?,
+    };
+    if !global.intervals().contains(&interval) {
+        return Err(format!("interval {interval} was never committed"));
+    }
+    let nprocs = global.nprocs();
+    println!(
+        "ompi-restart: partial-restart plan for ranks {ranks:?} of {nprocs} at interval {interval}"
+    );
+    for &r in ranks {
+        if r >= nprocs {
+            return Err(format!("rank {r} out of range for a {nprocs}-rank job"));
+        }
+        let rank = cr_core::Rank(r);
+        if global.chunk_manifest(interval, rank).is_some() {
+            println!("  rank {r}: dedup chunk manifest (assembled from chunk tiers)");
+            continue;
+        }
+        let chain = global.ckpt_chain(interval, rank).map_err(|e| e.to_string())?;
+        for ci in chain {
+            let holders = global.replica_holders(ci, rank);
+            if holders.is_empty() {
+                println!("  rank {r}: interval {ci} from stable storage (no replica holders)");
+            } else {
+                println!("  rank {r}: interval {ci} from replica holders {holders:?}");
+            }
+        }
+    }
+    let spares = global.spare_pool();
+    if spares.is_empty() {
+        println!("  spare pool: empty — a live partial restart would refuse");
+    } else {
+        println!("  spare pool: nodes {spares:?}");
+    }
+    let msglog = global.msg_log_bytes(interval);
+    if msglog.is_empty() {
+        println!("  message log: no per-rank bytes recorded at interval {interval}");
+    } else {
+        for (rank, bytes) in msglog {
+            println!("  message log: rank {rank} held {bytes} bytes at commit");
+        }
+    }
+    println!("ompi-restart: plan only — run partial restart from the recovery supervisor");
     Ok(())
 }

@@ -51,6 +51,7 @@ fn run() -> Result<(), String> {
             any_dedup = true;
             print_dedup_interval(&global, *interval)?;
             print_gather_stats(&global, *interval);
+            print_msg_log(&global, *interval);
             continue;
         }
         let size = global
@@ -72,7 +73,9 @@ fn run() -> Result<(), String> {
             );
         }
         print_gather_stats(&global, *interval);
+        print_msg_log(&global, *interval);
     }
+    print_spare_pool(&global);
     if any_dedup {
         print_chunk_store(&global)?;
     }
@@ -169,6 +172,40 @@ fn print_gather_stats(global: &GlobalSnapshot, interval: u64) {
     );
     for ((a, b), bytes) in &stats.bytes_per_link {
         println!("      link {a}-{b}: {bytes} bytes");
+    }
+}
+
+/// The interval's sender-side message-log footprint, when the job ran
+/// with `crcp_msg_log_enabled`: per-rank bytes retained for partial
+/// restart (frames a survivor would resend to a rank restored from this
+/// interval).  Absent for jobs without the log.
+fn print_msg_log(global: &GlobalSnapshot, interval: u64) {
+    let per_rank = global.msg_log_bytes(interval);
+    if per_rank.is_empty() {
+        return;
+    }
+    let total: u64 = per_rank.iter().map(|(_, b)| b).sum();
+    println!("    message log: {total} bytes retained for partial restart");
+    for (rank, bytes) in per_rank {
+        println!("      rank {}: {bytes} bytes", rank.0);
+    }
+}
+
+/// The spare-node pool recorded at checkpoint time — the nodes a partial
+/// restart may claim to rehost failed ranks.  An empty pool means a live
+/// `--ranks` restart of this snapshot would refuse and fall back to a
+/// full relaunch.
+fn print_spare_pool(global: &GlobalSnapshot) {
+    let spares = global.spare_pool();
+    if spares.is_empty() {
+        println!("  spare pool: empty (partial restart would refuse)");
+    } else {
+        let list = spares
+            .iter()
+            .map(|n| format!("node {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  spare pool: {} held out ({list})", spares.len());
     }
 }
 

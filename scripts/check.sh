@@ -30,6 +30,14 @@ RESTART_LATENCY_SMOKE=1 cargo bench -q -p bench --bench restart_latency
 CKPT_INCREMENTAL_SMOKE=1 CKPT_DEDUP_SMOKE=1 BENCH_CKPT_JSON="$PWD/BENCH_ckpt.json" \
   cargo bench -q -p bench --bench ckpt_incremental
 
+# Partial-restart smoke: the bench compares the simulated cost of
+# recovering 1 failed rank (one image fetch + one launcher session)
+# against a full relaunch at 4/8/16 ranks, asserts partial is strictly
+# cheaper from 8 ranks up, and splices the rows into BENCH_ckpt.json
+# (after the rewrite above, so the rows survive).
+RESTART_PARTIAL_SMOKE=1 BENCH_CKPT_JSON="$PWD/BENCH_ckpt.json" \
+  cargo bench -q -p bench --bench restart_latency
+
 # Pipelined-commit smoke: the bench asserts the early-release stall is
 # ≤ 50% of the blocking stall at 8 ranks and that k concurrent transfers
 # on one shared link are each charged ~1/k bandwidth, and writes the
