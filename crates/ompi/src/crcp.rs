@@ -367,16 +367,30 @@ impl CrcpComponent for CoordCrcp {
             pml.with_state(|st| {
                 self.gc_committed(st, me);
                 let len = st.msg_log.len() as u64;
+                // The quiesce closes an overflow window: fold the flag
+                // into the mark (where the commit-watermark GC can retire
+                // it once the interval commits) and start a fresh window.
+                let overflow = std::mem::take(&mut st.msg_log_overflow);
                 match st.ckpt_interval {
                     Some(interval) => {
+                        let prior = st
+                            .msg_log_marks
+                            .iter()
+                            .any(|m| m.interval == interval && m.overflow);
                         st.msg_log_marks.retain(|m| m.interval != interval);
-                        st.msg_log_marks.push(crate::pml::MsgLogMark { interval, mark: len });
+                        st.msg_log_marks.push(crate::pml::MsgLogMark {
+                            interval,
+                            mark: len,
+                            overflow: overflow || prior,
+                        });
                     }
                     None => {
+                        let prior = st.msg_log_marks.iter().any(|m| m.overflow);
                         st.msg_log_marks.clear();
                         st.msg_log_marks.push(crate::pml::MsgLogMark {
                             interval: u64::MAX,
                             mark: len,
+                            overflow: overflow || prior,
                         });
                     }
                 }
@@ -795,6 +809,44 @@ mod tests {
         assert_eq!(entries, 1, "second send must not be logged past the cap");
         assert_eq!(bytes, 600);
         assert!(overflow, "cap hit must be flagged");
+    }
+
+    /// An overflow window is pinned to the quiesce that closes it: the
+    /// gap blocks partial restarts from any earlier interval, and is
+    /// retired once the closing interval reaches global commit (a
+    /// restart then restores from at-or-past the window's end).
+    #[test]
+    fn msg_log_overflow_windows_track_the_commit_watermark() {
+        let (pml0, pml1) = pair();
+        let crcp0 = msg_log_coord(1);
+        let watermark = Arc::new(AtomicU64::new(0));
+        crcp0.set_commit_watermark(Arc::clone(&watermark));
+        pml0.set_crcp(Some(Arc::clone(&crcp0) as Arc<dyn CrcpComponent>));
+        pml0.send(0, 1, 7, &[0u8; 600]).unwrap();
+        pml0.send(0, 1, 7, &[0u8; 600]).unwrap(); // past the 1 KB cap: unlogged
+        assert!(pml0.msg_log_gapped_since(0), "open-window overflow is a gap");
+        // Interval 4 quiesces, closing the window into its mark.
+        pml0.with_state(|st| st.ckpt_interval = Some(4));
+        let t0 = {
+            let (pml0, crcp0) = (Arc::clone(&pml0), Arc::clone(&crcp0));
+            std::thread::spawn(move || crcp0.coordinate(&pml0))
+        };
+        let t1 = {
+            let pml1 = Arc::clone(&pml1);
+            std::thread::spawn(move || CoordCrcp::new(Tracer::new()).coordinate(&pml1))
+        };
+        t0.join().unwrap().unwrap();
+        t1.join().unwrap().unwrap();
+        assert!(
+            pml0.msg_log_gapped_since(4),
+            "a restart from before the window would replay a gapped backlog"
+        );
+        // Interval 4 commits globally: the window precedes the restore point.
+        watermark.store(5, Ordering::SeqCst);
+        assert!(
+            !pml0.msg_log_gapped_since(5),
+            "a committed quiesce retires its overflow window"
+        );
     }
 
     /// Coordination marks the log at the quiesce point and `Continue`

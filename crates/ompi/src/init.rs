@@ -69,6 +69,51 @@ impl RunConfig {
 
 type RankResult<S> = Option<Result<(S, RunEnd), String>>;
 
+/// Spare nodes claimed for a partial restart but not yet spent. Every
+/// refusal or fetch error after the claim must return the nodes to the
+/// runtime pool — otherwise a refused `restart_ranks` would silently
+/// drain it and later attempts would spuriously see "no spare node
+/// available". Dropping the lease without [`SpareLease::commit`]
+/// re-registers every claimed node.
+struct SpareLease<'a> {
+    runtime: &'a Runtime,
+    nodes: Vec<netsim::NodeId>,
+    committed: bool,
+}
+
+impl<'a> SpareLease<'a> {
+    fn new(runtime: &'a Runtime) -> Self {
+        SpareLease {
+            runtime,
+            nodes: Vec::new(),
+            committed: false,
+        }
+    }
+
+    /// Claim one spare from the pool into the lease.
+    fn claim(&mut self) -> Option<netsim::NodeId> {
+        let node = self.runtime.claim_spare()?;
+        self.nodes.push(node);
+        Some(node)
+    }
+
+    /// The recovery reached its point of no return: the nodes are spent.
+    fn commit(mut self) -> Vec<netsim::NodeId> {
+        self.committed = true;
+        std::mem::take(&mut self.nodes)
+    }
+}
+
+impl Drop for SpareLease<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            for &node in &self.nodes {
+                self.runtime.register_spare(node);
+            }
+        }
+    }
+}
+
 /// A running (or finished) MPI job.
 pub struct MpiJob<S> {
     handle: Arc<JobHandle>,
@@ -123,10 +168,26 @@ impl<S: Send + 'static> MpiJob<S> {
     /// with a `rejoin` set; survivors then replay the logged in-flight
     /// traffic through the `ReplayBegin`/`ReplayDone` handshake.
     ///
-    /// Refuses (leaving the job untouched, so the caller can fall back to
-    /// a full restart) when the sender-side message log is disabled, when
-    /// no spare node is available, or when `source` is replica-only and
-    /// an image has no surviving holder.
+    /// Holds the job's checkpoint serial for the whole recovery, so no
+    /// interval can open, commit, or garbage-collect survivor message
+    /// logs mid-respawn (an in-flight checkpoint finishes first; a
+    /// periodic ticker blocks until the recovery completes).
+    ///
+    /// Refuses (leaving the job untouched — claimed spares included — so
+    /// the caller can fall back to a full restart) when a requested rank
+    /// has not actually failed, when the sender-side message log is
+    /// disabled, when the requested interval is older than the newest
+    /// committed one (survivor logs are GC'd up to its quiesce), when a
+    /// survivor's log overflowed `crcp_msg_log_cap_kb` since that quiesce
+    /// (the replay backlog would be sequence-gapped), when no spare node
+    /// is available, or when `source` is replica-only and an image has no
+    /// surviving holder.
+    ///
+    /// A failing rank only leaves its survivors live when
+    /// [`orte::JobHandle::set_partial_recovery`] was set beforehand (the
+    /// recovery supervisor does this under `RecoveryPolicy::partial`);
+    /// without it a failure terminates the job and there is nothing left
+    /// to partially restart.
     pub fn restart_ranks(
         &self,
         global_ref: &Path,
@@ -150,6 +211,22 @@ impl<S: Send + 'static> MpiJob<S> {
                 "partial restart of rank {bad} in a {nprocs}-rank job"
             )));
         }
+        // Only ranks that actually failed can be recovered in place:
+        // `respawn_rank` joins the old incarnation's app thread, so
+        // fencing a live rank would deadlock (besides rolling it back for
+        // no reason).
+        {
+            let results = self.results.lock();
+            if let Some(&live) = ranks
+                .iter()
+                .find(|&&r| !matches!(results.get(r as usize), Some(Some(Err(_)))))
+            {
+                return Err(CrError::protocol(format!(
+                    "partial restart of rank {live}, which has not failed: only \
+                     ranks in MpiJob::failed_ranks() can be recovered in place"
+                )));
+            }
+        }
         let msg_log = handle
             .params()
             .get_bool_or("crcp_msg_log_enabled", false)
@@ -162,19 +239,37 @@ impl<S: Send + 'static> MpiJob<S> {
                     .into(),
             });
         }
-        if opts.source != RestartSource::Replica {
-            runtime.drain_writebehind();
-        }
+        // Freeze the checkpoint pipeline for the whole recovery: an
+        // interval opening mid-respawn could capture inconsistent state,
+        // and one *committing* would advance the watermark and GC logged
+        // frames the rejoiner still needs. `JobHandle::checkpoint` takes
+        // the same lock, so an in-flight request completes first and a
+        // concurrent ticker blocks until recovery is done; the
+        // write-behind drain then retires any interval still gathering
+        // toward its (promotion-time) commit.
+        let _ckpt_guard = handle.checkpoint_guard();
+        runtime.drain_writebehind();
         let global = GlobalSnapshot::open(global_ref)?;
-        let interval = match opts.interval {
-            Some(i) => i,
-            None => global.latest_interval().ok_or(CrError::BadSnapshot {
-                detail: "global snapshot has no committed intervals".into(),
-            })?,
-        };
+        let latest = global.latest_interval().ok_or(CrError::BadSnapshot {
+            detail: "global snapshot has no committed intervals".into(),
+        })?;
+        let interval = opts.interval.unwrap_or(latest);
         if !global.intervals().contains(&interval) {
             return Err(CrError::BadSnapshot {
                 detail: format!("interval {interval} was never committed"),
+            });
+        }
+        // Survivor message logs are garbage-collected up to the newest
+        // committed quiesce, so a rejoiner restored from an older
+        // interval could never be replayed gap-free.
+        if interval != latest {
+            return Err(CrError::Unsupported {
+                detail: format!(
+                    "partial restart must restore the newest committed interval \
+                     ({latest}), not {interval}: survivor message logs only reach \
+                     back to the newest commit's quiesce (use a full restart for \
+                     older intervals)"
+                ),
             });
         }
 
@@ -202,20 +297,48 @@ impl<S: Send + 'static> MpiJob<S> {
             }
         }
 
-        // One spare per distinct failed node; refusal here precedes any
-        // mutation of the live job.
+        // Survivors must be able to replay a contiguous backlog to the
+        // rejoiners: if any survivor's log overflowed past
+        // `crcp_msg_log_cap_kb` since the restore interval's quiesce, the
+        // dropped sends can never be resent and the rejoiner would stall
+        // on a sequence gap. Refuse while the job is still untouched.
+        for r in 0..nprocs {
+            if rank_set.contains(&r) {
+                continue;
+            }
+            if handle
+                .container(cr_core::Rank(r))
+                .probe("crcp.msglog.gap")
+                .as_deref()
+                == Some("true")
+            {
+                return Err(CrError::Unsupported {
+                    detail: format!(
+                        "survivor rank {r}'s message log overflowed \
+                         crcp_msg_log_cap_kb since interval {interval}'s quiesce; \
+                         its replay backlog is sequence-gapped (raise the cap or \
+                         fall back to a full restart)"
+                    ),
+                });
+            }
+        }
+
+        // One spare per distinct failed node, held in a lease: any
+        // refusal or fetch error below must hand the claimed nodes back
+        // to the pool (the "leaving the job untouched" contract), which
+        // the lease's Drop does unless the recovery reaches its point of
+        // no return and commits.
         let mut spare_of: std::collections::HashMap<u32, netsim::NodeId> =
             std::collections::HashMap::new();
-        let mut spares: Vec<netsim::NodeId> = Vec::new();
+        let mut lease = SpareLease::new(runtime);
         for &node in &old_nodes {
-            let spare = runtime.claim_spare().ok_or_else(|| CrError::Unsupported {
+            let spare = lease.claim().ok_or_else(|| CrError::Unsupported {
                 detail: format!(
                     "no spare node available to rehost the ranks of failed node \
                      {node} (grow orte_spare_nodes or fall back to a full restart)"
                 ),
             })?;
             spare_of.insert(node.0, spare);
-            spares.push(spare);
         }
 
         let job = handle.job();
@@ -336,7 +459,9 @@ impl<S: Send + 'static> MpiJob<S> {
         // Point of no return: fence the dead nodes, drop the failed
         // ranks' stale endpoint advertisements and result slots, and
         // respawn each rank on its spare with the rejoin set. One
-        // simulated launcher session per spare node.
+        // simulated launcher session per spare node. The spares are
+        // spent from here on.
+        let spares = lease.commit();
         for &node in &old_nodes {
             if !runtime.node_failed(node) {
                 runtime.kill_daemon(node);
@@ -542,6 +667,19 @@ fn proc_body<A: MpiApp>(
             "crcp.msglog",
             Arc::new(move || p.msg_log_stats().1.to_string()),
         );
+        // Partial-restart precondition: `restart_ranks` asks every
+        // survivor whether `crcp_msg_log_cap_kb` dropped a send since the
+        // newest committed quiesce — if so, its replay backlog is
+        // sequence-gapped and the partial restart must refuse.
+        let p = Arc::clone(&pml);
+        let watermark = Arc::clone(&ctx.commit_watermark);
+        ctx.container.set_probe(
+            "crcp.msglog.gap",
+            Arc::new(move || {
+                p.msg_log_gapped_since(watermark.load(Ordering::SeqCst))
+                    .to_string()
+            }),
+        );
     }
 
     // 5. Capture sections.
@@ -657,15 +795,15 @@ fn make_proc_main<A: MpiApp>(
             }
         };
         if outcome.is_err() {
-            // Unblock peers waiting on messages this rank will never send.
-            // Under partial recovery (message log on) the survivors must
-            // stay live instead: the supervisor restores just this rank
-            // and the replay handshake catches it up.
-            let partial = ctx
-                .params
-                .get_bool_or("crcp_msg_log_enabled", false)
-                .unwrap_or(false);
-            if !partial {
+            // Unblock peers waiting on messages this rank will never send
+            // — unless an active recoverer has declared itself on the job
+            // (`JobHandle::set_partial_recovery`): then the survivors must
+            // stay live while only this rank is restored and caught back
+            // up over the replay handshake. The message-log MCA param
+            // alone is NOT enough: with the log on but nobody performing
+            // partial restarts, a silent skip here would hang `wait()`
+            // forever.
+            if !ctx.partial_recovery.load(Ordering::SeqCst) {
                 ctx.terminate.store(true, Ordering::SeqCst);
             }
         }

@@ -166,6 +166,13 @@ pub struct MsgLogMark {
     pub interval: u64,
     /// `msg_log` length at that interval's quiesce.
     pub mark: u64,
+    /// `crcp_msg_log_cap_kb` truncated the log in the window *ending* at
+    /// this quiesce (i.e. since the previous mark). A partial restart
+    /// from any interval quiesced before this window would replay a
+    /// sequence-gapped backlog and must refuse; once `interval` reaches
+    /// global commit the window precedes the restore point and the bit
+    /// leaves with the mark.
+    pub overflow: bool,
 }
 
 /// The serializable PML state — the "pml" section of the process image.
@@ -208,8 +215,12 @@ pub struct PmlState {
     /// use.
     #[serde(skip)]
     pub ckpt_interval: Option<u64>,
-    /// Set when `crcp_msg_log_cap_kb` truncated the log; a partial
-    /// restart that would need the missing entries must refuse.
+    /// Set when `crcp_msg_log_cap_kb` truncated the log in the current
+    /// window (since the last quiesce mark); each quiesce folds it into
+    /// its [`MsgLogMark::overflow`] bit and clears it. A partial restart
+    /// that would need the missing entries must refuse — see
+    /// [`PmlShared::msg_log_gapped_since`], which `MpiJob::restart_ranks`
+    /// probes on every survivor before touching the job.
     pub msg_log_overflow: bool,
     /// CRCP control messages awaiting the coordination protocol.
     pub crcp_inbox: VecDeque<CrcpMsg>,
@@ -935,6 +946,23 @@ impl PmlShared {
     pub fn msg_log_stats(&self) -> (u64, u64, bool) {
         let st = self.state.lock();
         (st.msg_log.len() as u64, st.msg_log_bytes, st.msg_log_overflow)
+    }
+
+    /// True when `crcp_msg_log_cap_kb` dropped at least one send *after*
+    /// the newest globally committed interval's quiesce (`watermark` is
+    /// the job's commit watermark: highest committed interval + 1). A
+    /// partial restart restores from that interval, so a gap in any
+    /// later window means this rank cannot replay a contiguous backlog
+    /// and the restart must refuse. Overflow folded into the committed
+    /// interval's own mark (or older ones) precedes the restore point
+    /// and is ignored.
+    pub fn msg_log_gapped_since(&self, watermark: u64) -> bool {
+        let st = self.state.lock();
+        st.msg_log_overflow
+            || st
+                .msg_log_marks
+                .iter()
+                .any(|m| m.overflow && m.interval >= watermark)
     }
 
     /// Messages sent to `dst` so far.

@@ -39,10 +39,13 @@ pub struct RecoveryPolicy {
     /// Try partial restart first: recover only the failed ranks onto
     /// spare nodes ([`MpiJob::restart_ranks`]) while the survivors stay
     /// live, falling back to the terminate-and-relaunch path when it
-    /// refuses (no committed snapshot yet, message log off, spare pool
-    /// exhausted, no surviving replica holder, …). Needs
-    /// `crcp_msg_log_enabled=true` and `orte_spare_nodes>0` to ever
-    /// succeed.
+    /// refuses (no committed snapshot yet, message log off, survivor log
+    /// overflow, spare pool exhausted, no surviving replica holder, …).
+    /// The supervisor marks the job partial-recovery-active
+    /// (`JobHandle::set_partial_recovery`) before watching it, so a
+    /// failing rank leaves its survivors live for the watchdog instead of
+    /// terminating the job. Needs `crcp_msg_log_enabled=true` and
+    /// `orte_spare_nodes>0` to ever succeed.
     pub partial: bool,
 }
 
@@ -185,6 +188,12 @@ pub fn run_with_recovery<A: MpiApp>(
             None => mpirun(runtime, Arc::clone(&app), config.clone())?,
             Some(snapshot) => restart(runtime, Arc::clone(&app), &snapshot, policy.restart.clone())?,
         };
+        // Declare the watchdog before any rank can fail: with the flag
+        // set, a failing rank leaves its survivors live for the partial
+        // path instead of pulling the whole job down.
+        if policy.partial {
+            job.handle().set_partial_recovery(true);
+        }
         runtime.tracer().record(
             "supervisor.incarnation",
             &format!("restarts so far: {}", report.restarts),

@@ -53,6 +53,14 @@ pub struct LaunchCtx {
     /// Set when the job was asked to terminate (checkpoint-and-terminate);
     /// application loops must exit at their next safe point.
     pub terminate: Arc<AtomicBool>,
+    /// Set ([`JobHandle::set_partial_recovery`]) once something — the
+    /// recovery supervisor, or a caller driving `restart_ranks` by hand —
+    /// stands ready to recover failed ranks in place. While set, a
+    /// failing rank must NOT pull the job down: survivors stay live and
+    /// the replay handshake catches the respawned rank up. Off by
+    /// default, so a plain run with the message log enabled but no
+    /// recoverer still terminates on failure instead of hanging.
+    pub partial_recovery: Arc<AtomicBool>,
     /// Highest globally committed checkpoint interval + 1 (0 = nothing
     /// committed yet), published by the job as commits land. The OMPI
     /// layer keys replay-log garbage collection off this: survivor
@@ -113,6 +121,8 @@ pub struct JobHandle {
     /// same per-process entry the job was launched with.
     proc_main: ProcMain,
     terminate: Arc<AtomicBool>,
+    /// See [`LaunchCtx::partial_recovery`].
+    partial_recovery: Arc<AtomicBool>,
     /// Shared with early-release gather threads: promotions must go
     /// through the same cached document a later interval's commit will
     /// write, or a save via a stale copy would lose the promotion.
@@ -187,6 +197,25 @@ impl JobHandle {
         self.terminate.store(true, Ordering::SeqCst);
     }
 
+    /// Declare (or retract) an active partial-recovery supervisor: while
+    /// set, a failing rank leaves the survivors live instead of
+    /// terminating the job (see [`LaunchCtx::partial_recovery`]). Must be
+    /// set *before* failures can occur to take effect for them.
+    pub fn set_partial_recovery(&self, on: bool) {
+        self.partial_recovery.store(on, Ordering::SeqCst);
+    }
+
+    /// Serialize a recovery operation against distributed checkpoints:
+    /// while the guard is held no interval can open, commit, or advance
+    /// the commit watermark (which would GC survivor message logs
+    /// mid-recovery). `MpiJob::restart_ranks` holds this for its whole
+    /// fence-fetch-respawn window; [`Self::checkpoint`] takes the same
+    /// lock, so an in-flight checkpoint finishes first and a concurrent
+    /// ticker blocks until recovery completes.
+    pub fn checkpoint_guard(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.checkpoint_serial.lock()
+    }
+
     /// The job's global snapshot reference, created on first use.
     pub fn global_snapshot(&self) -> Result<parking_lot::MappedMutexGuard<'_, GlobalSnapshot>, CrError> {
         let mut guard = self.global_snapshot.lock();
@@ -253,6 +282,12 @@ impl JobHandle {
     /// Respawn one failed rank on `node` (typically a claimed spare) with
     /// `image` as its restored state, while every other rank stays live.
     ///
+    /// The caller must have verified the rank actually failed (its app
+    /// thread has exited or is exiting): the dead incarnation's app
+    /// thread is joined here, so respawning a live rank would deadlock.
+    /// `MpiJob::restart_ranks` enforces this by refusing any rank whose
+    /// result slot is not an error.
+    ///
     /// The dead incarnation's threads are reaped and its entry replaced in
     /// place: a fresh container is registered with `node`'s daemon and the
     /// job's entry function re-enters through the normal restart path with
@@ -305,6 +340,7 @@ impl JobHandle {
             restored: Some(image),
             rejoin: Some(rejoin),
             terminate: Arc::clone(&self.terminate),
+            partial_recovery: Arc::clone(&self.partial_recovery),
             commit_watermark: Arc::clone(&self.commit_watermark),
         };
         let main = Arc::clone(&self.proc_main);
@@ -432,6 +468,7 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
     }
 
     let terminate = Arc::new(AtomicBool::new(false));
+    let partial_recovery = Arc::new(AtomicBool::new(false));
     let commit_watermark = Arc::new(AtomicU64::new(0));
     let mut restored_images = spec.restored;
     let mut procs = Vec::with_capacity(spec.nprocs as usize);
@@ -459,6 +496,7 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
             restored: restored_images.as_mut().map(|v| std::mem::take(&mut v[rank.index()])),
             rejoin: None,
             terminate: Arc::clone(&terminate),
+            partial_recovery: Arc::clone(&partial_recovery),
             commit_watermark: Arc::clone(&commit_watermark),
         };
         let main = Arc::clone(&spec.proc_main);
@@ -487,6 +525,7 @@ pub fn launch(runtime: &Runtime, spec: JobSpec) -> Result<JobHandle, CrError> {
         procs,
         proc_main: spec.proc_main,
         terminate,
+        partial_recovery,
         global_snapshot: Arc::new(Mutex::new(None)),
         resume_floor: spec.resume_floor,
         checkpoint_serial: Mutex::new(()),

@@ -65,6 +65,38 @@ impl MpiApp for GatedRing {
     }
 }
 
+/// Communication-free workload whose ranks in `fail` die once `armed` is
+/// set. Because the ranks never talk to each other, any subset can fail
+/// on cue without the survivors blocking in a recv — which the refusal
+/// test needs to stage multi-rank failure patterns.
+struct FailSet {
+    fail: std::collections::BTreeSet<u32>,
+    armed: Arc<AtomicBool>,
+}
+
+impl MpiApp for FailSet {
+    type State = u64;
+
+    fn name(&self) -> &str {
+        "fail-set"
+    }
+
+    fn init_state(&self, _mpi: &Mpi) -> Result<u64, MpiError> {
+        Ok(0)
+    }
+
+    fn step(&self, mpi: &Mpi, state: &mut u64) -> Result<StepOutcome, MpiError> {
+        if self.armed.load(Ordering::SeqCst) && self.fail.contains(&mpi.rank()) {
+            return Err(MpiError::PeerLost {
+                detail: "injected node failure".into(),
+            });
+        }
+        *state += 1;
+        std::thread::sleep(Duration::from_millis(1));
+        Ok(StepOutcome::Continue)
+    }
+}
+
 /// MCA parameters for a partial-restart-capable job: replica file mover
 /// (peer-memory images), the sender-side message log, and `spares` nodes
 /// held out of placement.
@@ -92,6 +124,19 @@ fn await_failure(job: &MpiJob<RingState>, rank: u32) {
     assert_eq!(job.failed_ranks(), vec![rank as usize], "only rank {rank} fails");
 }
 
+/// Block until `job` reports exactly the expected failed ranks.
+fn await_failures<S: Send + 'static>(job: &MpiJob<S>, ranks: &[usize]) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while job.failed_ranks().len() < ranks.len() {
+        assert!(
+            Instant::now() < deadline,
+            "injected failures of ranks {ranks:?} never all reported"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(job.failed_ranks(), ranks, "exactly ranks {ranks:?} fail");
+}
+
 /// The tentpole path, driven directly: checkpoint, kill rank 2 *and* its
 /// node, partial-restart just that rank onto the spare, and finish.
 #[test]
@@ -115,6 +160,10 @@ fn partial_restart_recovers_a_lost_node_with_survivors_live() {
         },
     )
     .unwrap();
+    // Declare partial recovery before any rank can fail: with the flag
+    // set, the failing rank leaves its survivors live for restart_ranks
+    // instead of pulling the whole job down.
+    job.handle().set_partial_recovery(true);
     std::thread::sleep(Duration::from_millis(30));
     let ck = job.checkpoint(&CheckpointOptions::tool()).unwrap();
 
@@ -279,22 +328,29 @@ fn replay_log_is_gced_at_global_commit_and_recorded() {
 }
 
 /// Every refusal precondition fires before any mutation of the live job,
-/// in an order a caller can rely on for fallback decisions.
+/// in an order a caller can rely on for fallback decisions — and a
+/// recovery that refuses after claiming spares hands them back.
 #[test]
 fn refusals_leave_the_job_untouched() {
     let _serial = serial();
     // 6 nodes, 2 spares: 8 ranks double up on usable nodes 0-3 (ranks
     // r and r+4 share node r), nodes 4 and 5 idle in the spare pool.
     let rt = test_runtime("partial_refuse", 6);
+    let armed = Arc::new(AtomicBool::new(false));
+    let app = Arc::new(FailSet {
+        fail: [1, 2, 6].into_iter().collect(),
+        armed: Arc::clone(&armed),
+    });
     let job = mpirun(
         &rt,
-        Arc::new(RingApp { rounds: 1_000_000 }),
+        app,
         RunConfig {
             nprocs: 8,
             params: partial_params(2),
         },
     )
     .unwrap();
+    job.handle().set_partial_recovery(true);
     std::thread::sleep(Duration::from_millis(30));
     let ck = job.checkpoint(&CheckpointOptions::tool()).unwrap();
 
@@ -310,7 +366,20 @@ fn refusals_leave_the_job_untouched() {
         .unwrap_err();
     assert!(err.to_string().contains("8-rank job"), "{err}");
 
-    // A node is fenced whole: restarting rank 1 without its node-mate.
+    // So is a rank that never failed: fencing a live rank would roll it
+    // back for no reason (and join its still-running app thread).
+    let err = job
+        .restart_ranks(&ck.global_snapshot, &RestartOptions::default().with_ranks(vec![1]))
+        .unwrap_err();
+    assert!(err.to_string().contains("has not failed"), "{err}");
+
+    // Ranks 1, 2 and 6 die. Node 2 (ranks 2 and 6) is lost whole; rank
+    // 1's node-mate 5 survives on node 1.
+    armed.store(true, Ordering::SeqCst);
+    await_failures(&job, &[1, 2, 6]);
+
+    // A node is fenced whole: restarting failed rank 1 without its live
+    // node-mate is refused before anything is claimed.
     let err = job
         .restart_ranks(&ck.global_snapshot, &RestartOptions::default().with_ranks(vec![1]))
         .unwrap_err();
@@ -319,7 +388,8 @@ fn refusals_leave_the_job_untouched() {
 
     // Rank 2's image is replicated on nodes {2, 3} (factor-1 ring); lose
     // both and a replica-only partial restart of that rank is impossible.
-    // The refusal lands after the spare claims, so the pool is now dry.
+    // The refusal lands after the spare claim, but the lease returns the
+    // node to the pool on the error path.
     rt.kill_daemon(NodeId(2));
     rt.kill_daemon(NodeId(3));
     let err = job
@@ -327,44 +397,67 @@ fn refusals_leave_the_job_untouched() {
             &ck.global_snapshot,
             &RestartOptions::default()
                 .with_source(RestartSource::Replica)
-                .with_ranks(vec![2, 3, 6, 7]),
+                .with_ranks(vec![2, 6]),
         )
         .unwrap_err();
     assert!(err.to_string().contains("no surviving replica holder"), "{err}");
+    assert_eq!(
+        rt.spare_nodes().len(),
+        2,
+        "a refused recovery hands its claimed spares back"
+    );
 
-    // The pool is exhausted: the next attempt refuses on spares.
+    // Drain the pool by hand: with no spare left the claim refuses.
+    let a = rt.claim_spare().unwrap();
+    let b = rt.claim_spare().unwrap();
     let err = job
         .restart_ranks(
             &ck.global_snapshot,
-            &RestartOptions::default().with_ranks(vec![2, 3, 6, 7]),
+            &RestartOptions::default().with_ranks(vec![2, 6]),
         )
         .unwrap_err();
     assert!(err.to_string().contains("no spare node available"), "{err}");
+    rt.register_spare(a);
+    rt.register_spare(b);
 
-    // The refusals left every rank untouched: nothing was killed,
-    // respawned, or rolled back — the app threads on the fenced nodes
-    // are still live (only their daemons died). Stop the job and reap.
-    assert!(job.failed_ranks().is_empty(), "refusals touched no live rank");
+    // The refusals left the job exactly as the failures did: no extra
+    // rank died, none was respawned or rolled back — the app threads on
+    // fenced node 3 are still live (only their daemon died).
+    assert_eq!(job.failed_ranks(), vec![1, 2, 6], "refusals touched no live rank");
+    assert_eq!(
+        rt.tracer().count_prefix("ompi.init.restart"),
+        0,
+        "no rank re-entered the restart path"
+    );
     job.request_terminate();
     let _ = job.wait();
     rt.shutdown();
 
     // Without the sender-side message log the refusal comes first and
-    // claims nothing.
+    // claims nothing — even when the requested ranks genuinely failed.
     let rt2 = test_runtime("partial_refuse_nolog", 3);
     let params = Arc::new(McaParams::new());
     params.set("orte_spare_nodes", "1");
+    let armed2 = Arc::new(AtomicBool::new(false));
+    let app2 = Arc::new(FailSet {
+        fail: [1, 3].into_iter().collect(),
+        armed: Arc::clone(&armed2),
+    });
     let job = mpirun(
         &rt2,
-        Arc::new(RingApp { rounds: 1_000_000 }),
+        app2,
         RunConfig {
             nprocs: NPROCS,
             params,
         },
     )
     .unwrap();
+    job.handle().set_partial_recovery(true);
     std::thread::sleep(Duration::from_millis(30));
     let ck = job.checkpoint(&CheckpointOptions::tool()).unwrap();
+    // Node 1 (ranks 1 and 3 in the doubled-up layout) dies whole.
+    armed2.store(true, Ordering::SeqCst);
+    await_failures(&job, &[1, 3]);
     let err = job
         .restart_ranks(
             &ck.global_snapshot,
@@ -374,8 +467,40 @@ fn refusals_leave_the_job_untouched() {
     assert!(err.to_string().contains("crcp_msg_log_enabled"), "{err}");
     assert_eq!(rt2.spare_nodes().len(), 1, "log refusal precedes the claim");
     job.request_terminate();
-    job.wait().unwrap();
+    let _ = job.wait();
     rt2.shutdown();
+}
+
+/// Without `set_partial_recovery`, a failing rank still pulls the whole
+/// job down even when the message log is enabled — a plain run with the
+/// log on must never hang in `wait()` waiting for a recoverer that does
+/// not exist.
+#[test]
+fn failure_without_partial_recovery_declared_terminates_the_job() {
+    let _serial = serial();
+    let rt = test_runtime("partial_undeclared", 5);
+    let armed = Arc::new(AtomicBool::new(false));
+    let app = Arc::new(GatedRing {
+        inner: RingApp { rounds: 1_000_000 },
+        fail_rank: 2,
+        armed: Arc::clone(&armed),
+    });
+    let job = mpirun(
+        &rt,
+        app,
+        RunConfig {
+            nprocs: NPROCS,
+            params: partial_params(1),
+        },
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    armed.store(true, Ordering::SeqCst);
+    // The failure terminates the survivors, so wait() settles with the
+    // failure — no watchdog needed.
+    let err = job.wait().unwrap_err();
+    assert!(err.to_string().contains("injected node failure"), "{err}");
+    rt.shutdown();
 }
 
 /// When partial recovery refuses (here: no spare pool), the supervisor
@@ -477,6 +602,7 @@ proptest! {
             },
         )
         .unwrap();
+        job.handle().set_partial_recovery(true);
         std::thread::sleep(Duration::from_millis(delay_ms));
         let ck = match job.checkpoint(&CheckpointOptions::tool()) {
             Ok(o) => o,
